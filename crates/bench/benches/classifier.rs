@@ -1,0 +1,48 @@
+//! Criterion: profit-sharing classifier throughput over a realistic
+//! transaction mix (the inner loop of the whole pipeline).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use daas_detector::{classify_tx, ClassifierConfig};
+use daas_world::{World, WorldConfig};
+
+fn bench_classifier(c: &mut Criterion) {
+    let world = World::build(&WorldConfig::small(7)).expect("world");
+    let txs = world.chain.transactions();
+    let cfg = ClassifierConfig::default();
+
+    let mut group = c.benchmark_group("classifier");
+    group.throughput(Throughput::Elements(txs.len() as u64));
+    group.bench_function("classify_full_chain", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for tx in txs {
+                if classify_tx(tx, &cfg).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+
+    // Positive-only path (worst case: full ratio matching every time).
+    let positives: Vec<_> = txs.iter().filter(|t| classify_tx(t, &cfg).is_some()).collect();
+    group.throughput(Throughput::Elements(positives.len() as u64));
+    group.bench_function("classify_positives", |b| {
+        b.iter(|| positives.iter().filter(|t| classify_tx(t, &cfg).is_some()).count())
+    });
+
+    // Relaxed two-transfer mode (ablation A5 cost).
+    let relaxed = ClassifierConfig { strict_two_transfers: false, ..Default::default() };
+    group.throughput(Throughput::Elements(txs.len() as u64));
+    group.bench_function("classify_relaxed", |b| {
+        b.iter_batched(
+            || (),
+            |_| txs.iter().filter(|t| classify_tx(t, &relaxed).is_some()).count(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classifier);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion: family clustering (§7.1) and its union-find core.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use daas_cluster::cluster;
+use daas_detector::{build_dataset, SnowballConfig};
+use daas_world::{World, WorldConfig};
+use eth_types::Address;
+use txgraph::UnionFind;
+
+fn bench_clustering(c: &mut Criterion) {
+    let world = World::build(&WorldConfig::small(7)).expect("world");
+    let dataset = build_dataset(&world.chain, &world.labels, &SnowballConfig::default());
+
+    let mut group = c.benchmark_group("clustering");
+    group.sample_size(20);
+    group.bench_function("cluster_families", |b| {
+        b.iter(|| cluster(&world.chain, &world.labels, &dataset))
+    });
+    group.finish();
+
+    // Micro: union-find over a synthetic 100k-edge graph.
+    let addrs: Vec<Address> =
+        (0..20_000u32).map(|i| Address::from_key_seed(&i.to_be_bytes())).collect();
+    let edges: Vec<(Address, Address)> = (0..100_000usize)
+        .map(|i| (addrs[(i * 7) % addrs.len()], addrs[(i * 13 + 1) % addrs.len()]))
+        .collect();
+    c.bench_function("union_find_100k_edges", |b| {
+        b.iter(|| {
+            let mut uf = UnionFind::new();
+            for &(x, y) in &edges {
+                uf.union(x, y);
+            }
+            uf.components().len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

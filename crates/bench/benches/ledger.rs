@@ -1,0 +1,32 @@
+//! Criterion: ledger substrate throughput — world generation and the
+//! account-history scans the snowball sampler leans on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use daas_world::{World, WorldConfig};
+
+fn bench_ledger(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ledger");
+    group.sample_size(10);
+    group.bench_function("build_world_tiny", |b| {
+        b.iter(|| World::build(&WorldConfig::tiny(7)).expect("world"))
+    });
+    group.bench_function("build_world_small", |b| {
+        b.iter(|| World::build(&WorldConfig::small(7)).expect("world"))
+    });
+    group.finish();
+
+    let world = World::build(&WorldConfig::small(7)).expect("world");
+    let contracts = world.truth.all_contracts();
+    c.bench_function("history_scan_all_contracts", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &a in &contracts {
+                total += world.chain.txs_of(a).len();
+            }
+            total
+        })
+    });
+}
+
+criterion_group!(benches, bench_ledger);
+criterion_main!(benches);

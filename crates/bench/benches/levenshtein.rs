@@ -1,0 +1,30 @@
+//! Criterion: the §8.2 domain-triage hot path — Levenshtein similarity
+//! and full keyword assessment per domain.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ct_watch::{levenshtein, DomainTriage};
+
+fn bench_levenshtein(c: &mut Criterion) {
+    c.bench_function("levenshtein_pair", |b| {
+        b.iter(|| levenshtein("cla1m-rewards", "claim"))
+    });
+
+    let triage = DomainTriage::default();
+    let domains: Vec<String> = (0..1_000)
+        .map(|i| match i % 4 {
+            0 => format!("claim-pepe-{i}.com"),
+            1 => format!("weather-report-{i}.net"),
+            2 => format!("a1rdrop-zk-{i}.xyz"),
+            _ => format!("johns-bakery-{i}.org"),
+        })
+        .collect();
+    let mut group = c.benchmark_group("triage");
+    group.throughput(Throughput::Elements(domains.len() as u64));
+    group.bench_function("assess_1k_domains", |b| {
+        b.iter(|| domains.iter().filter(|d| triage.assess(d).is_some()).count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_levenshtein);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion: end-to-end snowball dataset construction (§5.1) at CI
+//! scale, with and without the expansion guard.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use daas_detector::{build_dataset, SnowballConfig};
+use daas_world::{World, WorldConfig};
+
+fn bench_snowball(c: &mut Criterion) {
+    let world = World::build(&WorldConfig::small(7)).expect("world");
+
+    let mut group = c.benchmark_group("snowball");
+    group.sample_size(20);
+    group.bench_function("build_dataset_guarded", |b| {
+        b.iter(|| build_dataset(&world.chain, &world.labels, &SnowballConfig::default()))
+    });
+    group.bench_function("build_dataset_unguarded", |b| {
+        let cfg = SnowballConfig { expansion_guard: false, ..Default::default() };
+        b.iter(|| build_dataset(&world.chain, &world.labels, &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_snowball);
+criterion_main!(benches);

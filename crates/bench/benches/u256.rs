@@ -1,0 +1,27 @@
+//! Criterion: U256 arithmetic primitives (the ledger substrate's inner
+//! loop — every transfer does add/sub, every split does mul_div).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eth_types::{keccak256, U256};
+
+fn bench_u256(c: &mut Criterion) {
+    let a = U256::from_hex_str("0xdeadbeefcafebabe1234567890abcdef00112233445566778899aabbccddeeff")
+        .unwrap();
+    let b = U256::from_hex_str("0x0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef")
+        .unwrap();
+    let wei = U256::from_u128(27_100_000_000_000_000_000);
+
+    c.bench_function("u256_add", |bch| bch.iter(|| a.overflowing_add(b)));
+    c.bench_function("u256_mul_div_split", |bch| {
+        bch.iter(|| wei.mul_div(U256::from_u64(2000), U256::from_u64(10_000)))
+    });
+    c.bench_function("u256_div_rem_large", |bch| bch.iter(|| a.div_rem(U256::from_u64(1_000_003))));
+    c.bench_function("u256_to_decimal_string", |bch| bch.iter(|| a.to_string()));
+    c.bench_function("keccak256_136b", |bch| {
+        let data = [0x42u8; 136];
+        bch.iter(|| keccak256(&data))
+    });
+}
+
+criterion_group!(benches, bench_u256);
+criterion_main!(benches);

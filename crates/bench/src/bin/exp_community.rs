@@ -1,0 +1,9 @@
+//! Regenerates the §8 community-contribution statistics: label coverage,
+//! website detection counts, fingerprint growth.
+
+fn main() {
+    let (_, scale) = daas_bench::env_config();
+    let p = daas_bench::standard_pipeline();
+    let web = daas_cli::run_website_pipeline(&p.world, 0.8);
+    println!("{}", daas_cli::render_community(&p, &web, scale));
+}

@@ -1,0 +1,109 @@
+//! §7.2 — the dominant-family comparison: contract implementation,
+//! rotation cadence, affiliate reach, leveling tiers, and reward
+//! payments, side by side for Angel / Inferno / Pink.
+
+use daas_cli::render_ablations;
+use daas_cluster::{contract_profile, primary_lifecycles};
+use daas_measure::MeasureCtx;
+use daas_world::collection_end;
+
+fn main() {
+    let (_, scale) = daas_bench::env_config();
+    let p = daas_bench::standard_pipeline();
+    let ctx = MeasureCtx::new(&p.world.chain, &p.dataset, &p.world.oracle);
+    let min_txs = ((100.0 * scale) as usize).max(5);
+
+    // Per-family §7.2 leveling thresholds (paper: Angel $100k/$1M/$5M,
+    // Inferno $10k/$100k/$1M; Pink runs no documented program — shown
+    // with Inferno's scale for comparison).
+    let thresholds = [
+        ("Angel Drainer", [100_000.0 * scale, 1_000_000.0 * scale, 5_000_000.0 * scale]),
+        ("Inferno Drainer", [10_000.0 * scale, 100_000.0 * scale, 1_000_000.0 * scale]),
+        ("Pink Drainer", [10_000.0 * scale, 100_000.0 * scale, 1_000_000.0 * scale]),
+    ];
+
+    let mut impl_rows = Vec::new();
+    let mut cadence_rows = Vec::new();
+    let mut tier_rows = Vec::new();
+    let mut reward_rows = Vec::new();
+
+    for (name, levels) in thresholds {
+        let Some(family) = p.clustering.by_name(name) else { continue };
+
+        let profile = contract_profile(&p.world.chain, &p.dataset, family);
+        impl_rows.push((
+            name.to_owned(),
+            profile.eth_entry.unwrap_or_else(|| "-".into()),
+            profile.token_entry.unwrap_or_else(|| "-".into()),
+        ));
+
+        let lc = primary_lifecycles(
+            &p.world.chain,
+            &p.dataset,
+            family,
+            min_txs,
+            30 * 86_400,
+            collection_end(),
+        );
+        cadence_rows.push((
+            name.to_owned(),
+            format!("{} primaries", lc.contracts.len()),
+            format!("{:.1} day rotation", lc.mean_days),
+        ));
+
+        let census = ctx.affiliate_tiers(&family.affiliates, levels);
+        tier_rows.push((
+            name.to_owned(),
+            format!(
+                "L0 {} | L1 {} | L2 {} | L3 {}",
+                census.levels[0], census.levels[1], census.levels[2], census.levels[3]
+            ),
+            format!(
+                "thresholds ${:.0}k/${:.0}k/${:.0}k",
+                levels[0] / 1e3,
+                levels[1] / 1e3,
+                levels[2] / 1e3
+            ),
+        ));
+
+        let rewards = ctx.reward_transfers(&family.operators, &family.affiliates);
+        reward_rows.push((
+            name.to_owned(),
+            format!("{} payments to {} affiliates", rewards.transfers, rewards.affiliates_rewarded),
+            format!("{} ETH total", eth_types::units::format_ether(rewards.total_wei, 1)),
+        ));
+    }
+
+    println!(
+        "{}",
+        render_ablations(
+            "§7.2 — Contract implementation (Table 3, recovered behaviourally)",
+            ["family", "ETH entry", "token sweep"],
+            &impl_rows
+        )
+    );
+    println!(
+        "{}",
+        render_ablations(
+            "§7.2 — Contract rotation cadence (paper: 102.3 / 198.6 / 96.8 days)",
+            ["family", "primaries", "cadence"],
+            &cadence_rows
+        )
+    );
+    println!(
+        "{}",
+        render_ablations(
+            "§7.2 — Affiliate leveling census (thresholds scaled with the world)",
+            ["family", "tier counts", "program"],
+            &tier_rows
+        )
+    );
+    println!(
+        "{}",
+        render_ablations(
+            "§7.2 — Reward payments observed on-chain (Angel & Inferno run programs)",
+            ["family", "payments", "volume"],
+            &reward_rows
+        )
+    );
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 4's worked example: one profit-sharing transaction
+//! with its two fixed-proportion transfers.
+
+fn main() {
+    let p = daas_bench::standard_pipeline();
+    println!("{}", daas_cli::render_fig4(&p));
+}

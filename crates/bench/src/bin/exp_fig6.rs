@@ -1,0 +1,6 @@
+//! Regenerates Figure 6: the victim-loss distribution.
+
+fn main() {
+    let p = daas_bench::standard_pipeline();
+    println!("{}", daas_cli::render_fig6(&p));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 7: the affiliate-profit distribution.
+
+fn main() {
+    let p = daas_bench::standard_pipeline();
+    println!("{}", daas_cli::render_fig7(&p));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the §7.2 primary-contract lifecycle comparison.
+
+fn main() {
+    let (_, scale) = daas_bench::env_config();
+    let p = daas_bench::standard_pipeline();
+    let min_txs = ((100.0 * scale) as usize).max(5);
+    println!("{}", daas_cli::render_lifecycles(&p, min_txs));
+}

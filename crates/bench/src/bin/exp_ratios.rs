@@ -1,0 +1,6 @@
+//! Regenerates the §4.3 profit-sharing ratio histogram.
+
+fn main() {
+    let p = daas_bench::standard_pipeline();
+    println!("{}", daas_cli::render_ratios(&p));
+}

@@ -1,0 +1,7 @@
+//! Regenerates the §6 scale statistics (victims, operators, affiliates).
+
+fn main() {
+    let (_, scale) = daas_bench::env_config();
+    let p = daas_bench::standard_pipeline();
+    println!("{}", daas_cli::render_scale_stats(&p, scale));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 2: the nine-family overview.
+
+fn main() {
+    let (_, scale) = daas_bench::env_config();
+    let p = daas_bench::standard_pipeline();
+    println!("{}", daas_cli::render_table2(&p, scale));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 3: phishing functions of the dominant families.
+
+fn main() {
+    let p = daas_bench::standard_pipeline();
+    println!("{}", daas_cli::render_table3(&p));
+}

@@ -1,0 +1,7 @@
+//! Regenerates the monthly activity timeline (victims / profit-sharing
+//! transactions / USD stolen per calendar month).
+
+fn main() {
+    let p = daas_bench::standard_pipeline();
+    println!("{}", daas_cli::render_timeline(&p));
+}

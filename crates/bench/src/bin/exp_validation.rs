@@ -1,0 +1,8 @@
+//! Regenerates the §5.2 validation: precision/recall against ground
+//! truth plus the manual-review sampling plan.
+
+fn main() {
+    let (_, scale) = daas_bench::env_config();
+    let p = daas_bench::standard_pipeline();
+    println!("{}", daas_cli::render_validation(&p, scale));
+}

@@ -1,0 +1,23 @@
+//! Shared scaffolding for benches and experiment harnesses: seed/scale
+//! parsing from the environment so every `exp_*` binary behaves the
+//! same.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Reads `DAAS_SEED` (default 42) and `DAAS_SCALE` (default 1.0 — the
+/// paper's scale) from the environment.
+pub fn env_config() -> (u64, f64) {
+    let seed = std::env::var("DAAS_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42);
+    let scale = std::env::var("DAAS_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0);
+    (seed, scale)
+}
+
+/// Builds the standard pipeline at the env-configured seed/scale.
+pub fn standard_pipeline() -> daas_cli::Pipeline {
+    let (seed, scale) = env_config();
+    let config = daas_world::WorldConfig { scale, ..daas_world::WorldConfig::paper_scale(seed) };
+    eprintln!("[exp] seed {seed}, scale {scale}");
+    daas_cli::run_pipeline(&config, &daas_detector::SnowballConfig::default())
+        .expect("pipeline builds")
+}

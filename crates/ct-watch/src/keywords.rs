@@ -1,0 +1,103 @@
+//! The curated suspicious-keyword list.
+//!
+//! The paper extracts domains containing one of "a list of 63 words that
+//! we curated ourselves, such as 'claim', 'airdrop', or 'mint'" (§8.2).
+//! The exact list was not published; this reconstruction covers the
+//! vocabulary drainer landing pages use — claim/airdrop verbs, DeFi
+//! project names commonly cloned, and campaign nouns — and is exactly 63
+//! entries long to match the paper's parameterisation.
+
+/// 63 lowercase keywords. Order is alphabetical for reproducibility.
+pub const SUSPICIOUS_KEYWORDS: [&str; 63] = [
+    "airdrop",
+    "allocation",
+    "apecoin",
+    "arbitrum",
+    "azuki",
+    "blast",
+    "blur",
+    "bonus",
+    "bridge",
+    "celestia",
+    "claim",
+    "claims",
+    "compensation",
+    "connect",
+    "dashboard",
+    "defi",
+    "eigenlayer",
+    "eligibility",
+    "eligible",
+    "ethereum",
+    "event",
+    "farm",
+    "free",
+    "giveaway",
+    "launch",
+    "layerzero",
+    "linea",
+    "metamask",
+    "migrate",
+    "migration",
+    "mint",
+    "mintable",
+    "opensea",
+    "optimism",
+    "pancake",
+    "pepe",
+    "portal",
+    "presale",
+    "prize",
+    "redeem",
+    "refund",
+    "registration",
+    "restake",
+    "reward",
+    "rewards",
+    "seadrop",
+    "snapshot",
+    "stake",
+    "staking",
+    "starknet",
+    "swap",
+    "token",
+    "uniswap",
+    "unlock",
+    "upgrade",
+    "vesting",
+    "voucher",
+    "wallet",
+    "whitelist",
+    "win",
+    "yield",
+    "zksync",
+    "zora",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_63_keywords() {
+        assert_eq!(SUSPICIOUS_KEYWORDS.len(), 63);
+    }
+
+    #[test]
+    fn sorted_unique_lowercase() {
+        for w in SUSPICIOUS_KEYWORDS.windows(2) {
+            assert!(w[0] < w[1], "not sorted/unique: {} vs {}", w[0], w[1]);
+        }
+        for k in SUSPICIOUS_KEYWORDS {
+            assert_eq!(k, k.to_lowercase());
+            assert!(!k.is_empty());
+        }
+    }
+
+    #[test]
+    fn contains_the_papers_examples() {
+        for k in ["claim", "airdrop", "mint"] {
+            assert!(SUSPICIOUS_KEYWORDS.contains(&k));
+        }
+    }
+}

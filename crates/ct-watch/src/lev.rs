@@ -1,0 +1,153 @@
+//! Levenshtein edit distance and the similarity ratio used for fuzzy
+//! keyword matching.
+
+/// Classic Levenshtein distance (insertions, deletions, substitutions all
+/// cost 1), two-row dynamic programming, O(|a|·|b|) time, O(min) space.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    // Keep the shorter string in the inner dimension.
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Optimal-string-alignment Damerau–Levenshtein distance: like
+/// [`levenshtein`] but adjacent transpositions cost 1 instead of 2, so
+/// `airdorp` sits one edit from `airdrop`. Extension over the paper's
+/// plain-Levenshtein triage; enabled via
+/// [`crate::DomainTriage::with_transpositions`].
+pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // Three-row dynamic programming (needs i-2 for transpositions).
+    let mut prev2: Vec<usize> = vec![0; b.len() + 1];
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for i in 0..a.len() {
+        cur[0] = i + 1;
+        for j in 0..b.len() {
+            let cost = usize::from(a[i] != b[j]);
+            let mut best = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+            if i > 0 && j > 0 && a[i] == b[j - 1] && a[i - 1] == b[j] {
+                best = best.min(prev2[j - 1] + 1);
+            }
+            cur[j + 1] = best;
+        }
+        std::mem::swap(&mut prev2, &mut prev);
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Levenshtein similarity ratio in `[0, 1]`: `1 - dist / max_len`.
+/// Two empty strings are identical (ratio 1).
+pub fn similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Damerau similarity ratio in `[0, 1]` (transpositions cost 1).
+pub fn damerau_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - damerau_levenshtein(a, b) as f64 / max_len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_distances() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn typo_variants_stay_above_threshold() {
+        // The look-alikes the paper's 0.8 threshold is meant to catch.
+        assert!(similarity("claim", "cla1m") >= 0.8);
+        assert!(similarity("airdrop", "a1rdrop") >= 0.8);
+        // A transposition costs 2 in plain Levenshtein, so "airdorp"
+        // lands at 5/7 ≈ 0.71 — below the paper's threshold. (A
+        // Damerau variant would catch it; noted as an extension.)
+        assert!(similarity("airdrop", "airdorp") < 0.8);
+        // And unrelated words stay below it.
+        assert!(similarity("claim", "banana") < 0.8);
+        assert!(similarity("mint", "main") < 0.8);
+    }
+
+    #[test]
+    fn damerau_counts_transpositions_as_one() {
+        assert_eq!(damerau_levenshtein("airdrop", "airdorp"), 1);
+        assert_eq!(damerau_levenshtein("claim", "calim"), 1);
+        // And matches plain Levenshtein when no transpositions help.
+        assert_eq!(damerau_levenshtein("kitten", "sitting"), 3);
+        assert_eq!(damerau_levenshtein("", "abc"), 3);
+        assert_eq!(damerau_levenshtein("abc", ""), 3);
+        // The transposed typo now clears the paper's 0.8 bar.
+        assert!(damerau_similarity("airdrop", "airdorp") >= 0.8);
+    }
+
+    #[test]
+    fn damerau_never_exceeds_levenshtein() {
+        for (a, b) in [
+            ("claim", "calim"),
+            ("airdrop", "airdorp"),
+            ("mint", "tinm"),
+            ("stake", "steak"),
+            ("", "x"),
+        ] {
+            assert!(damerau_levenshtein(a, b) <= levenshtein(a, b), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn similarity_bounds() {
+        assert_eq!(similarity("", ""), 1.0);
+        assert_eq!(similarity("abc", "abc"), 1.0);
+        assert_eq!(similarity("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        for (a, b) in [("claim", "cla1m"), ("airdrop", "drop"), ("", "mint")] {
+            assert_eq!(levenshtein(a, b), levenshtein(b, a));
+        }
+    }
+
+    #[test]
+    fn unicode_chars_counted_not_bytes() {
+        // "clаim" with a Cyrillic 'а' is one substitution away.
+        assert_eq!(levenshtein("claim", "cl\u{0430}im"), 1);
+        assert!(similarity("claim", "cl\u{0430}im") >= 0.8);
+    }
+}

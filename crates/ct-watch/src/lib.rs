@@ -1,0 +1,25 @@
+//! Certificate Transparency watching and suspicious-domain triage.
+//!
+//! Step 1 of the paper's toolkit-based phishing-website detection (§8.2):
+//! watch newly issued X.509 certificates (via Certificate Transparency
+//! logs) and extract domains that contain one of 63 curated suspicious
+//! keywords, or a token within Levenshtein similarity ≥ 0.8 of one —
+//! catching look-alike spellings such as `cla1m` or `a1rdrop`.
+//!
+//! The real system tails Google's CT log stream; here [`CtStream`] is a
+//! poll-based reader over a pre-recorded, time-ordered certificate list
+//! (the workspace's event-driven substitute — same consumption pattern,
+//! no network).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod keywords;
+mod lev;
+mod stream;
+mod triage;
+
+pub use keywords::SUSPICIOUS_KEYWORDS;
+pub use lev::{damerau_levenshtein, damerau_similarity, levenshtein, similarity};
+pub use stream::{CertRecord, CtStream};
+pub use triage::{DomainTriage, MatchKind, TriageHit};

@@ -1,0 +1,121 @@
+//! A poll-based reader over a recorded Certificate Transparency log.
+
+use serde::{Deserialize, Serialize};
+
+/// One issued certificate, reduced to what the triage consumes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CertRecord {
+    /// The leaf domain the certificate covers (first SAN).
+    pub domain: String,
+    /// Issuance time (unix seconds).
+    pub issued_at: u64,
+}
+
+/// A cursor over a time-ordered certificate list.
+///
+/// Mirrors how the real pipeline tails a CT log: the caller polls with a
+/// watermark timestamp and receives every record issued up to it exactly
+/// once. Poll-based rather than callback-based, per the workspace's
+/// event-driven style.
+#[derive(Debug, Clone)]
+pub struct CtStream {
+    records: Vec<CertRecord>,
+    cursor: usize,
+}
+
+impl CtStream {
+    /// Creates a stream over `records`. Records must be sorted by
+    /// `issued_at`; this is validated eagerly so misuse fails fast.
+    ///
+    /// # Panics
+    /// Panics if the records are not time-ordered.
+    pub fn new(records: Vec<CertRecord>) -> Self {
+        assert!(
+            records.windows(2).all(|w| w[0].issued_at <= w[1].issued_at),
+            "CtStream records must be sorted by issuance time"
+        );
+        CtStream { records, cursor: 0 }
+    }
+
+    /// Returns all records with `issued_at <= watermark` not yet
+    /// consumed, advancing the cursor past them.
+    pub fn poll_until(&mut self, watermark: u64) -> &[CertRecord] {
+        let start = self.cursor;
+        let remaining = &self.records[start..];
+        let n = remaining.partition_point(|r| r.issued_at <= watermark);
+        self.cursor = start + n;
+        &self.records[start..self.cursor]
+    }
+
+    /// Drains everything that remains.
+    pub fn poll_rest(&mut self) -> &[CertRecord] {
+        let start = self.cursor;
+        self.cursor = self.records.len();
+        &self.records[start..]
+    }
+
+    /// Records not yet consumed.
+    pub fn pending(&self) -> usize {
+        self.records.len() - self.cursor
+    }
+
+    /// Total records in the log.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if the log holds no records at all.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cert(domain: &str, ts: u64) -> CertRecord {
+        CertRecord { domain: domain.to_owned(), issued_at: ts }
+    }
+
+    #[test]
+    fn polls_in_batches_exactly_once() {
+        let mut s = CtStream::new(vec![
+            cert("a.com", 10),
+            cert("b.com", 20),
+            cert("c.com", 20),
+            cert("d.com", 30),
+        ]);
+        assert_eq!(s.pending(), 4);
+        let batch = s.poll_until(20);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[0].domain, "a.com");
+        // Re-polling the same watermark yields nothing.
+        assert!(s.poll_until(20).is_empty());
+        assert_eq!(s.poll_until(100).len(), 1);
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn poll_rest_drains() {
+        let mut s = CtStream::new(vec![cert("a.com", 1), cert("b.com", 2)]);
+        s.poll_until(1);
+        let rest = s.poll_rest();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].domain, "b.com");
+        assert!(s.poll_rest().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn rejects_unsorted() {
+        let _ = CtStream::new(vec![cert("a.com", 5), cert("b.com", 1)]);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let mut s = CtStream::new(vec![]);
+        assert!(s.is_empty());
+        assert!(s.poll_until(u64::MAX).is_empty());
+    }
+}

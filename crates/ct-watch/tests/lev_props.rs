@@ -1,0 +1,78 @@
+//! Property-based tests: Levenshtein is a metric, similarity is bounded,
+//! and triage is deterministic and case-insensitive.
+
+use ct_watch::{levenshtein, similarity, DomainTriage};
+use proptest::prelude::*;
+
+fn arb_word() -> impl Strategy<Value = String> {
+    "[a-z0-9]{0,12}"
+}
+
+proptest! {
+    #[test]
+    fn identity_and_positivity(a in arb_word(), b in arb_word()) {
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        if a != b {
+            prop_assert!(levenshtein(&a, &b) > 0);
+        }
+    }
+
+    #[test]
+    fn symmetry(a in arb_word(), b in arb_word()) {
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+    }
+
+    #[test]
+    fn triangle_inequality(a in arb_word(), b in arb_word(), c in arb_word()) {
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    }
+
+    #[test]
+    fn distance_bounds(a in arb_word(), b in arb_word()) {
+        let d = levenshtein(&a, &b);
+        let (la, lb) = (a.chars().count(), b.chars().count());
+        prop_assert!(d >= la.abs_diff(lb), "lower bound violated");
+        prop_assert!(d <= la.max(lb), "upper bound violated");
+    }
+
+    #[test]
+    fn single_edit_is_distance_one(a in "[a-z]{1,10}", idx in 0usize..10, ch in b'a'..=b'z') {
+        // Substituting one character changes distance by at most 1.
+        let chars: Vec<char> = a.chars().collect();
+        let idx = idx % chars.len();
+        let mut mutated = chars.clone();
+        mutated[idx] = ch as char;
+        let mutated: String = mutated.into_iter().collect();
+        prop_assert!(levenshtein(&a, &mutated) <= 1);
+    }
+
+    #[test]
+    fn similarity_bounded_and_consistent(a in arb_word(), b in arb_word()) {
+        let s = similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert!((s - similarity(&b, &a)).abs() < 1e-12);
+        if a == b {
+            prop_assert_eq!(s, 1.0);
+        }
+    }
+
+    #[test]
+    fn triage_deterministic_and_case_insensitive(stem in "[a-zA-Z0-9-]{1,20}", tld in "(com|dev|xyz)") {
+        let triage = DomainTriage::default();
+        let domain = format!("{stem}.{tld}");
+        let a = triage.assess(&domain);
+        let b = triage.assess(&domain);
+        prop_assert_eq!(a.clone().map(|h| h.keyword), b.map(|h| h.keyword));
+        let upper = domain.to_uppercase();
+        let c = triage.assess(&upper);
+        prop_assert_eq!(a.map(|h| h.keyword), c.map(|h| h.keyword));
+    }
+
+    #[test]
+    fn exact_keyword_always_triages(kw_idx in 0usize..63, pad in "[a-z]{2,8}") {
+        let kw = ct_watch::SUSPICIOUS_KEYWORDS[kw_idx];
+        let triage = DomainTriage::default();
+        let domain = format!("{pad}-{kw}.com");
+        prop_assert!(triage.assess(&domain).is_some(), "missed {domain}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Account kinds and the behavioural specs of simulated contracts.
+
+use eth_types::{keccak256, Address};
+use serde::{Deserialize, Serialize};
+
+use crate::asset::TokenKind;
+
+/// How a profit-sharing contract receives ETH from victims.
+///
+/// This is the observable that reproduces Table 3 of the paper: Angel
+/// Drainer uses a payable function named `Claim`, Inferno Drainer a
+/// payable fallback, Pink Drainer a payable function named
+/// `Network Merge` — all of them a `multicall` for ERC-20/NFT loot.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EntryStyle {
+    /// A named payable function, e.g. `Claim(address)` or
+    /// `claimRewards(address)`.
+    NamedPayable(String),
+    /// The payable fallback function (no selector, no name).
+    PayableFallback,
+}
+
+impl EntryStyle {
+    /// The 4-byte selector of the entry point, if it has one.
+    ///
+    /// Computed exactly as Solidity does: the first four bytes of the
+    /// Keccak-256 of `name(address)` (the affiliate parameter is how the
+    /// drainer routes profits, cf. Listing 1).
+    pub fn selector(&self) -> Option<[u8; 4]> {
+        match self {
+            EntryStyle::NamedPayable(name) => {
+                let sig = format!("{}(address)", name.replace(' ', ""));
+                let h = keccak256(sig.as_bytes());
+                Some([h.0[0], h.0[1], h.0[2], h.0[3]])
+            }
+            EntryStyle::PayableFallback => None,
+        }
+    }
+
+    /// Human-readable function description, for Table 3 style output.
+    pub fn describe(&self) -> String {
+        match self {
+            EntryStyle::NamedPayable(name) => format!("a payable function named {name}"),
+            EntryStyle::PayableFallback => "a payable fallback function".to_owned(),
+        }
+    }
+}
+
+/// Behavioural spec of a profit-sharing (drainer) contract.
+///
+/// Simplified semantics of Listing 3: the entry point splits incoming ETH
+/// between a hard-coded operator account and a caller-supplied affiliate
+/// account; `multicall` lets the drainer backend sweep approved ERC-20
+/// tokens and NFTs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfitSharingSpec {
+    /// The operator account profits are routed to (set at deployment).
+    pub operator: Address,
+    /// Operator share in basis points (e.g. 2000 = 20%). The affiliate
+    /// receives `10_000 - operator_bps`, minus integer-division dust that
+    /// stays in the contract.
+    pub operator_bps: u32,
+    /// How victims' ETH enters the contract.
+    pub entry: EntryStyle,
+}
+
+/// What a contract account is.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ContractKind {
+    /// A drainer profit-sharing contract.
+    ProfitSharing(ProfitSharingSpec),
+    /// A token contract.
+    Token(TokenKind),
+    /// An NFT marketplace (Blur/OpenSea stand-in): buys NFTs for ETH.
+    Marketplace,
+    /// A mixing/bridging service (Tornado-style sink for laundering).
+    Mixer,
+    /// A decentralised exchange pair (benign multi-transfer traffic).
+    Dex,
+    /// Any other benign contract (airdroppers, payment splitters, …).
+    Benign,
+}
+
+/// The two Ethereum account types (paper §2.1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccountKind {
+    /// Externally owned account.
+    Eoa,
+    /// Contract account, with its behavioural kind.
+    Contract(ContractKind),
+}
+
+impl AccountKind {
+    /// `true` if this is a contract account.
+    pub fn is_contract(&self) -> bool {
+        matches!(self, AccountKind::Contract(_))
+    }
+
+    /// Returns the profit-sharing spec if this is a drainer contract.
+    pub fn profit_sharing(&self) -> Option<&ProfitSharingSpec> {
+        match self {
+            AccountKind::Contract(ContractKind::ProfitSharing(spec)) => Some(spec),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selector_matches_solidity() {
+        // claimRewards(address) — verify the 4-byte selector is stable and
+        // derived from the keccak of the canonical signature.
+        let style = EntryStyle::NamedPayable("claimRewards".into());
+        let expect = &keccak256(b"claimRewards(address)").0[..4];
+        assert_eq!(style.selector().unwrap(), expect);
+    }
+
+    #[test]
+    fn selector_strips_spaces() {
+        // "Network Merge" (Pink Drainer) canonicalises to NetworkMerge(address).
+        let style = EntryStyle::NamedPayable("Network Merge".into());
+        let expect = &keccak256(b"NetworkMerge(address)").0[..4];
+        assert_eq!(style.selector().unwrap(), expect);
+    }
+
+    #[test]
+    fn fallback_has_no_selector() {
+        assert_eq!(EntryStyle::PayableFallback.selector(), None);
+    }
+
+    #[test]
+    fn describe_matches_table3_wording() {
+        assert_eq!(
+            EntryStyle::NamedPayable("Claim".into()).describe(),
+            "a payable function named Claim"
+        );
+        assert_eq!(
+            EntryStyle::PayableFallback.describe(),
+            "a payable fallback function"
+        );
+    }
+
+    #[test]
+    fn kind_accessors() {
+        let spec = ProfitSharingSpec {
+            operator: Address::ZERO,
+            operator_bps: 2000,
+            entry: EntryStyle::PayableFallback,
+        };
+        let kind = AccountKind::Contract(ContractKind::ProfitSharing(spec.clone()));
+        assert!(kind.is_contract());
+        assert_eq!(kind.profit_sharing(), Some(&spec));
+        assert!(!AccountKind::Eoa.is_contract());
+        assert_eq!(AccountKind::Eoa.profit_sharing(), None);
+    }
+}

@@ -1,0 +1,82 @@
+//! Asset identifiers and token metadata.
+
+use eth_types::Address;
+use serde::{Deserialize, Serialize};
+
+/// What kind of token standard a contract implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TokenKind {
+    /// Fungible token (ERC-20).
+    Erc20,
+    /// Non-fungible token (ERC-721).
+    Erc721,
+}
+
+/// Metadata for a registered token contract.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenMeta {
+    /// Ticker symbol, e.g. `"USDC"` or `"AZUKI"`.
+    pub symbol: String,
+    /// Decimal places (ERC-20 only; 0 for NFTs).
+    pub decimals: u8,
+    /// Token standard.
+    pub kind: TokenKind,
+}
+
+/// An asset moved by a [`crate::Transfer`].
+///
+/// The detector's ratio check only applies to fungible assets (ETH and
+/// ERC-20); NFT transfers are indivisible, which is why drainers route
+/// them through marketplaces before splitting (paper §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Asset {
+    /// The native token.
+    Eth,
+    /// A fungible token, identified by its contract.
+    Erc20(Address),
+    /// A single NFT, identified by contract and token id.
+    Erc721 {
+        /// Collection contract.
+        token: Address,
+        /// Token id within the collection.
+        id: u64,
+    },
+}
+
+impl Asset {
+    /// `true` for ETH and ERC-20 — assets a fixed-ratio split applies to.
+    pub fn is_fungible(&self) -> bool {
+        !matches!(self, Asset::Erc721 { .. })
+    }
+
+    /// The fungible "class" of the asset: NFTs collapse onto their
+    /// collection so transfers of two different ids compare equal at the
+    /// contract level.
+    pub fn contract(&self) -> Option<Address> {
+        match self {
+            Asset::Eth => None,
+            Asset::Erc20(a) => Some(*a),
+            Asset::Erc721 { token, .. } => Some(*token),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fungibility() {
+        assert!(Asset::Eth.is_fungible());
+        assert!(Asset::Erc20(Address::ZERO).is_fungible());
+        assert!(!Asset::Erc721 { token: Address::ZERO, id: 1 }.is_fungible());
+    }
+
+    #[test]
+    fn contract_of() {
+        let t = Address::from_key_seed(b"tok");
+        assert_eq!(Asset::Eth.contract(), None);
+        assert_eq!(Asset::Erc20(t).contract(), Some(t));
+        assert_eq!(Asset::Erc721 { token: t, id: 7 }.contract(), Some(t));
+    }
+}

@@ -1,0 +1,101 @@
+//! Ledger error type.
+
+use core::fmt;
+
+use eth_types::{Address, U256};
+
+use crate::asset::Asset;
+
+/// Errors returned by [`crate::Chain`] execution and queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainError {
+    /// The account does not exist on the ledger.
+    UnknownAccount(Address),
+    /// The address is not a contract of the expected kind.
+    NotAContract(Address),
+    /// The address is not a registered token contract.
+    UnknownToken(Address),
+    /// The NFT (token, id) does not exist.
+    UnknownNft {
+        /// Collection contract.
+        token: Address,
+        /// Token id within the collection.
+        id: u64,
+    },
+    /// Insufficient balance to execute a transfer.
+    InsufficientBalance {
+        /// Account whose balance was too low.
+        account: Address,
+        /// Asset being moved.
+        asset: Asset,
+        /// Balance the account actually holds.
+        have: U256,
+        /// Amount the transfer required.
+        need: U256,
+    },
+    /// `transferFrom` exceeded the spender's allowance.
+    InsufficientAllowance {
+        /// Token contract.
+        token: Address,
+        /// Token owner.
+        owner: Address,
+        /// Account spending the allowance.
+        spender: Address,
+        /// Current allowance.
+        have: U256,
+        /// Amount required.
+        need: U256,
+    },
+    /// The caller is not the owner or an approved operator of the NFT.
+    NotNftOwner {
+        /// Collection contract.
+        token: Address,
+        /// Token id.
+        id: u64,
+        /// Account that attempted the transfer.
+        caller: Address,
+    },
+    /// The target contract is not a profit-sharing contract.
+    NotProfitSharing(Address),
+    /// Attempted to register an account that already exists.
+    AccountExists(Address),
+    /// Timestamps must be monotonically non-decreasing.
+    TimeWentBackwards {
+        /// Current chain time.
+        now: u64,
+        /// Requested (earlier) time.
+        requested: u64,
+    },
+    /// A split ratio in basis points must be in `1..=9999`.
+    InvalidBps(u32),
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::UnknownAccount(a) => write!(f, "unknown account {a}"),
+            ChainError::NotAContract(a) => write!(f, "{a} is not a contract"),
+            ChainError::UnknownToken(a) => write!(f, "{a} is not a registered token"),
+            ChainError::UnknownNft { token, id } => write!(f, "NFT {token}#{id} does not exist"),
+            ChainError::InsufficientBalance { account, asset, have, need } => write!(
+                f,
+                "insufficient balance: {account} holds {have} of {asset:?}, needs {need}"
+            ),
+            ChainError::InsufficientAllowance { token, owner, spender, have, need } => write!(
+                f,
+                "insufficient allowance on {token}: {spender} may spend {have} of {owner}'s tokens, needs {need}"
+            ),
+            ChainError::NotNftOwner { token, id, caller } => {
+                write!(f, "{caller} does not own or operate NFT {token}#{id}")
+            }
+            ChainError::NotProfitSharing(a) => write!(f, "{a} is not a profit-sharing contract"),
+            ChainError::AccountExists(a) => write!(f, "account {a} already exists"),
+            ChainError::TimeWentBackwards { now, requested } => {
+                write!(f, "time went backwards: now {now}, requested {requested}")
+            }
+            ChainError::InvalidBps(bps) => write!(f, "invalid basis points {bps} (must be 1..=9999)"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}

@@ -1,0 +1,223 @@
+//! Explorer-style address labels.
+//!
+//! The paper's pipeline bootstraps from *four* public label sources
+//! (Chainabuse reports, Etherscan labels, and two academic datasets,
+//! §5.1 step 1) and later measures how many DaaS accounts carry an
+//! explorer label at all (10.8%, §8.1). [`LabelStore`] models that:
+//! labels are `(address, source, category, text)` facts that accumulate
+//! over time.
+
+use std::collections::HashMap;
+
+use eth_types::Address;
+use serde::{Deserialize, Serialize};
+
+/// Where a label came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LabelSource {
+    /// Etherscan address labels (`Fake_Phishing…`).
+    Etherscan,
+    /// Chainabuse incident reports.
+    Chainabuse,
+    /// A released academic phishing dataset (e.g. TxPhishScope).
+    AcademicDatasetA,
+    /// A second released dataset (e.g. the ScamSniffer database).
+    AcademicDatasetB,
+    /// Labels produced by this pipeline itself (what we report back,
+    /// §8.1). Kept distinct so "pre-existing coverage" stats exclude it.
+    DaasLab,
+}
+
+impl LabelSource {
+    /// The four *public* seed sources, in the paper's order.
+    pub const PUBLIC: [LabelSource; 4] = [
+        LabelSource::Etherscan,
+        LabelSource::Chainabuse,
+        LabelSource::AcademicDatasetA,
+        LabelSource::AcademicDatasetB,
+    ];
+}
+
+/// Label semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LabelCategory {
+    /// Reported as a phishing address.
+    Phishing,
+    /// A named drainer family label (e.g. "Inferno Drainer").
+    DrainerFamily,
+    /// An exchange, service, or other benign entity.
+    Benign,
+}
+
+/// One label fact.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Label {
+    /// Labeled address.
+    pub address: Address,
+    /// Source that published the label.
+    pub source: LabelSource,
+    /// Category of the label.
+    pub category: LabelCategory,
+    /// Free text, e.g. `"Fake_Phishing66332"` or `"Inferno Drainer"`.
+    pub text: String,
+}
+
+/// An in-memory multi-source label database.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LabelStore {
+    by_address: HashMap<Address, Vec<Label>>,
+    count: usize,
+}
+
+impl LabelStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a label.
+    pub fn add(&mut self, label: Label) {
+        self.by_address.entry(label.address).or_default().push(label);
+        self.count += 1;
+    }
+
+    /// Convenience: add a phishing label.
+    pub fn add_phishing(&mut self, address: Address, source: LabelSource, text: &str) {
+        self.add(Label { address, source, category: LabelCategory::Phishing, text: text.to_owned() });
+    }
+
+    /// All labels on an address.
+    pub fn labels_of(&self, address: Address) -> &[Label] {
+        self.by_address.get(&address).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// `true` if any source has labeled the address with the category.
+    pub fn has_category(&self, address: Address, category: LabelCategory) -> bool {
+        self.labels_of(address).iter().any(|l| l.category == category)
+    }
+
+    /// `true` if the address carries a phishing or drainer-family label
+    /// from any of the four public sources (i.e. excludes our own
+    /// reports) — the §8.1 "already labeled" notion.
+    pub fn publicly_flagged(&self, address: Address) -> bool {
+        self.labels_of(address).iter().any(|l| {
+            l.source != LabelSource::DaasLab
+                && matches!(l.category, LabelCategory::Phishing | LabelCategory::DrainerFamily)
+        })
+    }
+
+    /// The drainer family name attached to an address, if any (used for
+    /// family naming, §7.1).
+    pub fn family_name(&self, address: Address) -> Option<&str> {
+        self.labels_of(address)
+            .iter()
+            .find(|l| l.category == LabelCategory::DrainerFamily)
+            .map(|l| l.text.as_str())
+    }
+
+    /// All addresses flagged as phishing by the given source.
+    pub fn phishing_addresses(&self, source: LabelSource) -> Vec<Address> {
+        let mut out: Vec<Address> = self
+            .by_address
+            .iter()
+            .filter(|(_, ls)| {
+                ls.iter().any(|l| {
+                    l.source == source
+                        && matches!(l.category, LabelCategory::Phishing | LabelCategory::DrainerFamily)
+                })
+            })
+            .map(|(a, _)| *a)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Every labeled address.
+    pub fn addresses(&self) -> impl Iterator<Item = Address> + '_ {
+        self.by_address.keys().copied()
+    }
+
+    /// Total number of label facts (not unique addresses).
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// `true` if no labels have been added.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(n: u8) -> Address {
+        Address::from_key_seed(&[n])
+    }
+
+    #[test]
+    fn add_and_query() {
+        let mut store = LabelStore::new();
+        store.add_phishing(addr(1), LabelSource::Etherscan, "Fake_Phishing1");
+        assert_eq!(store.len(), 1);
+        assert!(!store.is_empty());
+        assert_eq!(store.labels_of(addr(1)).len(), 1);
+        assert!(store.labels_of(addr(2)).is_empty());
+        assert!(store.has_category(addr(1), LabelCategory::Phishing));
+        assert!(!store.has_category(addr(1), LabelCategory::Benign));
+    }
+
+    #[test]
+    fn publicly_flagged_excludes_own_reports() {
+        let mut store = LabelStore::new();
+        store.add_phishing(addr(1), LabelSource::DaasLab, "our report");
+        assert!(!store.publicly_flagged(addr(1)));
+        store.add_phishing(addr(1), LabelSource::Chainabuse, "reported");
+        assert!(store.publicly_flagged(addr(1)));
+    }
+
+    #[test]
+    fn family_name_lookup() {
+        let mut store = LabelStore::new();
+        store.add(Label {
+            address: addr(3),
+            source: LabelSource::Etherscan,
+            category: LabelCategory::DrainerFamily,
+            text: "Inferno Drainer".into(),
+        });
+        assert_eq!(store.family_name(addr(3)), Some("Inferno Drainer"));
+        assert_eq!(store.family_name(addr(4)), None);
+    }
+
+    #[test]
+    fn per_source_listing() {
+        let mut store = LabelStore::new();
+        store.add_phishing(addr(1), LabelSource::Etherscan, "a");
+        store.add_phishing(addr(2), LabelSource::Chainabuse, "b");
+        store.add(Label {
+            address: addr(5),
+            source: LabelSource::Etherscan,
+            category: LabelCategory::Benign,
+            text: "Binance".into(),
+        });
+        let ether = store.phishing_addresses(LabelSource::Etherscan);
+        assert_eq!(ether, vec![addr(1)].into_iter().collect::<Vec<_>>());
+        assert_eq!(store.phishing_addresses(LabelSource::Chainabuse), vec![addr(2)]);
+        // Benign labels are not phishing.
+        assert!(!ether.contains(&addr(5)));
+    }
+
+    #[test]
+    fn drainer_family_counts_as_flagged() {
+        let mut store = LabelStore::new();
+        store.add(Label {
+            address: addr(7),
+            source: LabelSource::Etherscan,
+            category: LabelCategory::DrainerFamily,
+            text: "Angel Drainer".into(),
+        });
+        assert!(store.publicly_flagged(addr(7)));
+        assert_eq!(store.phishing_addresses(LabelSource::Etherscan), vec![addr(7)]);
+    }
+}

@@ -1,0 +1,191 @@
+//! Transactions and their observable fund flows.
+
+use eth_types::{Address, H256, U256};
+use serde::{Deserialize, Serialize};
+
+use crate::asset::Asset;
+use crate::block::{BlockNumber, Timestamp};
+
+/// Index of a transaction on the chain (dense, append-only).
+pub type TxId = u32;
+
+/// A single value movement observed inside a transaction — the unit the
+/// profit-sharing classifier reasons over ("the fund flow consists of two
+/// transfers", paper §5.1 step 2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transfer {
+    /// Asset being moved.
+    pub asset: Asset,
+    /// Source of the funds.
+    pub from: Address,
+    /// Destination of the funds.
+    pub to: Address,
+    /// Amount in the asset's smallest unit (1 for an NFT).
+    pub amount: U256,
+}
+
+/// An approval granted inside a transaction (ERC-20 `approve` /
+/// ERC-721 `setApprovalForAll`). Tracked because §6.1 measures victims
+/// who never revoke approvals to profit-sharing contracts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Approval {
+    /// Token contract the approval is on.
+    pub token: Address,
+    /// Account granting the approval.
+    pub owner: Address,
+    /// Account receiving spending rights.
+    pub spender: Address,
+    /// Approved amount (`U256::MAX` for unlimited, 0 for a revocation).
+    pub amount: U256,
+}
+
+/// Metadata about the outermost call of a transaction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CallInfo {
+    /// 4-byte function selector, if the call had data (`None` for plain
+    /// value transfers and fallback invocations).
+    pub selector: Option<[u8; 4]>,
+    /// Human-readable function name when the ABI is known (the simulator
+    /// always knows; a real pipeline would recover this from a signature
+    /// database or decompiler, cf. §7.2 "Dedaub").
+    pub function: Option<String>,
+}
+
+impl CallInfo {
+    /// A plain value transfer or fallback invocation.
+    pub fn plain() -> Self {
+        CallInfo { selector: None, function: None }
+    }
+
+    /// A named function call.
+    pub fn named(selector: Option<[u8; 4]>, function: &str) -> Self {
+        CallInfo { selector, function: Some(function.to_owned()) }
+    }
+}
+
+/// A confirmed transaction and its trace, as an explorer would expose it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transaction {
+    /// Dense chain-local id.
+    pub id: TxId,
+    /// Transaction hash.
+    pub hash: H256,
+    /// Block containing the transaction.
+    pub block: BlockNumber,
+    /// Timestamp of that block.
+    pub timestamp: Timestamp,
+    /// EOA that signed and sent the transaction.
+    pub from: Address,
+    /// Outermost call target (`None` only for contract creations).
+    pub to: Option<Address>,
+    /// ETH value attached to the outermost call.
+    pub value: U256,
+    /// Outermost call metadata.
+    pub call: CallInfo,
+    /// Every value movement in the trace, in execution order. Includes
+    /// the outer ETH transfer (if `value > 0`) and all internal transfers.
+    pub transfers: Vec<Transfer>,
+    /// Approvals granted or revoked in this transaction.
+    pub approvals: Vec<Approval>,
+    /// Address of the contract created by this transaction, if any.
+    pub created: Option<Address>,
+}
+
+impl Transaction {
+    /// Transfers excluding the outer victim→contract deposit: the
+    /// *outgoing* fund flow a profit-sharing classifier inspects. Keyed on
+    /// `from == source`.
+    pub fn transfers_from(&self, source: Address) -> impl Iterator<Item = &Transfer> {
+        self.transfers.iter().filter(move |t| t.from == source)
+    }
+
+    /// Every address that appears in this transaction (sender, target,
+    /// transfer endpoints, approval parties, created contract).
+    pub fn touched_addresses(&self) -> Vec<Address> {
+        let mut out = Vec::with_capacity(2 + self.transfers.len() * 2);
+        out.push(self.from);
+        if let Some(to) = self.to {
+            out.push(to);
+        }
+        for t in &self.transfers {
+            out.push(t.from);
+            out.push(t.to);
+            if let Some(token) = t.asset.contract() {
+                out.push(token);
+            }
+        }
+        for a in &self.approvals {
+            out.push(a.owner);
+            out.push(a.spender);
+            out.push(a.token);
+        }
+        if let Some(c) = self.created {
+            out.push(c);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(n: u8) -> Address {
+        Address::from_key_seed(&[n])
+    }
+
+    fn mk_tx() -> Transaction {
+        Transaction {
+            id: 0,
+            hash: H256::ZERO,
+            block: 1,
+            timestamp: 12,
+            from: addr(1),
+            to: Some(addr(2)),
+            value: U256::from_u64(100),
+            call: CallInfo::plain(),
+            transfers: vec![
+                Transfer { asset: Asset::Eth, from: addr(1), to: addr(2), amount: U256::from_u64(100) },
+                Transfer { asset: Asset::Eth, from: addr(2), to: addr(3), amount: U256::from_u64(20) },
+                Transfer { asset: Asset::Eth, from: addr(2), to: addr(4), amount: U256::from_u64(80) },
+            ],
+            approvals: vec![Approval {
+                token: addr(9),
+                owner: addr(1),
+                spender: addr(2),
+                amount: U256::MAX,
+            }],
+            created: None,
+        }
+    }
+
+    #[test]
+    fn transfers_from_filters_by_source() {
+        let tx = mk_tx();
+        let outgoing: Vec<_> = tx.transfers_from(addr(2)).collect();
+        assert_eq!(outgoing.len(), 2);
+        assert!(outgoing.iter().all(|t| t.from == addr(2)));
+    }
+
+    #[test]
+    fn touched_addresses_deduped_and_sorted() {
+        let tx = mk_tx();
+        let touched = tx.touched_addresses();
+        // addr(1), addr(2), addr(3), addr(4), addr(9)
+        assert_eq!(touched.len(), 5);
+        let mut sorted = touched.clone();
+        sorted.sort_unstable();
+        assert_eq!(touched, sorted);
+        assert!(touched.contains(&addr(9)));
+    }
+
+    #[test]
+    fn call_info_constructors() {
+        assert_eq!(CallInfo::plain().function, None);
+        let c = CallInfo::named(Some([1, 2, 3, 4]), "multicall");
+        assert_eq!(c.function.as_deref(), Some("multicall"));
+        assert_eq!(c.selector, Some([1, 2, 3, 4]));
+    }
+}

@@ -1,0 +1,211 @@
+//! Property-based ledger invariants: under arbitrary interleavings of
+//! actions, value is conserved, histories index every transaction, and
+//! failed actions leave no trace.
+
+use daas_chain::{Chain, ChainError, ContractKind, EntryStyle, ProfitSharingSpec, TokenKind};
+use eth_types::{Address, U256};
+use proptest::prelude::*;
+
+/// An action the property tests can apply.
+#[derive(Debug, Clone)]
+enum Action {
+    MintEth { who: u8, amount: u64 },
+    Transfer { from: u8, to: u8, amount: u64 },
+    Claim { victim: u8, affiliate: u8, amount: u64 },
+    MintToken { who: u8, amount: u64 },
+    Approve { owner: u8, amount: u64 },
+    Drain { victim: u8, affiliate: u8, amount: u64 },
+    Advance { secs: u32 },
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0u8..6, 1u64..1_000_000).prop_map(|(who, amount)| Action::MintEth { who, amount }),
+        (0u8..6, 0u8..6, 1u64..500_000)
+            .prop_map(|(from, to, amount)| Action::Transfer { from, to, amount }),
+        (0u8..6, 0u8..6, 1u64..500_000)
+            .prop_map(|(victim, affiliate, amount)| Action::Claim { victim, affiliate, amount }),
+        (0u8..6, 1u64..1_000_000).prop_map(|(who, amount)| Action::MintToken { who, amount }),
+        (0u8..6, 0u64..1_000_000).prop_map(|(owner, amount)| Action::Approve { owner, amount }),
+        (0u8..6, 0u8..6, 1u64..500_000)
+            .prop_map(|(victim, affiliate, amount)| Action::Drain { victim, affiliate, amount }),
+        (1u32..100_000).prop_map(|secs| Action::Advance { secs }),
+    ]
+}
+
+struct Setup {
+    chain: Chain,
+    accounts: Vec<Address>,
+    operator: Address,
+    contract: Address,
+    token: Address,
+    minted_eth: U256,
+    minted_token: U256,
+}
+
+fn setup() -> Setup {
+    let mut chain = Chain::new();
+    let operator = chain.create_eoa(b"prop/op").unwrap();
+    let contract = chain
+        .deploy_contract(
+            operator,
+            ContractKind::ProfitSharing(ProfitSharingSpec {
+                operator,
+                operator_bps: 2000,
+                entry: EntryStyle::PayableFallback,
+            }),
+        )
+        .unwrap();
+    let token = chain.deploy_token(operator, "TKN", 18, TokenKind::Erc20).unwrap();
+    let accounts: Vec<Address> =
+        (0..6u8).map(|i| chain.create_eoa(&[b'p', i]).unwrap()).collect();
+    Setup {
+        chain,
+        accounts,
+        operator,
+        contract,
+        token,
+        minted_eth: U256::ZERO,
+        minted_token: U256::ZERO,
+    }
+}
+
+impl Setup {
+    fn apply(&mut self, action: &Action) {
+        let a = |i: u8| self.accounts[i as usize % self.accounts.len()];
+        match *action {
+            Action::MintEth { who, amount } => {
+                self.chain.mint_eth(a(who), U256::from_u64(amount)).unwrap();
+                self.minted_eth += U256::from_u64(amount);
+            }
+            Action::Transfer { from, to, amount } => {
+                if from == to {
+                    return;
+                }
+                let _ = self.chain.transfer_eth(a(from), a(to), U256::from_u64(amount));
+            }
+            Action::Claim { victim, affiliate, amount } => {
+                let _ = self.chain.claim_eth(
+                    a(victim),
+                    self.contract,
+                    U256::from_u64(amount),
+                    a(affiliate),
+                );
+            }
+            Action::MintToken { who, amount } => {
+                self.chain.mint_erc20(self.token, a(who), U256::from_u64(amount)).unwrap();
+                self.minted_token += U256::from_u64(amount);
+            }
+            Action::Approve { owner, amount } => {
+                let _ = self.chain.approve_erc20(
+                    a(owner),
+                    self.token,
+                    self.contract,
+                    U256::from_u64(amount),
+                );
+            }
+            Action::Drain { victim, affiliate, amount } => {
+                let _ = self.chain.drain_erc20(
+                    self.operator,
+                    self.contract,
+                    self.token,
+                    a(victim),
+                    U256::from_u64(amount),
+                    a(affiliate),
+                );
+            }
+            Action::Advance { secs } => self.chain.advance(secs as u64),
+        }
+    }
+
+    fn total_eth(&self) -> U256 {
+        let mut total = self.chain.eth_balance(self.operator) + self.chain.eth_balance(self.contract);
+        for &acc in &self.accounts {
+            total += self.chain.eth_balance(acc);
+        }
+        total
+    }
+
+    fn total_token(&self) -> U256 {
+        let mut total = self.chain.erc20_balance(self.token, self.operator)
+            + self.chain.erc20_balance(self.token, self.contract);
+        for &acc in &self.accounts {
+            total += self.chain.erc20_balance(self.token, acc);
+        }
+        total
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn value_is_conserved(actions in proptest::collection::vec(arb_action(), 1..80)) {
+        let mut s = setup();
+        for action in &actions {
+            s.apply(action);
+        }
+        // ETH: everything ever minted is exactly distributed across the
+        // closed account set (no fees, no burn in this model).
+        prop_assert_eq!(s.total_eth(), s.minted_eth);
+        prop_assert_eq!(s.total_token(), s.minted_token);
+    }
+
+    #[test]
+    fn histories_cover_every_transaction(actions in proptest::collection::vec(arb_action(), 1..60)) {
+        let mut s = setup();
+        for action in &actions {
+            s.apply(action);
+        }
+        for tx in s.chain.transactions() {
+            // The sender's history must contain the tx, and so must every
+            // transfer endpoint's.
+            prop_assert!(s.chain.txs_of(tx.from).contains(&tx.id));
+            for t in &tx.transfers {
+                prop_assert!(s.chain.txs_of(t.from).contains(&tx.id));
+                prop_assert!(s.chain.txs_of(t.to).contains(&tx.id));
+            }
+        }
+        // Histories are strictly ordered and deduplicated.
+        for acc in s.chain.addresses().collect::<Vec<_>>() {
+            let h = s.chain.txs_of(acc);
+            prop_assert!(h.windows(2).all(|w| w[0] < w[1]), "history out of order");
+        }
+    }
+
+    #[test]
+    fn block_structure_is_consistent(actions in proptest::collection::vec(arb_action(), 1..60)) {
+        let mut s = setup();
+        for action in &actions {
+            s.apply(action);
+        }
+        let blocks = s.chain.blocks();
+        let total: u32 = blocks.iter().map(|b| b.tx_count).sum();
+        prop_assert_eq!(total as usize, s.chain.transactions().len());
+        prop_assert!(blocks.windows(2).all(|w| w[0].number < w[1].number));
+        for b in blocks {
+            for i in b.first_tx..b.first_tx + b.tx_count {
+                prop_assert_eq!(s.chain.tx(i).block, b.number);
+            }
+        }
+    }
+
+    #[test]
+    fn failed_actions_are_atomic(amount in 1u64..u64::MAX) {
+        // A claim the victim cannot afford must change nothing at all.
+        let mut s = setup();
+        s.chain.mint_eth(s.accounts[0], U256::from_u64(100)).unwrap();
+        let stats_before = s.chain.stats();
+        let balance_before = s.chain.eth_balance(s.accounts[0]);
+        if amount > 100 {
+            let err = s
+                .chain
+                .claim_eth(s.accounts[0], s.contract, U256::from_u64(amount), s.accounts[1])
+                .unwrap_err();
+            let is_insufficient = matches!(err, ChainError::InsufficientBalance { .. });
+            prop_assert!(is_insufficient);
+            prop_assert_eq!(s.chain.stats(), stats_before);
+            prop_assert_eq!(s.chain.eth_balance(s.accounts[0]), balance_before);
+        }
+    }
+}

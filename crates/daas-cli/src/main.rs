@@ -1,0 +1,208 @@
+//! `daas-lab` — run the full reproduction pipeline and print any (or
+//! all) of the paper's tables and figures.
+//!
+//! ```text
+//! daas-lab [--seed N] [--scale F] [--exp NAME]...
+//!
+//!   --seed N     RNG seed (default 42)
+//!   --scale F    world scale, 1.0 = paper scale (default 0.1)
+//!   --exp NAME   one of: table1 table2 table3 table4 fig4 fig6 fig7
+//!                ratios scale lifecycles community validation all
+//!                (default: all)
+//! ```
+
+use std::process::ExitCode;
+
+use daas_cli::{
+    render_community, render_fig4, render_fig6, render_fig7, render_lifecycles, render_ratios,
+    render_scale_stats, render_table1, render_table2, render_table3, render_table4,
+    render_timeline, render_validation, run_pipeline, run_website_pipeline,
+};
+use daas_detector::SnowballConfig;
+use daas_world::WorldConfig;
+
+const ALL_EXPERIMENTS: [&str; 13] = [
+    "table1", "table2", "table3", "table4", "fig4", "fig6", "fig7", "ratios", "scale",
+    "lifecycles", "community", "validation", "timeline",
+];
+
+fn main() -> ExitCode {
+    let mut seed = 42u64;
+    let mut scale = 0.1f64;
+    let mut experiments: Vec<String> = Vec::new();
+    let mut export: Option<String> = None;
+    let mut config_path: Option<String> = None;
+    let mut dump_config: Option<String> = None;
+    let mut seed_set = false;
+    let mut scale_set = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => {
+                    seed = v;
+                    seed_set = true;
+                }
+                None => return usage("--seed needs an integer"),
+            },
+            "--scale" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0.0 => {
+                    scale = v;
+                    scale_set = true;
+                }
+                _ => return usage("--scale needs a positive number"),
+            },
+            "--config" => match args.next() {
+                Some(path) => config_path = Some(path),
+                None => return usage("--config needs a file path"),
+            },
+            "--dump-config" => match args.next() {
+                Some(path) => dump_config = Some(path),
+                None => return usage("--dump-config needs a file path"),
+            },
+            "--exp" => match args.next() {
+                Some(v) if v == "all" => {
+                    experiments.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string()))
+                }
+                Some(v) if ALL_EXPERIMENTS.contains(&v.as_str()) => experiments.push(v),
+                Some(v) => return usage(&format!("unknown experiment '{v}'")),
+                None => return usage("--exp needs a name"),
+            },
+            "--export" => match args.next() {
+                Some(path) => export = Some(path),
+                None => return usage("--export needs a file path"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    // Scenario loading: --config replaces the paper preset; --seed and
+    // --scale still override when given explicitly.
+    let mut config = match &config_path {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match serde_json::from_str::<WorldConfig>(&text) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("invalid scenario {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => WorldConfig::paper_scale(seed),
+    };
+    if seed_set || config_path.is_none() {
+        config.seed = seed;
+    }
+    if scale_set || config_path.is_none() {
+        config.scale = scale;
+    }
+    if let Err(e) = config.validate() {
+        eprintln!("invalid configuration: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = &dump_config {
+        match serde_json::to_string_pretty(&config)
+            .map_err(|e| e.to_string())
+            .and_then(|json| std::fs::write(path, json).map_err(|e| e.to_string()))
+        {
+            Ok(()) => {
+                eprintln!("configuration written to {path}");
+                if experiments.is_empty() {
+                    return ExitCode::SUCCESS;
+                }
+            }
+            Err(e) => {
+                eprintln!("dump failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if experiments.is_empty() {
+        experiments.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string()));
+    }
+    let (seed, scale) = (config.seed, config.scale);
+    eprintln!("building world (seed {seed}, scale {scale}) …");
+    let pipeline = match run_pipeline(&config, &SnowballConfig::default()) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("pipeline failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (tw, ts, tc) = pipeline.timings;
+    eprintln!(
+        "world {:.2?} | snowball {:.2?} | clustering {:.2?} | {} txs, {} accounts",
+        tw,
+        ts,
+        tc,
+        pipeline.world.chain.stats().transactions,
+        pipeline.world.chain.stats().accounts,
+    );
+
+    if let Some(path) = &export {
+        // The released-dataset artifact: the full discovered dataset as
+        // JSON (contracts, operators, affiliates, observations).
+        match serde_json::to_string_pretty(&pipeline.dataset)
+            .map_err(|e| e.to_string())
+            .and_then(|json| std::fs::write(path, json).map_err(|e| e.to_string()))
+        {
+            Ok(()) => eprintln!("dataset exported to {path}"),
+            Err(e) => {
+                eprintln!("export failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let needs_web = experiments.iter().any(|e| e == "table4" || e == "community");
+    let web = needs_web.then(|| run_website_pipeline(&pipeline.world, 0.8));
+
+    // The primary-contract threshold scales with the world (paper: 100
+    // transactions at full scale).
+    let lifecycle_min_txs = ((100.0 * scale) as usize).max(5);
+
+    for exp in &experiments {
+        let out = match exp.as_str() {
+            "table1" => render_table1(&pipeline, scale),
+            "table2" => render_table2(&pipeline, scale),
+            "table3" => render_table3(&pipeline),
+            "table4" => render_table4(web.as_ref().expect("web pipeline ran")),
+            "fig4" => render_fig4(&pipeline),
+            "fig6" => render_fig6(&pipeline),
+            "fig7" => render_fig7(&pipeline),
+            "ratios" => render_ratios(&pipeline),
+            "scale" => render_scale_stats(&pipeline, scale),
+            "lifecycles" => render_lifecycles(&pipeline, lifecycle_min_txs),
+            "community" => render_community(&pipeline, web.as_ref().expect("web pipeline ran"), scale),
+            "validation" => render_validation(&pipeline, scale),
+            "timeline" => render_timeline(&pipeline),
+            _ => unreachable!("validated above"),
+        };
+        println!("{out}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("error: {error}\n");
+    }
+    eprintln!(
+        "usage: daas-lab [--seed N] [--scale F] [--config FILE] [--dump-config FILE] [--export FILE] [--exp NAME]...\n       experiments: {} all",
+        ALL_EXPERIMENTS.join(" ")
+    );
+    if error.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,113 @@
+//! The paper's published numbers, as constants, so every harness prints
+//! paper-vs-measured side by side. Source: He et al., "Unmasking the
+//! Shadow Economy" (IMC 2025), tables and inline statistics.
+
+/// Table 1, seed column: (contracts, operators, affiliates, ps-txs).
+pub const TABLE1_SEED: (usize, usize, usize, usize) = (391, 48, 3_970, 49_837);
+/// Table 1, expanded column.
+pub const TABLE1_EXPANDED: (usize, usize, usize, usize) = (1_910, 56, 6_087, 87_077);
+
+/// Distinct victim accounts (§5.2).
+pub const VICTIMS: usize = 76_582;
+/// Operator earnings, USD (§5.2).
+pub const OPERATOR_EARNINGS_USD: f64 = 23.1e6;
+/// Affiliate earnings, USD (§5.2).
+pub const AFFILIATE_EARNINGS_USD: f64 = 111.9e6;
+
+/// One Table 2 row: (name, contracts, operators, affiliates, victims,
+/// profits USD, start, end).
+pub type Table2Row = (&'static str, u32, u32, u32, u32, f64, &'static str, &'static str);
+
+/// Table 2 rows. The two OCR-ambiguous contract/operator cells follow
+/// the allocation documented in DESIGN.md (totals exact).
+pub const TABLE2: [Table2Row; 9] = [
+    ("Angel Drainer", 1_239, 29, 3_338, 37_755, 53.1e6, "2023-04", "Now"),
+    ("Inferno Drainer", 435, 7, 1_958, 32_740, 59.0e6, "2023-05", "2024-11"),
+    ("Pink Drainer", 94, 10, 279, 2_814, 14.7e6, "2023-04", "2024-05"),
+    ("Ace Drainer", 6, 2, 335, 1_879, 3.1e6, "2023-10", "Now"),
+    ("Pussy Drainer", 2, 2, 30, 537, 1.1e6, "2023-03", "2023-10"),
+    ("Venom Drainer", 1, 1, 77, 491, 1.3e6, "2023-04", "2023-08"),
+    ("Medusa Drainer", 130, 3, 56, 306, 2.5e6, "2024-05", "Now"),
+    ("0x0000b6", 2, 1, 8, 43, 0.1e6, "2023-07", "2023-08"),
+    ("Spawn Drainer", 1, 1, 6, 17, 0.01e6, "2023-05", "2023-09"),
+];
+
+/// §7.1: dominant three families' share of all profits, percent.
+pub const DOMINANT_SHARE_PCT: f64 = 93.9;
+
+/// Table 3 rows: (family, ETH entry, token entry).
+pub const TABLE3: [(&str, &str, &str); 3] = [
+    ("Angel Drainer", "a payable function named Claim", "a Multicall function"),
+    ("Inferno Drainer", "a payable fallback function", "a Multicall function"),
+    ("Pink Drainer", "a payable function named Network Merge", "a Multicall function"),
+];
+
+/// Table 4: top-10 TLDs of detected phishing domains, percent.
+pub const TABLE4: [(&str, f64); 10] = [
+    ("com", 30.0),
+    ("dev", 13.6),
+    ("app", 11.6),
+    ("xyz", 7.5),
+    ("net", 5.6),
+    ("org", 3.8),
+    ("network", 2.4),
+    ("io", 2.0),
+    ("top", 1.6),
+    ("online", 1.4),
+];
+
+/// Figure 6: victim-loss bucket shares, percent
+/// (<$100, $100–1k, $1k–5k, >$5k).
+pub const FIG6: [f64; 4] = [50.9, 32.6, 10.1, 6.4];
+/// §6.1: share of victims losing under $1,000.
+pub const FIG6_BELOW_1K: f64 = 83.5;
+
+/// Figure 7: affiliate-profit bucket shares, percent
+/// (<$1k, $1k–10k, $10k–50k, >$50k). The paper states 50.2% above $1k
+/// and 22.0% above $10k; the 10–50k/>50k split is read off the chart.
+pub const FIG7_ABOVE_1K: f64 = 50.2;
+/// §6.3: share of affiliates earning over $10,000.
+pub const FIG7_ABOVE_10K: f64 = 22.0;
+
+/// §4.3 dominant ratios: (operator bps, share of profit-sharing txs, %).
+pub const RATIOS_TOP3: [(u32, f64); 3] = [(2000, 46.0), (1500, 19.3), (1750, 9.2)];
+
+/// §6.1: repeat victims.
+pub const REPEAT_VICTIMS: usize = 8_856;
+/// §6.1: of repeat victims, share signing multiple txs simultaneously.
+pub const REPEAT_SIMULTANEOUS_PCT: f64 = 78.1;
+/// §6.1: of repeat victims, share who never revoked approvals.
+pub const REPEAT_UNREVOKED_PCT: f64 = 28.6;
+
+/// §6.2: top-quartile operators' share of operator profits.
+pub const OPERATOR_TOP25_SHARE_PCT: f64 = 75.7;
+/// §6.2: the 14 dominant operators' combined earnings.
+pub const OPERATOR_TOP14_USD: f64 = 17.4e6;
+/// §6.2: operators inactive for over a month.
+pub const INACTIVE_OPERATORS: usize = 48;
+
+/// §6.3: top 7.4% of affiliates' share of affiliate profits.
+pub const AFFILIATE_TOP_SHARE_PCT: f64 = 75.6;
+/// §6.3: affiliates profiting from more than 10 victims.
+pub const AFFILIATES_OVER_10_VICTIMS_PCT: f64 = 26.1;
+/// §6.3: affiliates associated with a single operator.
+pub const AFFILIATES_SINGLE_OP_PCT: f64 = 60.4;
+/// §6.3: affiliates associated with at most three operators.
+pub const AFFILIATES_UP_TO_3_OPS_PCT: f64 = 90.2;
+
+/// §7.2 primary-contract lifecycles, days.
+pub const LIFECYCLES: [(&str, f64); 3] =
+    [("Angel Drainer", 102.3), ("Inferno Drainer", 198.6), ("Pink Drainer", 96.8)];
+
+/// §8.1: share of DaaS accounts already labeled on the explorer.
+pub const PRELABELED_PCT: f64 = 10.8;
+/// §8.2: phishing websites detected and reported.
+pub const WEBSITES_DETECTED: usize = 32_819;
+/// §8.2: drainer toolkit fingerprints after expansion.
+pub const FINGERPRINTS: usize = 867;
+/// §5.2: manually reviewed transactions (validation sample).
+pub const VALIDATION_REVIEWED: usize = 39_037;
+/// §5.2: reviewed share of all profit-sharing transactions, percent.
+pub const VALIDATION_COVERAGE_PCT: f64 = 44.8;
+/// §5.2 review split: (contract txs, operator txs, affiliate txs).
+pub const VALIDATION_SPLIT: (usize, usize, usize) = (8_974, 538, 29_525);

@@ -1,0 +1,43 @@
+//! One-call pipeline: world → snowball → clustering.
+
+use std::time::{Duration, Instant};
+
+use daas_cluster::{cluster, Clustering};
+use daas_detector::{build_dataset, Dataset, SnowballConfig};
+use daas_world::{World, WorldConfig};
+
+/// Everything downstream experiments need, built once.
+pub struct Pipeline {
+    /// The generated world (observables + ground truth).
+    pub world: World,
+    /// The discovered dataset.
+    pub dataset: Dataset,
+    /// The family clustering.
+    pub clustering: Clustering,
+    /// Wall-clock cost of each stage: (world, snowball, clustering).
+    pub timings: (Duration, Duration, Duration),
+}
+
+impl Pipeline {
+    /// Measurement context over the pipeline's outputs.
+    pub fn measure(&self) -> daas_measure::MeasureCtx<'_> {
+        daas_measure::MeasureCtx::new(&self.world.chain, &self.dataset, &self.world.oracle)
+    }
+}
+
+/// Runs world generation, snowball sampling and clustering.
+pub fn run_pipeline(config: &WorldConfig, snowball: &SnowballConfig) -> Result<Pipeline, String> {
+    let t0 = Instant::now();
+    let world = World::build(config)?;
+    let t1 = Instant::now();
+    let dataset = build_dataset(&world.chain, &world.labels, snowball);
+    let t2 = Instant::now();
+    let clustering = cluster(&world.chain, &world.labels, &dataset);
+    let t3 = Instant::now();
+    Ok(Pipeline {
+        world,
+        dataset,
+        clustering,
+        timings: (t1 - t0, t2 - t1, t3 - t2),
+    })
+}

@@ -1,0 +1,326 @@
+//! Step 1 + 2 of §7.1: operator clustering and member grouping.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+use daas_chain::{Chain, LabelCategory, LabelStore, TxId};
+use daas_detector::Dataset;
+use eth_types::Address;
+use serde::{Deserialize, Serialize};
+use txgraph::UnionFind;
+
+/// One clustered DaaS family.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Family {
+    /// Dense id, ordered by name for determinism.
+    pub id: usize,
+    /// Explorer label if any member carries one, else the first six hex
+    /// digits of the lead operator account.
+    pub name: String,
+    /// Operator accounts, sorted.
+    pub operators: Vec<Address>,
+    /// Profit-sharing contracts, sorted.
+    pub contracts: Vec<Address>,
+    /// Affiliate accounts, sorted.
+    pub affiliates: Vec<Address>,
+    /// Profit-sharing transactions attributed to this family.
+    pub ps_txs: Vec<TxId>,
+}
+
+impl Family {
+    /// Total member accounts.
+    pub fn account_count(&self) -> usize {
+        self.operators.len() + self.contracts.len() + self.affiliates.len()
+    }
+}
+
+/// The clustering result.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Clustering {
+    /// Families sorted by transaction count descending (the dominant
+    /// families first).
+    pub families: Vec<Family>,
+}
+
+impl Clustering {
+    /// Family index that contains the address (any role).
+    pub fn family_of(&self, address: Address) -> Option<usize> {
+        self.families.iter().position(|f| {
+            f.operators.binary_search(&address).is_ok()
+                || f.contracts.binary_search(&address).is_ok()
+                || f.affiliates.binary_search(&address).is_ok()
+        })
+    }
+
+    /// Family lookup by name.
+    pub fn by_name(&self, name: &str) -> Option<&Family> {
+        self.families.iter().find(|f| f.name == name)
+    }
+}
+
+/// Clusters the dataset into families (§7.1).
+pub fn cluster(chain: &Chain, labels: &LabelStore, dataset: &Dataset) -> Clustering {
+    let operators: Vec<Address> = dataset.operators.iter().copied().collect();
+    let op_set: HashSet<Address> = operators.iter().copied().collect();
+
+    // ---- Step 1: union operators. ----
+    let mut uf = UnionFind::new();
+    for &op in &operators {
+        uf.insert(op);
+    }
+    // Counterparty scan: direct operator↔operator transactions, and
+    // shared labeled phishing accounts.
+    let mut phish_touch: HashMap<Address, Vec<Address>> = HashMap::new();
+    for &op in &operators {
+        for &txid in chain.txs_of(op) {
+            let tx = chain.tx(txid);
+            for party in tx.touched_addresses() {
+                if party == op {
+                    continue;
+                }
+                if op_set.contains(&party) {
+                    uf.union(op, party);
+                } else if is_labeled_phishing(labels, party) && !dataset.contains(party) {
+                    phish_touch.entry(party).or_default().push(op);
+                }
+            }
+        }
+    }
+    for (_, ops) in phish_touch {
+        for pair in ops.windows(2) {
+            uf.union(pair[0], pair[1]);
+        }
+    }
+
+    // ---- Step 2: group contracts and affiliates by operator. ----
+    // A contract's operators are those observed in its profit-sharing
+    // transactions; affiliates follow the operators they split with.
+    let mut contract_ops: HashMap<Address, Vec<Address>> = HashMap::new();
+    let mut affiliate_ops: HashMap<Address, Vec<Address>> = HashMap::new();
+    for obs in &dataset.observations {
+        contract_ops.entry(obs.contract).or_default().push(obs.operator);
+        affiliate_ops.entry(obs.affiliate).or_default().push(obs.operator);
+    }
+
+    let components = uf.components();
+    let mut op_component: HashMap<Address, usize> = HashMap::new();
+    for (ci, comp) in components.iter().enumerate() {
+        for &op in comp {
+            op_component.insert(op, ci);
+        }
+    }
+
+    // Majority vote across associated operators (ties go to the smaller
+    // component index for determinism).
+    let vote = |ops: &[Address]| -> Option<usize> {
+        let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+        for op in ops {
+            if let Some(&c) = op_component.get(op) {
+                *counts.entry(c).or_default() += 1;
+            }
+        }
+        counts.into_iter().max_by_key(|&(c, n)| (n, usize::MAX - c)).map(|(c, _)| c)
+    };
+
+    let mut fam_contracts: Vec<BTreeSet<Address>> = vec![BTreeSet::new(); components.len()];
+    let mut fam_affiliates: Vec<BTreeSet<Address>> = vec![BTreeSet::new(); components.len()];
+    let mut fam_txs: Vec<BTreeSet<TxId>> = vec![BTreeSet::new(); components.len()];
+    let mut contract_family: HashMap<Address, usize> = HashMap::new();
+
+    for (&contract, ops) in &contract_ops {
+        if let Some(c) = vote(ops) {
+            fam_contracts[c].insert(contract);
+            contract_family.insert(contract, c);
+        }
+    }
+    for (&aff, ops) in &affiliate_ops {
+        if let Some(c) = vote(ops) {
+            fam_affiliates[c].insert(aff);
+        }
+    }
+    for obs in &dataset.observations {
+        if let Some(&c) = contract_family.get(&obs.contract) {
+            fam_txs[c].insert(obs.tx);
+        }
+    }
+
+    // ---- Naming and assembly. ----
+    let mut families: Vec<Family> = components
+        .iter()
+        .enumerate()
+        .map(|(ci, ops)| {
+            let contracts: Vec<Address> = fam_contracts[ci].iter().copied().collect();
+            let affiliates: Vec<Address> = fam_affiliates[ci].iter().copied().collect();
+            let ps_txs: Vec<TxId> = fam_txs[ci].iter().copied().collect();
+            let name = family_name(labels, ops, &contracts);
+            Family {
+                id: 0, // assigned after sorting
+                name,
+                operators: ops.clone(),
+                contracts,
+                affiliates,
+                ps_txs,
+            }
+        })
+        .collect();
+
+    // Dominant families first (by transaction count, then name).
+    families.sort_by(|a, b| b.ps_txs.len().cmp(&a.ps_txs.len()).then_with(|| a.name.cmp(&b.name)));
+    for (i, f) in families.iter_mut().enumerate() {
+        f.id = i;
+    }
+    Clustering { families }
+}
+
+fn is_labeled_phishing(labels: &LabelStore, address: Address) -> bool {
+    labels
+        .labels_of(address)
+        .iter()
+        .any(|l| matches!(l.category, LabelCategory::Phishing | LabelCategory::DrainerFamily))
+}
+
+/// The paper's naming rule: an explorer family label on any member wins;
+/// otherwise the first six hex digits of the lead operator.
+fn family_name(labels: &LabelStore, operators: &[Address], contracts: &[Address]) -> String {
+    for &member in operators.iter().chain(contracts) {
+        if let Some(name) = labels.family_name(member) {
+            return name.to_owned();
+        }
+    }
+    operators
+        .first()
+        .map(|o| o.prefix6())
+        .unwrap_or_else(|| "<unknown>".to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daas_chain::{ContractKind, EntryStyle, Label, LabelSource, ProfitSharingSpec};
+    use eth_types::units::ether;
+
+    /// Two operators linked by a direct transfer, a third linked to
+    /// nobody: expect two families.
+    fn setup() -> (Chain, LabelStore, Dataset, [Address; 3]) {
+        let mut chain = Chain::new();
+        let mut labels = LabelStore::new();
+        let op_a = chain.create_eoa_funded(b"opA", ether(10)).unwrap();
+        let op_b = chain.create_eoa_funded(b"opB", ether(10)).unwrap();
+        let op_c = chain.create_eoa_funded(b"opC", ether(10)).unwrap();
+
+        let mut dataset = Dataset::default();
+        let mk_contract = |chain: &mut Chain, op: Address, aff_seed: &[u8]| {
+            let aff = chain.create_eoa(aff_seed).unwrap();
+            let contract = chain
+                .deploy_contract(
+                    op,
+                    ContractKind::ProfitSharing(ProfitSharingSpec {
+                        operator: op,
+                        operator_bps: 2000,
+                        entry: EntryStyle::PayableFallback,
+                    }),
+                )
+                .unwrap();
+            let victim = chain
+                .create_eoa_funded(format!("v-{contract}").as_bytes(), ether(50))
+                .unwrap();
+            chain.advance(12);
+            let tx = chain.claim_eth(victim, contract, ether(10), aff).unwrap();
+            let obs = daas_detector::classify_tx(chain.tx(tx), &Default::default()).unwrap();
+            (contract, aff, obs)
+        };
+
+        for (op, seed) in [(op_a, b"aff-a".as_slice()), (op_b, b"aff-b"), (op_c, b"aff-c")] {
+            let (_, _, obs) = mk_contract(&mut chain, op, seed);
+            dataset.absorb(obs);
+        }
+        dataset.operators.extend([op_a, op_b, op_c]);
+
+        // Link A and B directly.
+        chain.advance(12);
+        chain.transfer_eth(op_a, op_b, ether(1)).unwrap();
+
+        labels.add(Label {
+            address: op_a,
+            source: LabelSource::Etherscan,
+            category: LabelCategory::DrainerFamily,
+            text: "Angel Drainer".into(),
+        });
+        (chain, labels, dataset, [op_a, op_b, op_c])
+    }
+
+    #[test]
+    fn direct_transfer_merges_operators() {
+        let (chain, labels, dataset, [op_a, op_b, op_c]) = setup();
+        let clustering = cluster(&chain, &labels, &dataset);
+        assert_eq!(clustering.families.len(), 2);
+        let fam_ab = clustering.family_of(op_a).unwrap();
+        assert_eq!(clustering.family_of(op_b), Some(fam_ab));
+        assert_ne!(clustering.family_of(op_c), Some(fam_ab));
+    }
+
+    #[test]
+    fn labeled_family_name_wins_and_prefix_fallback() {
+        let (chain, labels, dataset, [_, _, op_c]) = setup();
+        let clustering = cluster(&chain, &labels, &dataset);
+        assert!(clustering.by_name("Angel Drainer").is_some());
+        // The singleton family is named by operator prefix.
+        let fam_c = &clustering.families[clustering.family_of(op_c).unwrap()];
+        assert_eq!(fam_c.name, op_c.prefix6());
+    }
+
+    #[test]
+    fn members_follow_their_operator() {
+        let (chain, labels, dataset, [op_a, ..]) = setup();
+        let clustering = cluster(&chain, &labels, &dataset);
+        let fam = &clustering.families[clustering.family_of(op_a).unwrap()];
+        // Two operators → two contracts, two affiliates, two txs.
+        assert_eq!(fam.operators.len(), 2);
+        assert_eq!(fam.contracts.len(), 2);
+        assert_eq!(fam.affiliates.len(), 2);
+        assert_eq!(fam.ps_txs.len(), 2);
+        assert_eq!(fam.account_count(), 6);
+    }
+
+    #[test]
+    fn shared_labeled_phish_account_merges() {
+        let (mut chain, mut labels, dataset, [op_a, _, op_c]) = setup();
+        // op_a and op_c both touch an old labeled phishing EOA.
+        let phish = chain.create_eoa(b"old-phish").unwrap();
+        labels.add_phishing(phish, LabelSource::Etherscan, "Fake_Phishing123");
+        chain.advance(12);
+        chain.transfer_eth(op_a, phish, ether(1)).unwrap();
+        chain.transfer_eth(op_c, phish, ether(1)).unwrap();
+        let clustering = cluster(&chain, &labels, &dataset);
+        assert_eq!(clustering.families.len(), 1, "shared phish account must merge all");
+    }
+
+    #[test]
+    fn unlabeled_shared_counterparty_does_not_merge() {
+        let (mut chain, labels, dataset, [op_a, _, op_c]) = setup();
+        // Both touch the same *unlabeled* account (e.g. a CEX deposit
+        // address): no merge.
+        let shared = chain.create_eoa(b"plain-shared").unwrap();
+        chain.advance(12);
+        chain.transfer_eth(op_a, shared, ether(1)).unwrap();
+        chain.transfer_eth(op_c, shared, ether(1)).unwrap();
+        let clustering = cluster(&chain, &labels, &dataset);
+        assert_eq!(clustering.families.len(), 2);
+    }
+
+    #[test]
+    fn families_sorted_by_tx_count() {
+        let (chain, labels, dataset, _) = setup();
+        let clustering = cluster(&chain, &labels, &dataset);
+        assert!(clustering.families[0].ps_txs.len() >= clustering.families[1].ps_txs.len());
+        assert_eq!(clustering.families[0].id, 0);
+    }
+
+    #[test]
+    fn empty_dataset_clusters_to_nothing() {
+        let chain = Chain::new();
+        let labels = LabelStore::new();
+        let clustering = cluster(&chain, &labels, &Dataset::default());
+        assert!(clustering.families.is_empty());
+        assert_eq!(clustering.family_of(Address::ZERO), None);
+    }
+}

@@ -1,0 +1,25 @@
+//! DaaS family clustering and family-level forensics (§7).
+//!
+//! Step 1 ([`cluster`]): group operator accounts with a disjoint-set
+//! forest — two operators join the same family when they transact with
+//! each other, or both transact with the same explorer-labeled phishing
+//! account. Step 2: profit-sharing contracts and affiliates inherit the
+//! family of their operator(s). Families are named from explorer labels
+//! when available, else by the operator address prefix (the paper's
+//! `0x0000b6` convention).
+//!
+//! Family comparison (§7.2): [`contract_profile`] recovers each family's
+//! phishing-function style from observed call metadata (Table 3), and
+//! [`primary_lifecycles`] measures the rotation cadence of primary
+//! contracts (>100 transactions, retired for over a month).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod families;
+mod lifecycle;
+mod profile;
+
+pub use families::{cluster, Clustering, Family};
+pub use lifecycle::{primary_lifecycles, LifecycleStats};
+pub use profile::{contract_profile, ContractProfile};

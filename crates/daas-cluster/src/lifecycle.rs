@@ -1,0 +1,132 @@
+//! Contract lifecycle analysis (§7.2): how often a family rotates its
+//! primary profit-sharing contracts.
+
+use daas_chain::{Chain, Timestamp};
+use daas_detector::Dataset;
+use eth_types::Address;
+use serde::{Deserialize, Serialize};
+
+use crate::families::Family;
+
+/// Lifecycle statistics for one family's primary contracts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LifecycleStats {
+    /// Family name.
+    pub family: String,
+    /// Contracts that qualified (over the tx threshold, retired long
+    /// enough), with their lifecycles in days.
+    pub contracts: Vec<(Address, f64)>,
+    /// Mean lifecycle in days (0 if no contract qualified).
+    pub mean_days: f64,
+}
+
+/// Measures primary-contract lifecycles for a family, per the paper's
+/// §7.2 criteria: contracts with more than `min_txs` profit-sharing
+/// transactions (paper: 100) that have been inactive for over
+/// `inactive_secs` (paper: one month) as of `as_of`. Lifecycle = days
+/// between the contract's first and last profit-sharing transaction.
+pub fn primary_lifecycles(
+    chain: &Chain,
+    dataset: &Dataset,
+    family: &Family,
+    min_txs: usize,
+    inactive_secs: u64,
+    as_of: Timestamp,
+) -> LifecycleStats {
+    let mut contracts = Vec::new();
+    for &contract in &family.contracts {
+        let mut first: Option<Timestamp> = None;
+        let mut last: Option<Timestamp> = None;
+        let mut count = 0usize;
+        for obs in dataset.observations_of(contract) {
+            count += 1;
+            first = Some(first.map_or(obs.timestamp, |f: Timestamp| f.min(obs.timestamp)));
+            last = Some(last.map_or(obs.timestamp, |l: Timestamp| l.max(obs.timestamp)));
+        }
+        let (Some(first), Some(last)) = (first, last) else { continue };
+        if count <= min_txs {
+            continue;
+        }
+        if as_of.saturating_sub(last) <= inactive_secs {
+            continue; // still active — lifecycle not yet final
+        }
+        contracts.push((contract, (last - first) as f64 / 86_400.0));
+    }
+    let mean_days = if contracts.is_empty() {
+        0.0
+    } else {
+        contracts.iter().map(|(_, d)| d).sum::<f64>() / contracts.len() as f64
+    };
+    let _ = chain;
+    LifecycleStats { family: family.name.clone(), contracts, mean_days }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daas_chain::{ContractKind, EntryStyle, ProfitSharingSpec};
+    use daas_detector::classify_tx;
+    use eth_types::units::ether;
+
+    fn build(n_txs: usize, span_days: u64) -> (Chain, Dataset, Family) {
+        let mut chain = Chain::new();
+        let op = chain.create_eoa_funded(b"op", ether(10)).unwrap();
+        let aff = chain.create_eoa(b"aff").unwrap();
+        let victim = chain.create_eoa_funded(b"v", ether(100_000)).unwrap();
+        let contract = chain
+            .deploy_contract(
+                op,
+                ContractKind::ProfitSharing(ProfitSharingSpec {
+                    operator: op,
+                    operator_bps: 2000,
+                    entry: EntryStyle::PayableFallback,
+                }),
+            )
+            .unwrap();
+        let mut dataset = Dataset::default();
+        let step = span_days * 86_400 / n_txs.max(1) as u64;
+        for _ in 0..n_txs {
+            chain.advance(step.max(1));
+            let tx = chain.claim_eth(victim, contract, ether(1), aff).unwrap();
+            dataset.absorb(classify_tx(chain.tx(tx), &Default::default()).unwrap());
+        }
+        let family = Family {
+            id: 0,
+            name: "Test Drainer".into(),
+            operators: vec![op],
+            contracts: vec![contract],
+            affiliates: vec![aff],
+            ps_txs: dataset.ps_txs.iter().copied().collect(),
+        };
+        (chain, dataset, family)
+    }
+
+    #[test]
+    fn lifecycle_measures_first_to_last() {
+        let (chain, dataset, family) = build(150, 100);
+        let as_of = chain.now() + 90 * 86_400; // long retired
+        let stats = primary_lifecycles(&chain, &dataset, &family, 100, 30 * 86_400, as_of);
+        assert_eq!(stats.contracts.len(), 1);
+        let days = stats.contracts[0].1;
+        assert!((days - 100.0).abs() < 2.0, "lifecycle {days}");
+        assert!((stats.mean_days - days).abs() < 1e-9);
+    }
+
+    #[test]
+    fn below_threshold_excluded() {
+        let (chain, dataset, family) = build(50, 100);
+        let as_of = chain.now() + 90 * 86_400;
+        let stats = primary_lifecycles(&chain, &dataset, &family, 100, 30 * 86_400, as_of);
+        assert!(stats.contracts.is_empty());
+        assert_eq!(stats.mean_days, 0.0);
+    }
+
+    #[test]
+    fn still_active_excluded() {
+        let (chain, dataset, family) = build(150, 100);
+        // Only a week after the last tx: contract still counts as live.
+        let as_of = chain.now() + 7 * 86_400;
+        let stats = primary_lifecycles(&chain, &dataset, &family, 100, 30 * 86_400, as_of);
+        assert!(stats.contracts.is_empty());
+    }
+}

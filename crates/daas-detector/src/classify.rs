@@ -1,0 +1,395 @@
+//! The profit-sharing transaction classifier (§4.3 / §5.1 step 2).
+
+use std::collections::HashMap;
+
+use daas_chain::{Asset, Timestamp, Transaction, TxId};
+use eth_types::{Address, U256};
+use serde::{Deserialize, Serialize};
+
+/// The nine operator ratios observed in the wild (§4.3), in basis points.
+pub const DEFAULT_RATIOS_BPS: [u32; 9] = [1000, 1250, 1500, 1750, 2000, 2500, 3000, 3300, 4000];
+
+/// Classifier parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassifierConfig {
+    /// Accepted operator ratios in basis points.
+    pub ratios_bps: Vec<u32>,
+    /// Relative tolerance when matching the observed split against a
+    /// ratio (absorbs integer-division dust; ablation A1).
+    pub tolerance: f64,
+    /// Require the source account to have *exactly* two outgoing
+    /// transfers in the transaction (ablation A5). When false, a
+    /// two-transfer subset that fits a ratio among extra dust transfers
+    /// is accepted.
+    pub strict_two_transfers: bool,
+}
+
+impl Default for ClassifierConfig {
+    fn default() -> Self {
+        ClassifierConfig {
+            ratios_bps: DEFAULT_RATIOS_BPS.to_vec(),
+            tolerance: 0.005,
+            strict_two_transfers: true,
+        }
+    }
+}
+
+/// A positive classification: one profit-sharing transaction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PsObservation {
+    /// The classified transaction.
+    pub tx: TxId,
+    /// When it happened.
+    pub timestamp: Timestamp,
+    /// The account both transfers originate from (the contract for ETH
+    /// payouts, the victim for `transferFrom` sweeps).
+    pub source: Address,
+    /// The invoked contract (`tx.to`) — the profit-sharing contract
+    /// candidate.
+    pub contract: Address,
+    /// Smaller-share recipient.
+    pub operator: Address,
+    /// Larger-share recipient.
+    pub affiliate: Address,
+    /// Amount received by the operator.
+    pub operator_amount: U256,
+    /// Amount received by the affiliate.
+    pub affiliate_amount: U256,
+    /// The matched operator ratio, basis points.
+    pub ratio_bps: u32,
+    /// Asset class of the split (ETH or a token contract).
+    pub asset: Asset,
+}
+
+/// Classifies one transaction. Returns the observation if the fund flow
+/// has the profit-sharing shape, `None` otherwise.
+///
+/// The rule, per the paper:
+/// * the fund flow consists of two transfers,
+/// * both transfers originate from the same account,
+/// * the amounts adhere to one of the known proportions, operator share
+///   strictly the smaller one.
+pub fn classify_tx(tx: &Transaction, cfg: &ClassifierConfig) -> Option<PsObservation> {
+    let contract = tx.to?;
+
+    // Group outgoing transfers by (source, fungible asset).
+    let mut groups: HashMap<(Address, Asset), Vec<usize>> = HashMap::new();
+    for (i, t) in tx.transfers.iter().enumerate() {
+        if !t.asset.is_fungible() || t.amount.is_zero() {
+            continue;
+        }
+        groups.entry((t.from, t.asset)).or_default().push(i);
+    }
+
+    let mut best: Option<PsObservation> = None;
+    for ((source, asset), idxs) in groups {
+        // The outer victim→contract deposit is part of the trace but not
+        // of the *outgoing* split; a source with one transfer can never
+        // qualify. In strict mode the source must have exactly two.
+        let pair: (usize, usize) = match idxs.len() {
+            2 => (idxs[0], idxs[1]),
+            n if n > 2 && !cfg.strict_two_transfers => {
+                // Relaxed: take the two largest transfers.
+                let mut sorted = idxs.clone();
+                sorted.sort_by(|&a, &b| tx.transfers[b].amount.cmp(&tx.transfers[a].amount));
+                (sorted[0], sorted[1])
+            }
+            _ => continue,
+        };
+        let (a, b) = (&tx.transfers[pair.0], &tx.transfers[pair.1]);
+        // Self-payments are not profit shares.
+        if a.to == b.to || a.to == source || b.to == source {
+            continue;
+        }
+        let (small, large) = if a.amount <= b.amount { (a, b) } else { (b, a) };
+        let total = small.amount.checked_add(large.amount)?;
+        let Some(ratio) = match_ratio(small.amount, total, &cfg.ratios_bps, cfg.tolerance) else {
+            continue;
+        };
+        let obs = PsObservation {
+            tx: tx.id,
+            timestamp: tx.timestamp,
+            source,
+            contract,
+            operator: small.to,
+            affiliate: large.to,
+            operator_amount: small.amount,
+            affiliate_amount: large.amount,
+            ratio_bps: ratio,
+            asset,
+        };
+        // Prefer the group whose source is the invoked contract (the
+        // canonical ETH-payout shape) if several qualify.
+        let better = match &best {
+            None => true,
+            Some(prev) => obs.source == contract && prev.source != contract,
+        };
+        if better {
+            best = Some(obs);
+        }
+    }
+    best
+}
+
+/// Matches `small / total` against the ratio list within relative
+/// tolerance; returns the matched basis points.
+fn match_ratio(small: U256, total: U256, ratios_bps: &[u32], tolerance: f64) -> Option<u32> {
+    if total.is_zero() {
+        return None;
+    }
+    let observed = small.to_f64_lossy() / total.to_f64_lossy();
+    let mut best: Option<(f64, u32)> = None;
+    for &bps in ratios_bps {
+        let target = bps as f64 / 10_000.0;
+        let err = (observed - target).abs() / target;
+        if err <= tolerance {
+            match best {
+                Some((prev, _)) if prev <= err => {}
+                _ => best = Some((err, bps)),
+            }
+        }
+    }
+    best.map(|(_, bps)| bps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daas_chain::{Approval, CallInfo, Transfer};
+    use eth_types::H256;
+
+    fn addr(n: u8) -> Address {
+        Address::from_key_seed(&[n])
+    }
+
+    fn eth(n: u64) -> U256 {
+        U256::from_u128(n as u128 * 1_000_000_000_000_000_000)
+    }
+
+    fn tx_with(transfers: Vec<Transfer>, to: Address) -> Transaction {
+        Transaction {
+            id: 1,
+            hash: H256::ZERO,
+            block: 0,
+            timestamp: 100,
+            from: addr(9),
+            to: Some(to),
+            value: U256::ZERO,
+            call: CallInfo::plain(),
+            transfers,
+            approvals: Vec::<Approval>::new(),
+            created: None,
+        }
+    }
+
+    fn t(from: Address, to: Address, amount: U256) -> Transfer {
+        Transfer { asset: Asset::Eth, from, to, amount }
+    }
+
+    #[test]
+    fn canonical_eth_payout_classifies() {
+        // Figure 4: 27.1 ETH in, 5.418… to operator, 21.67… to affiliate.
+        let contract = addr(1);
+        let (victim, op, aff) = (addr(2), addr(3), addr(4));
+        let value = U256::from_u128(27_100_000_000_000_000_000);
+        let op_cut = value.mul_div(U256::from_u64(2000), U256::from_u64(10_000));
+        let aff_cut = value.mul_div(U256::from_u64(8000), U256::from_u64(10_000));
+        let tx = tx_with(
+            vec![t(victim, contract, value), t(contract, op, op_cut), t(contract, aff, aff_cut)],
+            contract,
+        );
+        let obs = classify_tx(&tx, &ClassifierConfig::default()).expect("classified");
+        assert_eq!(obs.source, contract);
+        assert_eq!(obs.contract, contract);
+        assert_eq!(obs.operator, op);
+        assert_eq!(obs.affiliate, aff);
+        assert_eq!(obs.ratio_bps, 2000);
+        assert_eq!(obs.asset, Asset::Eth);
+    }
+
+    #[test]
+    fn erc20_sweep_classifies_with_victim_source() {
+        let contract = addr(1);
+        let (victim, op, aff) = (addr(2), addr(3), addr(4));
+        let token = Asset::Erc20(addr(8));
+        let mk = |to: Address, amount: u64| Transfer {
+            asset: token,
+            from: victim,
+            to,
+            amount: U256::from_u64(amount),
+        };
+        let tx = tx_with(vec![mk(op, 150_000), mk(aff, 850_000)], contract);
+        let obs = classify_tx(&tx, &ClassifierConfig::default()).expect("classified");
+        assert_eq!(obs.source, victim);
+        assert_eq!(obs.ratio_bps, 1500);
+        assert_eq!(obs.operator, op);
+        assert_eq!(obs.asset, token);
+    }
+
+    #[test]
+    fn all_nine_ratios_match() {
+        let contract = addr(1);
+        for bps in DEFAULT_RATIOS_BPS {
+            let total = U256::from_u64(10_000_000);
+            let small = total.mul_div(U256::from_u64(bps as u64), U256::from_u64(10_000));
+            let large = total - small;
+            let tx = tx_with(
+                vec![t(contract, addr(3), small), t(contract, addr(4), large)],
+                contract,
+            );
+            let obs = classify_tx(&tx, &ClassifierConfig::default())
+                .unwrap_or_else(|| panic!("ratio {bps} unclassified"));
+            assert_eq!(obs.ratio_bps, bps);
+        }
+    }
+
+    #[test]
+    fn fifty_fifty_split_rejected() {
+        let contract = addr(1);
+        let tx = tx_with(
+            vec![t(contract, addr(3), eth(5)), t(contract, addr(4), eth(5))],
+            contract,
+        );
+        assert_eq!(classify_tx(&tx, &ClassifierConfig::default()), None);
+    }
+
+    #[test]
+    fn off_ratio_rejected_and_tolerance_configurable() {
+        let contract = addr(1);
+        // 22/78 split: not within 0.5% of 20/80, but within 15%.
+        let tx = tx_with(
+            vec![t(contract, addr(3), eth(22)), t(contract, addr(4), eth(78))],
+            contract,
+        );
+        assert_eq!(classify_tx(&tx, &ClassifierConfig::default()), None);
+        let loose = ClassifierConfig { tolerance: 0.15, ..Default::default() };
+        assert!(classify_tx(&tx, &loose).is_some());
+    }
+
+    #[test]
+    fn dust_within_tolerance_still_matches() {
+        // Integer division dust: operator gets value*33/100 truncated.
+        let contract = addr(1);
+        let value = U256::from_u64(1_000_003);
+        let op_cut = value.mul_div(U256::from_u64(3300), U256::from_u64(10_000));
+        let aff_cut = value.mul_div(U256::from_u64(6700), U256::from_u64(10_000));
+        let tx = tx_with(
+            vec![t(contract, addr(3), op_cut), t(contract, addr(4), aff_cut)],
+            contract,
+        );
+        let obs = classify_tx(&tx, &ClassifierConfig::default()).expect("classified");
+        assert_eq!(obs.ratio_bps, 3300);
+    }
+
+    #[test]
+    fn single_transfer_rejected() {
+        let contract = addr(1);
+        let tx = tx_with(vec![t(contract, addr(3), eth(1))], contract);
+        assert_eq!(classify_tx(&tx, &ClassifierConfig::default()), None);
+    }
+
+    #[test]
+    fn three_transfers_rejected_in_strict_mode() {
+        let contract = addr(1);
+        let transfers = vec![
+            t(contract, addr(3), eth(20)),
+            t(contract, addr(4), eth(80)),
+            t(contract, addr(5), U256::from_u64(1)), // dust
+        ];
+        let tx = tx_with(transfers.clone(), contract);
+        assert_eq!(classify_tx(&tx, &ClassifierConfig::default()), None);
+        // Relaxed mode (A5) accepts the two largest.
+        let relaxed = ClassifierConfig { strict_two_transfers: false, ..Default::default() };
+        let obs = classify_tx(&tx_with(transfers, contract), &relaxed).expect("classified");
+        assert_eq!(obs.ratio_bps, 2000);
+    }
+
+    #[test]
+    fn different_sources_rejected() {
+        // DEX-like: two transfers, different sources.
+        let dex = addr(1);
+        let tx = tx_with(vec![t(addr(2), dex, eth(20)), t(dex, addr(2), eth(80))], dex);
+        assert_eq!(classify_tx(&tx, &ClassifierConfig::default()), None);
+    }
+
+    #[test]
+    fn same_recipient_twice_rejected() {
+        let contract = addr(1);
+        let tx = tx_with(
+            vec![t(contract, addr(3), eth(20)), t(contract, addr(3), eth(80))],
+            contract,
+        );
+        assert_eq!(classify_tx(&tx, &ClassifierConfig::default()), None);
+    }
+
+    #[test]
+    fn nft_transfers_ignored() {
+        let contract = addr(1);
+        let nft = |to: Address| Transfer {
+            asset: Asset::Erc721 { token: addr(8), id: 1 },
+            from: contract,
+            to,
+            amount: U256::ONE,
+        };
+        let tx = tx_with(vec![nft(addr(3)), nft(addr(4))], contract);
+        assert_eq!(classify_tx(&tx, &ClassifierConfig::default()), None);
+    }
+
+    #[test]
+    fn contract_creation_rejected() {
+        let mut tx = tx_with(vec![], addr(1));
+        tx.to = None;
+        assert_eq!(classify_tx(&tx, &ClassifierConfig::default()), None);
+    }
+
+    #[test]
+    fn mixed_assets_grouped_separately() {
+        // One ETH + one token transfer from the same source: neither
+        // group has two transfers.
+        let contract = addr(1);
+        let token_t = Transfer {
+            asset: Asset::Erc20(addr(8)),
+            from: contract,
+            to: addr(4),
+            amount: eth(8),
+        };
+        let tx = tx_with(vec![t(contract, addr(3), eth(2)), token_t], contract);
+        assert_eq!(classify_tx(&tx, &ClassifierConfig::default()), None);
+    }
+
+    #[test]
+    fn prefers_contract_source_group() {
+        // Both the invoked contract and an unrelated account have
+        // qualifying splits; the contract-sourced one wins.
+        let contract = addr(1);
+        let other = addr(7);
+        let tx = tx_with(
+            vec![
+                t(other, addr(5), eth(20)),
+                t(other, addr(6), eth(80)),
+                t(contract, addr(3), eth(15)),
+                t(contract, addr(4), eth(85)),
+            ],
+            contract,
+        );
+        let obs = classify_tx(&tx, &ClassifierConfig::default()).expect("classified");
+        assert_eq!(obs.source, contract);
+        assert_eq!(obs.ratio_bps, 1500);
+    }
+
+    #[test]
+    fn zero_amount_transfers_ignored() {
+        let contract = addr(1);
+        let tx = tx_with(
+            vec![
+                t(contract, addr(3), U256::ZERO),
+                t(contract, addr(4), eth(20)),
+                t(contract, addr(5), eth(80)),
+            ],
+            contract,
+        );
+        // Zero transfer excluded → exactly two remain → classifies.
+        let obs = classify_tx(&tx, &ClassifierConfig::default()).expect("classified");
+        assert_eq!(obs.ratio_bps, 2000);
+    }
+}

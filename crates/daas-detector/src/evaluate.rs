@@ -1,0 +1,235 @@
+//! Scoring a discovered dataset against ground truth, and the §5.2
+//! manual-validation sampling exercise.
+
+use std::collections::{BTreeSet, HashSet};
+
+use daas_chain::{Chain, TxId};
+use eth_types::Address;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+
+/// Precision/recall for one account class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassScores {
+    /// Correctly discovered members.
+    pub true_positives: usize,
+    /// Discovered members not in the ground truth.
+    pub false_positives: usize,
+    /// Ground-truth members the pipeline missed.
+    pub false_negatives: usize,
+}
+
+impl ClassScores {
+    fn score<T: Ord + Copy>(found: &BTreeSet<T>, truth: &BTreeSet<T>) -> Self {
+        let tp = found.intersection(truth).count();
+        ClassScores {
+            true_positives: tp,
+            false_positives: found.len() - tp,
+            false_negatives: truth.len() - tp,
+        }
+    }
+
+    /// Precision (1.0 when nothing was found).
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Recall (1.0 when the truth set is empty).
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+}
+
+/// Full evaluation against ground truth.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Profit-sharing contracts.
+    pub contracts: ClassScores,
+    /// Operator accounts.
+    pub operators: ClassScores,
+    /// Affiliate accounts.
+    pub affiliates: ClassScores,
+    /// Profit-sharing transactions.
+    pub transactions: ClassScores,
+}
+
+/// Scores `dataset` against ground-truth account and transaction sets.
+/// The caller supplies plain slices so this crate stays decoupled from
+/// the world generator.
+pub fn evaluate(
+    dataset: &Dataset,
+    true_contracts: &[Address],
+    true_operators: &[Address],
+    true_affiliates: &[Address],
+    true_ps_txs: &[TxId],
+) -> Evaluation {
+    let tc: BTreeSet<_> = true_contracts.iter().copied().collect();
+    let to: BTreeSet<_> = true_operators.iter().copied().collect();
+    let ta: BTreeSet<_> = true_affiliates.iter().copied().collect();
+    let tt: BTreeSet<_> = true_ps_txs.iter().copied().collect();
+    Evaluation {
+        contracts: ClassScores::score(&dataset.contracts, &tc),
+        operators: ClassScores::score(&dataset.operators, &to),
+        affiliates: ClassScores::score(&dataset.affiliates, &ta),
+        transactions: ClassScores::score(&dataset.ps_txs, &tt),
+    }
+}
+
+/// The §5.2 manual-validation sampling plan: for every DaaS account,
+/// review its ten most recent profit-sharing transactions, skipping
+/// transactions already reviewed. The paper reports 8,974 + 538 +
+/// 29,525 = 39,037 reviewed transactions (44.8% of all).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ValidationSample {
+    /// Transactions first reviewed via a contract.
+    pub contract_txs: usize,
+    /// Transactions first reviewed via an operator account.
+    pub operator_txs: usize,
+    /// Transactions first reviewed via an affiliate account.
+    pub affiliate_txs: usize,
+    /// Distinct transactions reviewed.
+    pub total: usize,
+    /// Reviewed share of all profit-sharing transactions, percent.
+    pub coverage_pct: f64,
+}
+
+/// Reproduces the validation sampling: accounts are visited in the
+/// paper's order (contracts, then operators, then affiliates); each
+/// contributes its ten most recent profit-sharing transactions that are
+/// not yet reviewed.
+pub fn validation_sample(chain: &Chain, dataset: &Dataset, per_account: usize) -> ValidationSample {
+    let ps: HashSet<TxId> = dataset.ps_txs.iter().copied().collect();
+    let mut reviewed: HashSet<TxId> = HashSet::new();
+    let mut counts = [0usize; 3];
+
+    let classes: [(&BTreeSet<Address>, usize); 3] = [
+        (&dataset.contracts, 0),
+        (&dataset.operators, 1),
+        (&dataset.affiliates, 2),
+    ];
+    for (accounts, class) in classes {
+        for &account in accounts.iter() {
+            let mut taken = 0;
+            // Most recent first.
+            for &txid in chain.txs_of(account).iter().rev() {
+                if taken == per_account {
+                    break;
+                }
+                if !ps.contains(&txid) {
+                    continue;
+                }
+                if reviewed.insert(txid) {
+                    counts[class] += 1;
+                    taken += 1;
+                }
+                // Already-reviewed transactions are skipped and a new one
+                // selected — i.e. they do not count against the quota.
+            }
+        }
+    }
+
+    let total = reviewed.len();
+    ValidationSample {
+        contract_txs: counts[0],
+        operator_txs: counts[1],
+        affiliate_txs: counts[2],
+        total,
+        coverage_pct: 100.0 * total as f64 / dataset.ps_txs.len().max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::PsObservation;
+    use daas_chain::{Asset, Chain, ContractKind, EntryStyle, ProfitSharingSpec};
+    use eth_types::units::ether;
+    use eth_types::U256;
+
+    fn addr(n: u8) -> Address {
+        Address::from_key_seed(&[n])
+    }
+
+    #[test]
+    fn precision_recall_math() {
+        let mut ds = Dataset::default();
+        ds.contracts.extend([addr(1), addr(2), addr(9)]); // 9 is an FP
+        let eval = evaluate(&ds, &[addr(1), addr(2), addr(3)], &[], &[], &[]);
+        assert_eq!(eval.contracts.true_positives, 2);
+        assert_eq!(eval.contracts.false_positives, 1);
+        assert_eq!(eval.contracts.false_negatives, 1);
+        assert!((eval.contracts.precision() - 2.0 / 3.0).abs() < 1e-9);
+        assert!((eval.contracts.recall() - 2.0 / 3.0).abs() < 1e-9);
+        // Empty classes score perfect.
+        assert_eq!(eval.operators.precision(), 1.0);
+        assert_eq!(eval.operators.recall(), 1.0);
+    }
+
+    #[test]
+    fn validation_sampling_dedupes_and_caps() {
+        // Build a contract with 15 PS txs; the contract pass reviews 10,
+        // the operator pass picks up the remaining 5 (its quota skips
+        // already-reviewed ones).
+        let mut chain = Chain::new();
+        let op = chain.create_eoa_funded(b"op", ether(1)).unwrap();
+        let aff = chain.create_eoa(b"aff").unwrap();
+        let victim = chain.create_eoa_funded(b"v", ether(1_000)).unwrap();
+        let contract = chain
+            .deploy_contract(
+                op,
+                ContractKind::ProfitSharing(ProfitSharingSpec {
+                    operator: op,
+                    operator_bps: 2000,
+                    entry: EntryStyle::PayableFallback,
+                }),
+            )
+            .unwrap();
+        let mut ds = Dataset::default();
+        for i in 0..15 {
+            chain.advance(12);
+            let tx = chain.claim_eth(victim, contract, ether(1), aff).unwrap();
+            ds.absorb(PsObservation {
+                tx,
+                timestamp: chain.now(),
+                source: contract,
+                contract,
+                operator: op,
+                affiliate: aff,
+                operator_amount: U256::from_u64(2),
+                affiliate_amount: U256::from_u64(8),
+                ratio_bps: 2000,
+                asset: Asset::Eth,
+            });
+            let _ = i;
+        }
+        let sample = validation_sample(&chain, &ds, 10);
+        assert_eq!(sample.contract_txs, 10);
+        assert_eq!(sample.operator_txs, 5);
+        assert_eq!(sample.affiliate_txs, 0); // all 15 already reviewed
+        assert_eq!(sample.total, 15);
+        assert!((sample.coverage_pct - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_ignores_non_ps_txs() {
+        let mut chain = Chain::new();
+        let op = chain.create_eoa_funded(b"op", ether(10)).unwrap();
+        let other = chain.create_eoa(b"other").unwrap();
+        chain.transfer_eth(op, other, ether(1)).unwrap();
+        let mut ds = Dataset::default();
+        ds.operators.insert(op);
+        let sample = validation_sample(&chain, &ds, 10);
+        assert_eq!(sample.total, 0);
+    }
+}

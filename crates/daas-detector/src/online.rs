@@ -1,0 +1,280 @@
+//! Online (streaming) dataset construction.
+//!
+//! The paper's collection ran continuously for 21 months; a deployed
+//! pipeline does not re-run batch snowball sampling on every block.
+//! [`OnlineDetector`] is the incremental equivalent: it keeps a cursor
+//! into the chain, classifies new transactions as they confirm, admits
+//! new profit-sharing contracts by the same seed-label and
+//! guarded-expansion rules as [`crate::build_dataset`], and backfills a
+//! newly admitted account's history so the maintained dataset converges
+//! to exactly what the batch construction would produce.
+//!
+//! The poll-based shape (caller drives, detector returns the events
+//! since the last poll) follows the workspace's event-driven style.
+
+use std::collections::{HashSet, VecDeque};
+
+use daas_chain::{Chain, LabelStore, TxId};
+use eth_types::Address;
+use serde::{Deserialize, Serialize};
+
+use crate::classify::classify_tx;
+use crate::dataset::Dataset;
+use crate::snowball::SnowballConfig;
+
+/// How a contract entered the dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Admission {
+    /// Publicly labeled as phishing (the step-1 seed rule).
+    SeedLabel,
+    /// Admitted by the guarded expansion rule (step 4).
+    Expansion,
+}
+
+/// An event produced by [`OnlineDetector::poll`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DetectorEvent {
+    /// A new profit-sharing contract entered the dataset.
+    ContractAdmitted {
+        /// The contract.
+        contract: Address,
+        /// Which rule admitted it.
+        via: Admission,
+    },
+    /// A new profit-sharing transaction was attributed (including
+    /// backfilled history of a just-admitted contract).
+    PsTransaction {
+        /// The transaction.
+        tx: TxId,
+        /// Its contract.
+        contract: Address,
+    },
+    /// A new operator account was observed.
+    OperatorObserved(Address),
+    /// A new affiliate account was observed.
+    AffiliateObserved(Address),
+}
+
+/// Incremental detector state.
+#[derive(Debug, Clone)]
+pub struct OnlineDetector {
+    cfg: SnowballConfig,
+    dataset: Dataset,
+    cursor: TxId,
+}
+
+impl OnlineDetector {
+    /// Creates a detector starting at the chain's first transaction.
+    pub fn new(cfg: SnowballConfig) -> Self {
+        OnlineDetector { cfg, dataset: Dataset::default(), cursor: 0 }
+    }
+
+    /// The dataset maintained so far.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Transactions processed so far.
+    pub fn cursor(&self) -> TxId {
+        self.cursor
+    }
+
+    /// Processes every transaction confirmed since the last poll.
+    /// Returns the events, in admission order.
+    pub fn poll(&mut self, chain: &Chain, labels: &LabelStore) -> Vec<DetectorEvent> {
+        self.poll_until(chain, labels, chain.transactions().len() as TxId)
+    }
+
+    /// Processes transactions up to (exclusive) `limit` — lets callers
+    /// simulate block-by-block delivery.
+    pub fn poll_until(
+        &mut self,
+        chain: &Chain,
+        labels: &LabelStore,
+        limit: TxId,
+    ) -> Vec<DetectorEvent> {
+        let limit = limit.min(chain.transactions().len() as TxId);
+        let mut events = Vec::new();
+        while self.cursor < limit {
+            let txid = self.cursor;
+            self.cursor += 1;
+            let tx = chain.tx(txid);
+            let Some(obs) = classify_tx(tx, &self.cfg.classifier) else { continue };
+            let contract = obs.contract;
+
+            if self.dataset.contracts.contains(&contract) {
+                self.absorb_and_backfill(chain, obs, &mut events);
+                continue;
+            }
+
+            // Seed rule: the contract is publicly labeled as phishing.
+            let seed = labels.publicly_flagged(contract) && chain.is_contract(contract);
+            // Expansion rule: the transaction touches an account already
+            // in the dataset, and the contract has a *prior* interaction
+            // with the dataset (identical to the batch guard).
+            let expansion = !seed && {
+                let touches_dataset = tx
+                    .touched_addresses()
+                    .into_iter()
+                    .any(|a| a != contract && self.dataset.contains(a));
+                touches_dataset
+                    && (!self.cfg.expansion_guard
+                        || previously_interacted_online(chain, &self.dataset, contract, txid))
+            };
+            if !(seed || expansion) {
+                continue;
+            }
+
+            events.push(DetectorEvent::ContractAdmitted {
+                contract,
+                via: if seed { Admission::SeedLabel } else { Admission::Expansion },
+            });
+            self.absorb_and_backfill(chain, obs, &mut events);
+            // Backfill the contract's own earlier history (step 2 on the
+            // just-admitted contract), bounded by what has confirmed.
+            self.backfill_account(chain, contract, &mut events);
+        }
+        events
+    }
+
+    /// Absorbs one observation, emitting role events, and backfills the
+    /// histories of any newly seen operators/affiliates (the streaming
+    /// equivalent of the batch fixpoint).
+    fn absorb_and_backfill(
+        &mut self,
+        chain: &Chain,
+        obs: crate::classify::PsObservation,
+        events: &mut Vec<DetectorEvent>,
+    ) {
+        let mut queue: VecDeque<Address> = VecDeque::new();
+        let (tx, contract, op, aff) = (obs.tx, obs.contract, obs.operator, obs.affiliate);
+        let new_op = !self.dataset.operators.contains(&op);
+        let new_aff = !self.dataset.affiliates.contains(&aff);
+        if !self.dataset.absorb(obs) {
+            return;
+        }
+        events.push(DetectorEvent::PsTransaction { tx, contract });
+        if new_op {
+            events.push(DetectorEvent::OperatorObserved(op));
+            queue.push_back(op);
+        }
+        if new_aff {
+            events.push(DetectorEvent::AffiliateObserved(aff));
+            queue.push_back(aff);
+        }
+        let mut seen: HashSet<Address> = queue.iter().copied().collect();
+        while let Some(account) = queue.pop_front() {
+            let new_members = self.scan_account(chain, account, events);
+            for member in new_members {
+                if seen.insert(member) {
+                    queue.push_back(member);
+                }
+            }
+        }
+    }
+
+    /// Scans an account's *confirmed* history (up to the cursor) for
+    /// profit-sharing transactions, admitting new contracts by the
+    /// expansion rule. Returns newly observed operator/affiliate
+    /// accounts.
+    fn scan_account(
+        &mut self,
+        chain: &Chain,
+        account: Address,
+        events: &mut Vec<DetectorEvent>,
+    ) -> Vec<Address> {
+        let mut new_members = Vec::new();
+        let history: Vec<TxId> = chain
+            .txs_of(account)
+            .iter()
+            .copied()
+            .filter(|&id| id < self.cursor)
+            .collect();
+        for txid in history {
+            let tx = chain.tx(txid);
+            let Some(obs) = classify_tx(tx, &self.cfg.classifier) else { continue };
+            let contract = obs.contract;
+            let known = self.dataset.contracts.contains(&contract);
+            if !known {
+                let guard_ok = !self.cfg.expansion_guard
+                    || previously_interacted_online(chain, &self.dataset, contract, txid);
+                if !guard_ok {
+                    continue;
+                }
+                events.push(DetectorEvent::ContractAdmitted {
+                    contract,
+                    via: Admission::Expansion,
+                });
+            }
+            let (op, aff) = (obs.operator, obs.affiliate);
+            let new_op = !self.dataset.operators.contains(&op);
+            let new_aff = !self.dataset.affiliates.contains(&aff);
+            if self.dataset.absorb(obs) {
+                events.push(DetectorEvent::PsTransaction { tx: txid, contract });
+                if new_op {
+                    events.push(DetectorEvent::OperatorObserved(op));
+                    new_members.push(op);
+                }
+                if new_aff {
+                    events.push(DetectorEvent::AffiliateObserved(aff));
+                    new_members.push(aff);
+                }
+            }
+            if !known {
+                // New contract: sweep its own confirmed history too.
+                let more = self.backfill_account_collect(chain, contract, events);
+                new_members.extend(more);
+            }
+        }
+        new_members
+    }
+
+    fn backfill_account(
+        &mut self,
+        chain: &Chain,
+        account: Address,
+        events: &mut Vec<DetectorEvent>,
+    ) {
+        let mut queue: VecDeque<Address> = VecDeque::from([account]);
+        let mut seen: HashSet<Address> = queue.iter().copied().collect();
+        while let Some(acc) = queue.pop_front() {
+            for member in self.scan_account(chain, acc, events) {
+                if seen.insert(member) {
+                    queue.push_back(member);
+                }
+            }
+        }
+    }
+
+    fn backfill_account_collect(
+        &mut self,
+        chain: &Chain,
+        account: Address,
+        events: &mut Vec<DetectorEvent>,
+    ) -> Vec<Address> {
+        self.scan_account(chain, account, events)
+    }
+}
+
+/// The temporal expansion guard, online flavour: identical logic to the
+/// batch version (a dataset contact strictly before the surfacing
+/// transaction), re-evaluated against the *current* dataset.
+fn previously_interacted_online(
+    chain: &Chain,
+    dataset: &Dataset,
+    contract: Address,
+    surfacing_tx: TxId,
+) -> bool {
+    for &txid in chain.txs_of(contract) {
+        if txid >= surfacing_tx {
+            break;
+        }
+        let tx = chain.tx(txid);
+        for address in tx.touched_addresses() {
+            if address != contract && dataset.contains(address) {
+                return true;
+            }
+        }
+    }
+    false
+}

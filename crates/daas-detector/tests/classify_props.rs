@@ -1,0 +1,151 @@
+//! Property-based tests for the profit-sharing classifier: soundness and
+//! completeness of the ratio rule over randomly generated fund flows.
+
+use daas_chain::{Approval, Asset, CallInfo, Transaction, Transfer};
+use daas_detector::{classify_tx, ClassifierConfig, DEFAULT_RATIOS_BPS};
+use eth_types::{Address, H256, U256};
+use proptest::prelude::*;
+
+fn addr(n: u8) -> Address {
+    Address::from_key_seed(&[b'c', n])
+}
+
+fn tx_with(transfers: Vec<Transfer>) -> Transaction {
+    Transaction {
+        id: 1,
+        hash: H256::ZERO,
+        block: 0,
+        timestamp: 1_000,
+        from: addr(200),
+        to: Some(addr(0)),
+        value: U256::ZERO,
+        call: CallInfo::plain(),
+        transfers,
+        approvals: Vec::<Approval>::new(),
+        created: None,
+    }
+}
+
+fn split(total: u64, bps: u32) -> (U256, U256) {
+    let total = U256::from_u64(total);
+    let small = total.mul_div(U256::from_u64(bps as u64), U256::from_u64(10_000));
+    (small, total - small)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn exact_ratio_splits_always_classify(
+        total in 10_000u64..u64::MAX / 2,
+        ratio_idx in 0usize..DEFAULT_RATIOS_BPS.len(),
+        op in 1u8..100,
+        aff in 101u8..200,
+    ) {
+        let bps = DEFAULT_RATIOS_BPS[ratio_idx];
+        let (small, large) = split(total, bps);
+        let t = tx_with(vec![
+            Transfer { asset: Asset::Eth, from: addr(0), to: addr(op), amount: small },
+            Transfer { asset: Asset::Eth, from: addr(0), to: addr(aff), amount: large },
+        ]);
+        let obs = classify_tx(&t, &ClassifierConfig::default());
+        prop_assert!(obs.is_some(), "exact {bps}bps split of {total} unclassified");
+        let obs = obs.unwrap();
+        prop_assert_eq!(obs.ratio_bps, bps);
+        prop_assert_eq!(obs.operator, addr(op));
+        prop_assert_eq!(obs.affiliate, addr(aff));
+        prop_assert!(obs.operator_amount <= obs.affiliate_amount);
+    }
+
+    #[test]
+    fn transfer_order_is_irrelevant(
+        total in 10_000u64..1_000_000_000,
+        ratio_idx in 0usize..DEFAULT_RATIOS_BPS.len(),
+    ) {
+        let bps = DEFAULT_RATIOS_BPS[ratio_idx];
+        let (small, large) = split(total, bps);
+        let fwd = tx_with(vec![
+            Transfer { asset: Asset::Eth, from: addr(0), to: addr(1), amount: small },
+            Transfer { asset: Asset::Eth, from: addr(0), to: addr(2), amount: large },
+        ]);
+        let rev = tx_with(vec![
+            Transfer { asset: Asset::Eth, from: addr(0), to: addr(2), amount: large },
+            Transfer { asset: Asset::Eth, from: addr(0), to: addr(1), amount: small },
+        ]);
+        let a = classify_tx(&fwd, &ClassifierConfig::default());
+        let b = classify_tx(&rev, &ClassifierConfig::default());
+        prop_assert_eq!(a.clone().map(|o| (o.operator, o.affiliate, o.ratio_bps)),
+                        b.map(|o| (o.operator, o.affiliate, o.ratio_bps)));
+        prop_assert!(a.is_some());
+    }
+
+    #[test]
+    fn off_ratio_splits_never_classify(
+        total in 1_000_000u64..1_000_000_000,
+        ratio_pct in 1u32..50,
+    ) {
+        // Integer percents far from every table entry (tolerance is
+        // 0.5%, table entries are 10, 12.5, 15, 17.5, 20, 25, 30, 33,
+        // 40): skip anything within 1% of a table ratio.
+        let bps = ratio_pct * 100;
+        let near_table = DEFAULT_RATIOS_BPS
+            .iter()
+            .any(|&t| (t as i64 - bps as i64).abs() <= 100);
+        prop_assume!(!near_table);
+        let (small, large) = split(total, bps);
+        prop_assume!(!small.is_zero() && small != large);
+        let t = tx_with(vec![
+            Transfer { asset: Asset::Eth, from: addr(0), to: addr(1), amount: small },
+            Transfer { asset: Asset::Eth, from: addr(0), to: addr(2), amount: large },
+        ]);
+        prop_assert!(classify_tx(&t, &ClassifierConfig::default()).is_none(),
+            "off-ratio {bps}bps classified");
+    }
+
+    #[test]
+    fn random_transfer_soup_never_panics(
+        n in 0usize..8,
+        seed_bytes in proptest::collection::vec(any::<(u8, u8, u64)>(), 0..8),
+    ) {
+        // Arbitrary transfer sets: classification must be total.
+        let transfers: Vec<Transfer> = seed_bytes
+            .iter()
+            .take(n)
+            .map(|&(from, to, amount)| Transfer {
+                asset: Asset::Eth,
+                from: addr(from),
+                to: addr(to),
+                amount: U256::from_u64(amount),
+            })
+            .collect();
+        let _ = classify_tx(&tx_with(transfers), &ClassifierConfig::default());
+    }
+
+    #[test]
+    fn tolerance_monotone(
+        total in 1_000_000u64..1_000_000_000,
+        noise_bps in 0u32..200,
+    ) {
+        // A 20% split perturbed by `noise_bps`: if a tighter tolerance
+        // accepts it, every looser tolerance must too.
+        let small = U256::from_u64(total).mul_div(
+            U256::from_u64(2_000 + noise_bps as u64),
+            U256::from_u64(10_000),
+        );
+        let large = U256::from_u64(total) - small;
+        prop_assume!(small < large);
+        let t = tx_with(vec![
+            Transfer { asset: Asset::Eth, from: addr(0), to: addr(1), amount: small },
+            Transfer { asset: Asset::Eth, from: addr(0), to: addr(2), amount: large },
+        ]);
+        let mut last: Option<bool> = None;
+        for tol in [0.001, 0.005, 0.02, 0.1] {
+            let cfg = ClassifierConfig { tolerance: tol, ..Default::default() };
+            let hit = classify_tx(&t, &cfg).is_some();
+            if let Some(prev) = last {
+                prop_assert!(!prev || hit, "tolerance not monotone");
+            }
+            last = Some(hit);
+        }
+    }
+}

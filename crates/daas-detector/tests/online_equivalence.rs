@@ -1,0 +1,114 @@
+//! The streaming detector must converge to exactly the batch snowball
+//! result — regardless of how the chain is delivered (one poll, or
+//! block-sized chunks).
+
+use daas_detector::{build_dataset, DetectorEvent, OnlineDetector, SnowballConfig};
+use daas_world::{World, WorldConfig};
+
+fn assert_equivalent(batch: &daas_detector::Dataset, online: &daas_detector::Dataset) {
+    assert_eq!(online.contracts, batch.contracts, "contract sets differ");
+    assert_eq!(online.operators, batch.operators, "operator sets differ");
+    assert_eq!(online.affiliates, batch.affiliates, "affiliate sets differ");
+    assert_eq!(online.ps_txs, batch.ps_txs, "transaction sets differ");
+}
+
+#[test]
+fn single_poll_matches_batch() {
+    let world = World::build(&WorldConfig::tiny(31)).expect("world");
+    let batch = build_dataset(&world.chain, &world.labels, &SnowballConfig::default());
+
+    let mut online = OnlineDetector::new(SnowballConfig::default());
+    let events = online.poll(&world.chain, &world.labels);
+    assert_equivalent(&batch, online.dataset());
+    assert!(!events.is_empty());
+    assert_eq!(online.cursor() as usize, world.chain.transactions().len());
+}
+
+#[test]
+fn chunked_polling_matches_batch() {
+    let world = World::build(&WorldConfig::tiny(32)).expect("world");
+    let batch = build_dataset(&world.chain, &world.labels, &SnowballConfig::default());
+
+    let mut online = OnlineDetector::new(SnowballConfig::default());
+    let total = world.chain.transactions().len() as u32;
+    let mut all_events = Vec::new();
+    // Deliver in uneven chunks, like blocks arriving.
+    let mut at = 0;
+    for step in [7u32, 1, 113, 64, 999, 3] {
+        at = (at + step).min(total);
+        all_events.extend(online.poll_until(&world.chain, &world.labels, at));
+    }
+    all_events.extend(online.poll(&world.chain, &world.labels));
+    assert_equivalent(&batch, online.dataset());
+
+    // Event stream is consistent with the final dataset.
+    let admitted: std::collections::BTreeSet<_> = all_events
+        .iter()
+        .filter_map(|e| match e {
+            DetectorEvent::ContractAdmitted { contract, .. } => Some(*contract),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(admitted, online.dataset().contracts);
+    let txs: std::collections::BTreeSet<_> = all_events
+        .iter()
+        .filter_map(|e| match e {
+            DetectorEvent::PsTransaction { tx, .. } => Some(*tx),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(txs, online.dataset().ps_txs);
+}
+
+#[test]
+fn events_fire_exactly_once() {
+    let world = World::build(&WorldConfig::tiny(33)).expect("world");
+    let mut online = OnlineDetector::new(SnowballConfig::default());
+    let mut events = online.poll(&world.chain, &world.labels);
+    // A second poll with nothing new yields nothing.
+    assert!(online.poll(&world.chain, &world.labels).is_empty());
+
+    events.retain(|e| matches!(e, DetectorEvent::ContractAdmitted { .. }));
+    let mut contracts: Vec<_> = events
+        .iter()
+        .map(|e| match e {
+            DetectorEvent::ContractAdmitted { contract, .. } => *contract,
+            _ => unreachable!(),
+        })
+        .collect();
+    let before = contracts.len();
+    contracts.sort_unstable();
+    contracts.dedup();
+    assert_eq!(contracts.len(), before, "duplicate admission events");
+}
+
+#[test]
+fn guardless_variants_also_match() {
+    let world = World::build(&WorldConfig::tiny(34)).expect("world");
+    let cfg = SnowballConfig { expansion_guard: false, ..Default::default() };
+    let batch = build_dataset(&world.chain, &world.labels, &cfg);
+    let mut online = OnlineDetector::new(cfg);
+    online.poll(&world.chain, &world.labels);
+    assert_equivalent(&batch, online.dataset());
+}
+
+#[test]
+fn seed_admissions_labeled_as_such() {
+    let world = World::build(&WorldConfig::tiny(35)).expect("world");
+    let mut online = OnlineDetector::new(SnowballConfig::default());
+    let events = online.poll(&world.chain, &world.labels);
+    let seeds = events
+        .iter()
+        .filter(|e| {
+            matches!(e, DetectorEvent::ContractAdmitted { via: daas_detector::Admission::SeedLabel, .. })
+        })
+        .count();
+    let expansions = events
+        .iter()
+        .filter(|e| {
+            matches!(e, DetectorEvent::ContractAdmitted { via: daas_detector::Admission::Expansion, .. })
+        })
+        .count();
+    assert!(seeds > 0, "no seed admissions");
+    assert!(expansions > 0, "no expansion admissions");
+}

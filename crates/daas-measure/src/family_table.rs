@@ -1,0 +1,86 @@
+//! The Table 2 family overview, computed from a clustering plus the
+//! measurement context.
+
+use daas_chain::{format_year_month, Timestamp};
+use daas_cluster::Clustering;
+use serde::{Deserialize, Serialize};
+
+use crate::incidents::MeasureCtx;
+
+/// One Table 2 column (a family).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FamilyRow {
+    /// Family name (label or operator prefix).
+    pub name: String,
+    /// Profit-sharing contracts.
+    pub contracts: usize,
+    /// Operator accounts.
+    pub operators: usize,
+    /// Affiliate accounts.
+    pub affiliates: usize,
+    /// Distinct victim accounts.
+    pub victims: usize,
+    /// Total profits, USD.
+    pub profits_usd: f64,
+    /// First observed activity, `YYYY-MM`.
+    pub active_start: String,
+    /// Last observed activity, `YYYY-MM` — `"Now"` when active within a
+    /// month of `as_of` (Table 2's convention).
+    pub active_end: String,
+}
+
+/// Builds Table 2: one row per family, sorted by victim count descending
+/// (the paper's ordering). `as_of` is the collection end used for the
+/// "Now" convention.
+pub fn family_table(ctx: &MeasureCtx<'_>, clustering: &Clustering, as_of: Timestamp) -> Vec<FamilyRow> {
+    let mut rows = Vec::with_capacity(clustering.families.len());
+    for fam in &clustering.families {
+        let mut victims = std::collections::HashSet::new();
+        let mut profits = 0.0;
+        let mut first = u64::MAX;
+        let mut last = 0u64;
+        let tx_set: std::collections::HashSet<_> = fam.ps_txs.iter().copied().collect();
+        for inc in ctx.incidents() {
+            if !tx_set.contains(&inc.tx) {
+                continue;
+            }
+            victims.insert(inc.victim);
+            profits += inc.usd;
+            first = first.min(inc.timestamp);
+            last = last.max(inc.timestamp);
+        }
+        let active_start =
+            if first == u64::MAX { "-".to_owned() } else { format_year_month(first) };
+        let active_end = if last == 0 {
+            "-".to_owned()
+        } else if as_of.saturating_sub(last) <= 31 * 86_400 {
+            "Now".to_owned()
+        } else {
+            format_year_month(last)
+        };
+        rows.push(FamilyRow {
+            name: fam.name.clone(),
+            contracts: fam.contracts.len(),
+            operators: fam.operators.len(),
+            affiliates: fam.affiliates.len(),
+            victims: victims.len(),
+            profits_usd: profits,
+            active_start,
+            active_end,
+        });
+    }
+    rows.sort_by(|a, b| b.victims.cmp(&a.victims).then_with(|| a.name.cmp(&b.name)));
+    rows
+}
+
+/// Share of total profits held by the top `k` families, percent
+/// (paper: the dominant three hold 93.9%).
+pub fn dominant_share(rows: &[FamilyRow], k: usize) -> f64 {
+    let total: f64 = rows.iter().map(|r| r.profits_usd).sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut profits: Vec<f64> = rows.iter().map(|r| r.profits_usd).collect();
+    profits.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+    100.0 * profits.iter().take(k).sum::<f64>() / total
+}

@@ -1,0 +1,242 @@
+//! Post-theft fund-flow analysis (§8.1): once reported, DaaS accounts
+//! cannot cash out at centralised exchanges, so they launder through
+//! mixing services and bridges. This module measures where operator and
+//! affiliate profits actually go.
+
+use std::collections::HashMap;
+
+use daas_chain::{Asset, ContractKind};
+use eth_types::{Address, U256};
+use serde::{Deserialize, Serialize};
+
+use crate::incidents::MeasureCtx;
+
+/// Destination classes for DaaS outflows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SinkKind {
+    /// A mixing/bridging service (Tornado-style).
+    Mixer,
+    /// A labeled exchange hot wallet.
+    Exchange,
+    /// Another DaaS account in the dataset (internal shuffling).
+    InternalDaas,
+    /// Anything else (unattributed EOAs and contracts).
+    Other,
+}
+
+/// The §8.1 laundering report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LaunderingReport {
+    /// Outflow wei per sink class, from operator accounts.
+    pub operator_outflows: HashMap<SinkKind, U256>,
+    /// Share (percent of wei) of operator outflows reaching mixers.
+    pub operator_mixer_pct: f64,
+    /// Share of operator outflows reaching labeled exchanges.
+    pub operator_exchange_pct: f64,
+    /// Distinct operator accounts that touched a mixer.
+    pub operators_using_mixers: usize,
+}
+
+impl<'a> MeasureCtx<'a> {
+    /// Classifies every ETH outflow from dataset operator accounts by
+    /// destination. `exchange_labels` decides what counts as a CEX (the
+    /// paper's point: *labeled* accounts cannot cash out there, hence
+    /// the mixer share).
+    pub fn laundering_report(
+        &self,
+        labels: &daas_chain::LabelStore,
+    ) -> LaunderingReport {
+        let mut outflows: HashMap<SinkKind, U256> = HashMap::new();
+        let mut mixer_users = std::collections::HashSet::new();
+
+        for &op in self.dataset.operators.iter() {
+            for &txid in self.chain.txs_of(op) {
+                let tx = self.chain.tx(txid);
+                for t in &tx.transfers {
+                    if t.from != op || t.asset != Asset::Eth || t.to == op {
+                        continue;
+                    }
+                    let sink = self.classify_sink(t.to, labels);
+                    if sink == SinkKind::Mixer {
+                        mixer_users.insert(op);
+                    }
+                    let entry = outflows.entry(sink).or_insert(U256::ZERO);
+                    *entry = entry.saturating_add(t.amount);
+                }
+            }
+        }
+
+        let total: f64 = outflows.values().map(|v| v.to_f64_lossy()).sum();
+        let pct = |kind: SinkKind| {
+            if total <= 0.0 {
+                0.0
+            } else {
+                100.0 * outflows.get(&kind).map(|v| v.to_f64_lossy()).unwrap_or(0.0) / total
+            }
+        };
+        LaunderingReport {
+            operator_mixer_pct: pct(SinkKind::Mixer),
+            operator_exchange_pct: pct(SinkKind::Exchange),
+            operators_using_mixers: mixer_users.len(),
+            operator_outflows: outflows,
+        }
+    }
+
+    /// Maximum value (wei) routable from `source` to `sink` through the
+    /// ETH transfers of dataset accounts — the DenseFlow-style trace of
+    /// how much of a contract's takings can reach a mixer through
+    /// intermediate hops, not just directly.
+    pub fn laundering_max_flow(&self, source: Address, sink: Address) -> u128 {
+        let mut graph = txgraph::ValueGraph::new();
+        let mut accounts: Vec<Address> = self.dataset.contracts.iter().copied().collect();
+        accounts.extend(self.dataset.operators.iter().copied());
+        accounts.extend(self.dataset.affiliates.iter().copied());
+        let mut seen_tx = std::collections::HashSet::new();
+        for acc in accounts {
+            for &txid in self.chain.txs_of(acc) {
+                if !seen_tx.insert(txid) {
+                    continue;
+                }
+                let tx = self.chain.tx(txid);
+                for t in &tx.transfers {
+                    if t.asset == Asset::Eth {
+                        graph.add_transfer(t.from, t.to, t.amount.low_u128());
+                    }
+                }
+            }
+        }
+        graph.max_flow(source, sink)
+    }
+
+    fn classify_sink(&self, to: Address, labels: &daas_chain::LabelStore) -> SinkKind {
+        if self.dataset.contains(to) {
+            return SinkKind::InternalDaas;
+        }
+        if let Some(daas_chain::AccountKind::Contract(kind)) = self.chain.account_kind(to) {
+            if matches!(kind, ContractKind::Mixer) {
+                return SinkKind::Mixer;
+            }
+        }
+        let is_exchange = labels
+            .labels_of(to)
+            .iter()
+            .any(|l| l.category == daas_chain::LabelCategory::Benign);
+        if is_exchange {
+            return SinkKind::Exchange;
+        }
+        SinkKind::Other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daas_chain::{Chain, ContractKind, EntryStyle, LabelStore, ProfitSharingSpec};
+    use daas_detector::{classify_tx, Dataset};
+    use daas_pricing::Oracle;
+    use eth_types::units::ether;
+
+    #[test]
+    fn outflows_classified_by_destination() {
+        let mut chain = Chain::new();
+        let mut labels = LabelStore::new();
+        let op = chain.create_eoa_funded(b"l/op", ether(100)).unwrap();
+        let aff = chain.create_eoa(b"l/aff").unwrap();
+        let victim = chain.create_eoa_funded(b"l/v", ether(50)).unwrap();
+        let deployer = chain.create_eoa_funded(b"l/d", ether(1)).unwrap();
+        let mixer = chain.deploy_contract(deployer, ContractKind::Mixer).unwrap();
+        let cex = chain.create_eoa(b"l/cex").unwrap();
+        labels.add(daas_chain::Label {
+            address: cex,
+            source: daas_chain::LabelSource::Etherscan,
+            category: daas_chain::LabelCategory::Benign,
+            text: "Binance 14".into(),
+        });
+        let friend = chain.create_eoa(b"l/friend").unwrap();
+        let contract = chain
+            .deploy_contract(
+                op,
+                ContractKind::ProfitSharing(ProfitSharingSpec {
+                    operator: op,
+                    operator_bps: 2000,
+                    entry: EntryStyle::PayableFallback,
+                }),
+            )
+            .unwrap();
+
+        let mut dataset = Dataset::default();
+        chain.advance(12);
+        let tx = chain.claim_eth(victim, contract, ether(10), aff).unwrap();
+        dataset.absorb(classify_tx(chain.tx(tx), &Default::default()).unwrap());
+
+        // Operator outflows: 60 to mixer, 20 to CEX, 5 to a friend,
+        // 10 to the affiliate (internal).
+        chain.advance(12);
+        chain.transfer_eth(op, mixer, ether(60)).unwrap();
+        chain.transfer_eth(op, cex, ether(20)).unwrap();
+        chain.transfer_eth(op, friend, ether(5)).unwrap();
+        chain.transfer_eth(op, aff, ether(10)).unwrap();
+
+        let oracle = Oracle::new();
+        let ctx = MeasureCtx::new(&chain, &dataset, &oracle);
+        let report = ctx.laundering_report(&labels);
+        assert_eq!(report.operator_outflows[&SinkKind::Mixer], ether(60));
+        assert_eq!(report.operator_outflows[&SinkKind::Exchange], ether(20));
+        assert_eq!(report.operator_outflows[&SinkKind::Other], ether(5));
+        assert_eq!(report.operator_outflows[&SinkKind::InternalDaas], ether(10));
+        assert!((report.operator_mixer_pct - 60.0 / 95.0 * 100.0).abs() < 0.1);
+        assert!((report.operator_exchange_pct - 20.0 / 95.0 * 100.0).abs() < 0.1);
+        assert_eq!(report.operators_using_mixers, 1);
+    }
+
+    #[test]
+    fn max_flow_traces_through_intermediaries() {
+        // victim → contract (split to op+aff) … op → mixer: the flow
+        // from the CONTRACT to the mixer goes through the operator hop.
+        let (chain, ds, mixer, op, contract) = {
+            let mut chain = Chain::new();
+            let op = chain.create_eoa_funded(b"f/op", ether(1)).unwrap();
+            let aff = chain.create_eoa(b"f/aff").unwrap();
+            let victim = chain.create_eoa_funded(b"f/v", ether(50)).unwrap();
+            let deployer = chain.create_eoa_funded(b"f/d", ether(1)).unwrap();
+            let mixer = chain.deploy_contract(deployer, ContractKind::Mixer).unwrap();
+            let contract = chain
+                .deploy_contract(
+                    op,
+                    ContractKind::ProfitSharing(ProfitSharingSpec {
+                        operator: op,
+                        operator_bps: 2000,
+                        entry: EntryStyle::PayableFallback,
+                    }),
+                )
+                .unwrap();
+            let mut ds = Dataset::default();
+            chain.advance(12);
+            let tx = chain.claim_eth(victim, contract, ether(10), aff).unwrap();
+            ds.absorb(classify_tx(chain.tx(tx), &Default::default()).unwrap());
+            chain.advance(12);
+            chain.transfer_eth(op, mixer, ether(2)).unwrap();
+            (chain, ds, mixer, op, contract)
+        };
+        let oracle = Oracle::new();
+        let ctx = MeasureCtx::new(&chain, &ds, &oracle);
+        // Operator received 2 ETH of the split and sent 2 to the mixer.
+        assert_eq!(ctx.laundering_max_flow(op, mixer), ether(2).low_u128());
+        // From the contract, the 2 ETH reach the mixer via the operator.
+        assert_eq!(ctx.laundering_max_flow(contract, mixer), ether(2).low_u128());
+        // Nothing flows backwards.
+        assert_eq!(ctx.laundering_max_flow(mixer, contract), 0);
+    }
+
+    #[test]
+    fn empty_dataset_reports_zero() {
+        let chain = Chain::new();
+        let labels = LabelStore::new();
+        let dataset = Dataset::default();
+        let oracle = Oracle::new();
+        let ctx = MeasureCtx::new(&chain, &dataset, &oracle);
+        let report = ctx.laundering_report(&labels);
+        assert_eq!(report.operator_mixer_pct, 0.0);
+        assert!(report.operator_outflows.is_empty());
+    }
+}

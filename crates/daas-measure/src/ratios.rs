@@ -1,0 +1,37 @@
+//! The §4.3 profit-sharing ratio histogram.
+
+use serde::{Deserialize, Serialize};
+
+use crate::incidents::MeasureCtx;
+
+/// One ratio row: operator share and its transaction share.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatioRow {
+    /// Operator share in basis points.
+    pub bps: u32,
+    /// Transactions split at this ratio.
+    pub count: usize,
+    /// Share of all profit-sharing transactions, percent.
+    pub share_pct: f64,
+}
+
+/// Histogram of observed operator ratios over all profit-sharing
+/// transactions, sorted by share descending (paper: 20% → 46.0%,
+/// 15% → 19.3%, 17.5% → 9.2%).
+pub fn ratio_histogram(ctx: &MeasureCtx<'_>) -> Vec<RatioRow> {
+    let mut counts: std::collections::BTreeMap<u32, usize> = Default::default();
+    for inc in ctx.incidents() {
+        *counts.entry(inc.ratio_bps).or_default() += 1;
+    }
+    let total: usize = counts.values().sum();
+    let mut rows: Vec<RatioRow> = counts
+        .into_iter()
+        .map(|(bps, count)| RatioRow {
+            bps,
+            count,
+            share_pct: 100.0 * count as f64 / total.max(1) as f64,
+        })
+        .collect();
+    rows.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.bps.cmp(&b.bps)));
+    rows
+}

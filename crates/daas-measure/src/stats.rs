@@ -1,0 +1,109 @@
+//! Concentration statistics (the "few accounts dominate" results of §6).
+
+use serde::{Deserialize, Serialize};
+
+/// Concentration summary over a set of per-account values.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Concentration {
+    /// Number of accounts.
+    pub accounts: usize,
+    /// Sum of all values.
+    pub total: f64,
+    /// Share of the total held by the top 25% of accounts, percent.
+    pub top_quartile_share_pct: f64,
+    /// Smallest number of accounts holding ≥ 75% of the total.
+    pub accounts_for_75pct: usize,
+    /// Share of accounts needed for 75% of the total, percent.
+    pub accounts_for_75pct_share: f64,
+}
+
+/// Computes the share of `total` held by the top `k` accounts, percent.
+pub fn top_share(values: &[f64], k: usize) -> f64 {
+    if values.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite values"));
+    let total: f64 = sorted.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let top: f64 = sorted.iter().take(k).sum();
+    100.0 * top / total
+}
+
+impl Concentration {
+    /// Builds the summary from per-account values.
+    pub fn from_values(values: &[f64]) -> Self {
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite values"));
+        let total: f64 = sorted.iter().sum();
+        let quartile = (sorted.len() as f64 * 0.25).round().max(1.0) as usize;
+        let top_quartile: f64 = sorted.iter().take(quartile).sum();
+        let mut acc = 0.0;
+        let mut accounts_for_75pct = sorted.len();
+        for (i, v) in sorted.iter().enumerate() {
+            acc += v;
+            if total > 0.0 && acc >= 0.75 * total {
+                accounts_for_75pct = i + 1;
+                break;
+            }
+        }
+        Concentration {
+            accounts: sorted.len(),
+            total,
+            top_quartile_share_pct: if total > 0.0 { 100.0 * top_quartile / total } else { 0.0 },
+            accounts_for_75pct,
+            accounts_for_75pct_share: if sorted.is_empty() {
+                0.0
+            } else {
+                100.0 * accounts_for_75pct as f64 / sorted.len() as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_share_basics() {
+        let v = [50.0, 30.0, 15.0, 5.0];
+        assert!((top_share(&v, 1) - 50.0).abs() < 1e-9);
+        assert!((top_share(&v, 2) - 80.0).abs() < 1e-9);
+        assert!((top_share(&v, 10) - 100.0).abs() < 1e-9);
+        assert_eq!(top_share(&[], 3), 0.0);
+        assert_eq!(top_share(&v, 0), 0.0);
+    }
+
+    #[test]
+    fn concentration_summary() {
+        // 4 accounts: top quartile = 1 account with 70 of 100 → 70%.
+        let v = [70.0, 15.0, 10.0, 5.0];
+        let c = Concentration::from_values(&v);
+        assert_eq!(c.accounts, 4);
+        assert!((c.total - 100.0).abs() < 1e-9);
+        assert!((c.top_quartile_share_pct - 70.0).abs() < 1e-9);
+        // 75% needs accounts 70+15 = 85 ≥ 75 → 2 accounts = 50%.
+        assert_eq!(c.accounts_for_75pct, 2);
+        assert!((c.accounts_for_75pct_share - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_distribution_needs_most_accounts() {
+        let v = [1.0; 100];
+        let c = Concentration::from_values(&v);
+        assert_eq!(c.accounts_for_75pct, 75);
+        assert!((c.top_quartile_share_pct - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_zero_values() {
+        let c = Concentration::from_values(&[]);
+        assert_eq!(c.accounts, 0);
+        assert_eq!(c.total, 0.0);
+        let c = Concentration::from_values(&[0.0, 0.0]);
+        assert_eq!(c.top_quartile_share_pct, 0.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Deterministic USD price oracle.
+//!
+//! The paper reports victim losses and operator/affiliate profits in USD
+//! ($23.1M operator / $111.9M affiliate earnings, Figure 6/7 buckets).
+//! Reproducing those aggregates needs a wei→USD conversion at transaction
+//! time. This crate provides a deterministic stand-in for a market data
+//! feed: an ETH/USD curve anchored at monthly points over the paper's
+//! collection window (2023-03 … 2025-04), linearly interpolated, plus
+//! per-token quotes (stablecoins at $1, other tokens at fixed ratios to
+//! ETH).
+//!
+//! Determinism matters more than market fidelity here: every experiment
+//! must reproduce bit-for-bit from a seed, so the oracle has no noise.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+use eth_types::units::WEI_PER_ETHER;
+use eth_types::{Address, U256};
+use serde::{Deserialize, Serialize};
+
+/// Unix timestamps of the anchor points (the 1st of each month from
+/// 2023-03 to 2025-04) paired with an ETH/USD level shaped like the real
+/// series: ~$1.6k through 2023, rallying into Q1 2024, peaking around
+/// $4k in Dec 2024, easing to ~$1.9k by Apr 2025.
+const ETH_USD_ANCHORS: &[(u64, f64)] = &[
+    (1_677_628_800, 1600.0), // 2023-03
+    (1_680_307_200, 1800.0), // 2023-04
+    (1_682_899_200, 1850.0), // 2023-05
+    (1_685_577_600, 1900.0), // 2023-06
+    (1_688_169_600, 1950.0), // 2023-07
+    (1_690_848_000, 1850.0), // 2023-08
+    (1_693_526_400, 1650.0), // 2023-09
+    (1_696_118_400, 1700.0), // 2023-10
+    (1_698_796_800, 1900.0), // 2023-11
+    (1_701_388_800, 2200.0), // 2023-12
+    (1_704_067_200, 2300.0), // 2024-01
+    (1_706_745_600, 2500.0), // 2024-02
+    (1_709_251_200, 3400.0), // 2024-03
+    (1_711_929_600, 3500.0), // 2024-04
+    (1_714_521_600, 3100.0), // 2024-05
+    (1_717_200_000, 3700.0), // 2024-06
+    (1_719_792_000, 3400.0), // 2024-07
+    (1_722_470_400, 3200.0), // 2024-08
+    (1_725_148_800, 2450.0), // 2024-09
+    (1_727_740_800, 2650.0), // 2024-10
+    (1_730_419_200, 2500.0), // 2024-11
+    (1_733_011_200, 3900.0), // 2024-12
+    (1_735_689_600, 3350.0), // 2025-01
+    (1_738_368_000, 2750.0), // 2025-02
+    (1_740_787_200, 2200.0), // 2025-03
+    (1_743_465_600, 1850.0), // 2025-04
+];
+
+/// How a token is quoted.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Quote {
+    /// Pegged to the dollar (USDC, USDT, DAI). `units_per_usd` is
+    /// `10^decimals`.
+    Stable {
+        /// Smallest-units per one dollar.
+        units_per_usd: u64,
+    },
+    /// Quoted as a fixed ratio to ETH: one whole token equals
+    /// `eth_ratio` ETH (18-decimal tokens assumed).
+    EthRatio {
+        /// Whole tokens → ETH multiplier.
+        eth_ratio: f64,
+    },
+}
+
+/// Deterministic price oracle.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Oracle {
+    quotes: HashMap<Address, Quote>,
+}
+
+impl Oracle {
+    /// Creates an oracle with no token quotes registered.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// ETH/USD at `ts`, linearly interpolated between anchors and clamped
+    /// to the first/last anchor outside the window.
+    pub fn eth_usd(&self, ts: u64) -> f64 {
+        let anchors = ETH_USD_ANCHORS;
+        if ts <= anchors[0].0 {
+            return anchors[0].1;
+        }
+        if ts >= anchors[anchors.len() - 1].0 {
+            return anchors[anchors.len() - 1].1;
+        }
+        let idx = anchors.partition_point(|(t, _)| *t <= ts);
+        let (t0, p0) = anchors[idx - 1];
+        let (t1, p1) = anchors[idx];
+        let frac = (ts - t0) as f64 / (t1 - t0) as f64;
+        p0 + (p1 - p0) * frac
+    }
+
+    /// Registers a token quote.
+    pub fn set_quote(&mut self, token: Address, quote: Quote) {
+        self.quotes.insert(token, quote);
+    }
+
+    /// USD value of `wei` of ETH at `ts`.
+    pub fn wei_to_usd(&self, wei: U256, ts: u64) -> f64 {
+        wei.to_f64_lossy() / WEI_PER_ETHER as f64 * self.eth_usd(ts)
+    }
+
+    /// USD value of `amount` smallest-units of `token` at `ts`. Returns
+    /// `None` for unquoted tokens (callers decide whether to skip or
+    /// treat as zero — the measurement code skips, like the paper's
+    /// pricing of long-tail tokens implicitly does).
+    pub fn token_to_usd(&self, token: Address, amount: U256, ts: u64) -> Option<f64> {
+        match self.quotes.get(&token)? {
+            Quote::Stable { units_per_usd } => {
+                Some(amount.to_f64_lossy() / *units_per_usd as f64)
+            }
+            Quote::EthRatio { eth_ratio } => {
+                let whole = amount.to_f64_lossy() / WEI_PER_ETHER as f64;
+                Some(whole * eth_ratio * self.eth_usd(ts))
+            }
+        }
+    }
+
+    /// Inverse conversion: how many wei are worth `usd` at `ts`.
+    pub fn usd_to_wei(&self, usd: f64, ts: u64) -> U256 {
+        assert!(usd.is_finite() && usd >= 0.0, "usd_to_wei: invalid amount {usd}");
+        let eth = usd / self.eth_usd(ts);
+        eth_types::units::ether_f64(eth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eth_types::units::ether;
+
+    #[test]
+    fn anchors_are_sorted() {
+        for w in ETH_USD_ANCHORS.windows(2) {
+            assert!(w[0].0 < w[1].0, "anchors must be strictly increasing");
+        }
+    }
+
+    #[test]
+    fn clamps_outside_window() {
+        let o = Oracle::new();
+        assert_eq!(o.eth_usd(0), 1600.0);
+        assert_eq!(o.eth_usd(u64::MAX), 1850.0);
+    }
+
+    #[test]
+    fn interpolates_between_anchors() {
+        let o = Oracle::new();
+        // Midpoint of 2023-03 ($1600) → 2023-04 ($1800) is $1700.
+        let mid = (1_677_628_800 + 1_680_307_200) / 2;
+        let p = o.eth_usd(mid);
+        assert!((p - 1700.0).abs() < 1.0, "got {p}");
+        // Exactly at an anchor.
+        assert_eq!(o.eth_usd(1_733_011_200), 3900.0);
+    }
+
+    #[test]
+    fn wei_conversion() {
+        let o = Oracle::new();
+        let usd = o.wei_to_usd(ether(2), 1_677_628_800);
+        assert!((usd - 3200.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn usd_roundtrip() {
+        let o = Oracle::new();
+        let ts = 1_701_388_800;
+        let wei = o.usd_to_wei(1000.0, ts);
+        let back = o.wei_to_usd(wei, ts);
+        assert!((back - 1000.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn stable_quote() {
+        let mut o = Oracle::new();
+        let usdc = Address::from_key_seed(b"usdc");
+        o.set_quote(usdc, Quote::Stable { units_per_usd: 1_000_000 });
+        let v = o.token_to_usd(usdc, U256::from_u64(2_500_000), 0).unwrap();
+        assert!((v - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eth_ratio_quote() {
+        let mut o = Oracle::new();
+        let steth = Address::from_key_seed(b"steth");
+        o.set_quote(steth, Quote::EthRatio { eth_ratio: 1.0 });
+        let v = o.token_to_usd(steth, ether(1), 1_677_628_800).unwrap();
+        assert!((v - 1600.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn unquoted_token_is_none() {
+        let o = Oracle::new();
+        assert_eq!(o.token_to_usd(Address::ZERO, U256::ONE, 0), None);
+    }
+
+    #[test]
+    fn monotone_time_is_continuous() {
+        // No discontinuities: stepping 1 hour never jumps more than the
+        // anchor-to-anchor slope allows.
+        let o = Oracle::new();
+        let mut prev = o.eth_usd(1_677_628_800);
+        let mut ts = 1_677_628_800;
+        while ts < 1_743_465_600 {
+            ts += 3600;
+            let cur = o.eth_usd(ts);
+            assert!((cur - prev).abs() < 5.0, "jump at {ts}: {prev} -> {cur}");
+            prev = cur;
+        }
+    }
+}

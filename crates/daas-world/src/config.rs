@@ -1,0 +1,509 @@
+//! World configuration: the nine calibrated families and all generator
+//! parameters.
+
+use daas_chain::{month_start, EntryStyle, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// End of the paper's collection window, 2025-04-01 ("Now" in Table 2).
+pub fn collection_end() -> Timestamp {
+    month_start(2025, 4)
+}
+
+/// Start of the paper's collection window, 2023-03-01.
+pub fn collection_start() -> Timestamp {
+    month_start(2023, 3)
+}
+
+/// The paper's observed operator profit-sharing ratios (§4.3) as
+/// `(basis points, transaction share)`. 20%, 15% and 17.5% dominate at
+/// 46.0%, 19.3% and 9.2%; the remaining six ratios split the rest.
+pub const RATIO_TABLE: [(u32, f64); 9] = [
+    (2000, 0.460),
+    (1500, 0.193),
+    (1750, 0.092),
+    (1000, 0.060),
+    (2500, 0.055),
+    (1250, 0.050),
+    (3000, 0.040),
+    (3300, 0.030),
+    (4000, 0.020),
+];
+
+/// How a family's contracts receive victim ETH (Table 3).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EntryCfg {
+    /// Payable function with this name.
+    Named(String),
+    /// Payable fallback.
+    Fallback,
+}
+
+impl EntryCfg {
+    /// Named-payable constructor.
+    pub fn named(name: &str) -> Self {
+        EntryCfg::Named(name.to_owned())
+    }
+
+    /// Converts to the chain-level entry style.
+    pub fn to_style(&self) -> EntryStyle {
+        match self {
+            EntryCfg::Named(n) => EntryStyle::NamedPayable(n.clone()),
+            EntryCfg::Fallback => EntryStyle::PayableFallback,
+        }
+    }
+}
+
+/// Affiliate leveling-and-reward policy (§7.2): tier thresholds on
+/// affiliate profits and the ETH rewards periodically paid to
+/// qualifying affiliates (Inferno: 0.5 / 1 / 3 ETH by level).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RewardPolicy {
+    /// Profit thresholds (USD) for levels 1, 2, 3.
+    pub level_thresholds_usd: [f64; 3],
+    /// Reward per level, in milli-ETH.
+    pub reward_milli_eth: [u64; 3],
+}
+
+/// Configuration of one DaaS family, calibrated to a Table 2 column.
+/// Fully serialisable: custom scenarios can be loaded from JSON via
+/// `daas-lab --config`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FamilyConfig {
+    /// Etherscan family label, if the family is publicly named. `None`
+    /// reproduces the paper's fallback naming by operator-address prefix
+    /// (the `0x0000b6` family).
+    pub label: Option<String>,
+    /// Short slug used for seeds and toolkit file content derivation.
+    pub slug: String,
+    /// Number of profit-sharing contracts.
+    pub contracts: u32,
+    /// Number of operator accounts.
+    pub operators: u32,
+    /// Number of affiliate accounts.
+    pub affiliates: u32,
+    /// Number of distinct victim accounts.
+    pub victims: u32,
+    /// Total family profits over the window, USD.
+    pub profits_usd: f64,
+    /// Activity window start.
+    pub start: Timestamp,
+    /// Activity window end.
+    pub end: Timestamp,
+    /// ETH entry point style (Table 3).
+    pub entry: EntryCfg,
+    /// Target primary-contract lifecycle in days (§7.2), for families
+    /// whose contracts rotate on a schedule. `None` = no primaries.
+    pub primary_lifecycle_days: Option<f64>,
+    /// Toolkit file names (the §7.2 fingerprint surface).
+    pub toolkit_files: Vec<String>,
+    /// Number of toolkit builds (content versions) circulated per file
+    /// over the family's lifetime.
+    pub toolkit_versions: u32,
+    /// Affiliate leveling/reward policy, for the families that run one
+    /// (§7.2: Angel and Inferno).
+    pub reward_policy: Option<RewardPolicy>,
+}
+
+/// Victim-loss buckets: `(low_usd, high_usd, probability)`, sampled
+/// log-uniformly inside each bucket. Calibrated so that the bucket
+/// probabilities reproduce Figure 6 (50.9% under $100, 83.5% under
+/// $1,000) and the mean lands near total-profits / victims ≈ $1.76k.
+pub const LOSS_BUCKETS: [(f64, f64, f64); 4] = [
+    (5.0, 100.0, 0.509),
+    (100.0, 1_000.0, 0.326),
+    (1_000.0, 5_000.0, 0.101),
+    (5_000.0, 45_000.0, 0.064),
+];
+
+/// Incident asset-kind mix: (ETH, ERC-20, NFT) — Figure 3's three
+/// profit-sharing scenarios.
+pub const KIND_MIX: (f64, f64, f64) = (0.50, 0.35, 0.15);
+
+/// Full generator configuration. Serialisable end to end: dump the
+/// paper preset with `daas-lab --dump-config`, edit, reload with
+/// `--config`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorldConfig {
+    /// Master RNG seed; the entire world is a pure function of it.
+    pub seed: u64,
+    /// Linear scale on all population counts (1.0 = the paper's scale).
+    pub scale: f64,
+    /// The families (defaults to the nine Table 2 families).
+    pub families: Vec<FamilyConfig>,
+    /// Benign background transactions (before scaling).
+    pub benign_txs: u32,
+    /// Benign user population (before scaling).
+    pub benign_users: u32,
+    /// Drainer website deployments (before scaling). Sized so detected
+    /// sites land near the paper's 32,819 after TLS / keyword / crawl
+    /// attrition.
+    pub drainer_sites: u32,
+    /// Benign certificates in the CT stream (before scaling).
+    pub benign_certs: u32,
+    /// Fraction of victims hit more than once (8,856 / 76,582).
+    pub repeat_victim_frac: f64,
+    /// Of repeat victims: P(simultaneous multi-sign only) — §6.1's 78.1%
+    /// minus the overlap.
+    pub repeat_sim_only: f64,
+    /// Of repeat victims: P(unrevoked-approval re-drain only).
+    pub repeat_revoke_only: f64,
+    /// Of repeat victims: P(both), tuned so total profit-sharing
+    /// transactions land at 87,077.
+    pub repeat_both: f64,
+    /// Fraction of contracts exposed by public label sources
+    /// (seed 391 / expanded 1,910).
+    pub label_contract_frac: f64,
+    /// Exponent biasing label selection toward high-traffic contracts
+    /// (weight = tx_count^exponent).
+    pub label_weight_exponent: f64,
+    /// Fraction of affiliate accounts carrying a public phishing label
+    /// (tunes §8.1's 10.8% overall coverage).
+    pub label_affiliate_frac: f64,
+    /// Ablation A3: when true, some operators also use benign payment
+    /// splitters, stressing the expansion guard with ratio-matching
+    /// benign contracts.
+    pub operator_splitter_noise: bool,
+    /// Share of phishing sites served over TLS (paper: >70%).
+    pub site_tls_rate: f64,
+    /// Share of drainer domains containing a triage-visible keyword
+    /// (exact or typo).
+    pub site_keyword_rate: f64,
+    /// Of keyword-bearing drainer domains, share using a leet-typo
+    /// spelling instead of the exact keyword.
+    pub site_typo_rate: f64,
+    /// Share of drainer sites independently reported to the community
+    /// (drives fingerprint-database expansion toward 867).
+    pub site_reported_rate: f64,
+    /// Model-drift knob (§5.2's discussed limitation): when set, the
+    /// given family index deploys *all* its contracts at this
+    /// basis-point ratio — typically one outside the known §4.3 table —
+    /// so harnesses can measure how a static ratio list decays as the
+    /// ecosystem evolves.
+    pub novel_ratio: Option<(usize, u32)>,
+    /// Share of sites already taken down when the crawler arrives.
+    pub site_down_rate: f64,
+}
+
+impl WorldConfig {
+    /// The paper-scale configuration: exact Table 2 counts, 87,077
+    /// profit-sharing transactions, 76,582 victims.
+    pub fn paper_scale(seed: u64) -> Self {
+        WorldConfig {
+            seed,
+            scale: 1.0,
+            families: table2_families(),
+            benign_txs: 60_000,
+            benign_users: 12_000,
+            drainer_sites: 66_000,
+            benign_certs: 50_000,
+            repeat_victim_frac: 8_856.0 / 76_582.0,
+            repeat_sim_only: 0.596,
+            repeat_revoke_only: 0.101,
+            repeat_both: 0.185,
+            label_contract_frac: 391.0 / 1_910.0,
+            label_weight_exponent: 0.12,
+            label_affiliate_frac: 0.072,
+            operator_splitter_noise: false,
+            site_tls_rate: 0.88,
+            site_keyword_rate: 0.93,
+            site_typo_rate: 0.08,
+            site_reported_rate: 0.30,
+            novel_ratio: None,
+            site_down_rate: 0.03,
+        }
+    }
+
+    /// A CI-sized world (~5% of paper scale): full pipeline in well under
+    /// a second.
+    pub fn small(seed: u64) -> Self {
+        WorldConfig { scale: 0.05, ..Self::paper_scale(seed) }
+    }
+
+    /// A minimal world for unit tests (~1% of paper scale).
+    pub fn tiny(seed: u64) -> Self {
+        WorldConfig { scale: 0.01, ..Self::paper_scale(seed) }
+    }
+
+    /// Applies the configured scale to a population count (at least 1).
+    pub fn scaled(&self, n: u32) -> u32 {
+        ((n as f64 * self.scale).round() as u32).max(1)
+    }
+
+    /// Basic sanity checks; called by the generator before building.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.scale > 0.0 && self.scale <= 10.0) {
+            return Err(format!("scale {} out of range (0, 10]", self.scale));
+        }
+        if self.families.is_empty() {
+            return Err("no families configured".into());
+        }
+        for f in &self.families {
+            if f.start >= f.end {
+                return Err(format!("family {} has empty window", f.slug));
+            }
+            if f.victims < f.contracts && (f.victims as f64 * self.scale) >= 1.0 {
+                return Err(format!(
+                    "family {} has more contracts than victims; every contract needs a transaction",
+                    f.slug
+                ));
+            }
+        }
+        let probs = [self.repeat_sim_only, self.repeat_revoke_only, self.repeat_both];
+        if probs.iter().any(|p| !(0.0..=1.0).contains(p)) || probs.iter().sum::<f64>() > 1.0 {
+            return Err("repeat-victim flag probabilities invalid".into());
+        }
+        Ok(())
+    }
+}
+
+/// The nine Table 2 families. Where the table's OCR is ambiguous about
+/// two contract/operator cells, the allocation below is chosen so the
+/// published totals hold exactly: Σcontracts = 1,910, Σoperators = 56,
+/// Σaffiliates = 6,087, Σvictims = 76,582, Σprofits ≈ $134.9M.
+pub fn table2_families() -> Vec<FamilyConfig> {
+    let end_now = collection_end();
+    vec![
+        FamilyConfig {
+            label: Some("Angel Drainer".into()),
+            slug: "angel".into(),
+            contracts: 1_239,
+            operators: 29,
+            affiliates: 3_338,
+            victims: 37_755,
+            profits_usd: 53.1e6,
+            start: month_start(2023, 4),
+            end: end_now,
+            entry: EntryCfg::named("Claim"),
+            primary_lifecycle_days: Some(102.3),
+            toolkit_files: vec!["settings.js".into(), "webchunk.js".into()],
+            toolkit_versions: 160,
+            reward_policy: Some(RewardPolicy {
+                level_thresholds_usd: [100_000.0, 1_000_000.0, 5_000_000.0],
+                reward_milli_eth: [500, 1_000, 3_000],
+            }),
+        },
+        FamilyConfig {
+            label: Some("Inferno Drainer".into()),
+            slug: "inferno".into(),
+            contracts: 435,
+            operators: 7,
+            affiliates: 1_958,
+            victims: 32_740,
+            profits_usd: 59.0e6,
+            start: month_start(2023, 5),
+            end: month_start(2024, 11),
+            entry: EntryCfg::Fallback,
+            primary_lifecycle_days: Some(198.6),
+            toolkit_files: vec!["seaport.js".into(), "wallet_connect.js".into()],
+            toolkit_versions: 130,
+            reward_policy: Some(RewardPolicy {
+                level_thresholds_usd: [10_000.0, 100_000.0, 1_000_000.0],
+                reward_milli_eth: [500, 1_000, 3_000],
+            }),
+        },
+        FamilyConfig {
+            label: Some("Pink Drainer".into()),
+            slug: "pink".into(),
+            contracts: 94,
+            operators: 10,
+            affiliates: 279,
+            victims: 2_814,
+            profits_usd: 14.7e6,
+            start: month_start(2023, 4),
+            end: month_start(2024, 5),
+            entry: EntryCfg::named("Network Merge"),
+            primary_lifecycle_days: Some(96.8),
+            toolkit_files: vec!["contract.js".into(), "main.js".into(), "vendor.js".into()],
+            toolkit_versions: 70,
+            reward_policy: None,
+        },
+        FamilyConfig {
+            label: Some("Ace Drainer".into()),
+            slug: "ace".into(),
+            contracts: 6,
+            operators: 2,
+            affiliates: 335,
+            victims: 1_879,
+            profits_usd: 3.1e6,
+            start: month_start(2023, 10),
+            end: end_now,
+            entry: EntryCfg::named("claimRewards"),
+            primary_lifecycle_days: None,
+            toolkit_files: vec!["ace_connect.js".into(), "payload.js".into()],
+            toolkit_versions: 45,
+            reward_policy: None,
+        },
+        FamilyConfig {
+            label: Some("Pussy Drainer".into()),
+            slug: "pussy".into(),
+            contracts: 2,
+            operators: 2,
+            affiliates: 30,
+            victims: 537,
+            profits_usd: 1.1e6,
+            start: collection_start(),
+            end: month_start(2023, 10),
+            entry: EntryCfg::named("claim"),
+            primary_lifecycle_days: None,
+            toolkit_files: vec!["pussy_loader.js".into()],
+            toolkit_versions: 25,
+            reward_policy: None,
+        },
+        FamilyConfig {
+            label: Some("Venom Drainer".into()),
+            slug: "venom".into(),
+            contracts: 1,
+            operators: 1,
+            affiliates: 77,
+            victims: 491,
+            profits_usd: 1.3e6,
+            start: month_start(2023, 4),
+            end: month_start(2023, 8),
+            entry: EntryCfg::named("mint"),
+            primary_lifecycle_days: None,
+            toolkit_files: vec!["venom_core.js".into(), "inject.js".into()],
+            toolkit_versions: 18,
+            reward_policy: None,
+        },
+        FamilyConfig {
+            label: Some("Medusa Drainer".into()),
+            slug: "medusa".into(),
+            contracts: 130,
+            operators: 3,
+            affiliates: 56,
+            victims: 306,
+            profits_usd: 2.5e6,
+            start: month_start(2024, 5),
+            end: end_now,
+            entry: EntryCfg::named("securityUpdate"),
+            primary_lifecycle_days: None,
+            toolkit_files: vec!["medusa_sdk.js".into(), "guard.js".into()],
+            toolkit_versions: 35,
+            reward_policy: None,
+        },
+        FamilyConfig {
+            // The unlabeled family the paper names by operator prefix
+            // ("0x0000b6"). Our generated operator address differs, so the
+            // reproduced Table 2 shows whatever prefix the seed yields.
+            label: None,
+            slug: "anon-b6".into(),
+            contracts: 2,
+            operators: 1,
+            affiliates: 8,
+            victims: 43,
+            profits_usd: 0.1e6,
+            start: month_start(2023, 7),
+            end: month_start(2023, 8),
+            entry: EntryCfg::Fallback,
+            primary_lifecycle_days: None,
+            toolkit_files: vec!["loader.js".into()],
+            toolkit_versions: 10,
+            reward_policy: None,
+        },
+        FamilyConfig {
+            label: Some("Spawn Drainer".into()),
+            slug: "spawn".into(),
+            contracts: 1,
+            operators: 1,
+            affiliates: 6,
+            victims: 17,
+            profits_usd: 0.01e6,
+            start: month_start(2023, 5),
+            end: month_start(2023, 9),
+            entry: EntryCfg::named("claim"),
+            primary_lifecycle_days: None,
+            toolkit_files: vec!["spawn_kit.js".into()],
+            toolkit_versions: 6,
+            reward_policy: None,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_totals_match_paper() {
+        let fams = table2_families();
+        assert_eq!(fams.len(), 9);
+        assert_eq!(fams.iter().map(|f| f.contracts).sum::<u32>(), 1_910);
+        assert_eq!(fams.iter().map(|f| f.operators).sum::<u32>(), 56);
+        assert_eq!(fams.iter().map(|f| f.affiliates).sum::<u32>(), 6_087);
+        assert_eq!(fams.iter().map(|f| f.victims).sum::<u32>(), 76_582);
+        let profits: f64 = fams.iter().map(|f| f.profits_usd).sum();
+        assert!((profits - 134.91e6).abs() < 0.1e6, "profits {profits}");
+        // The dominant three hold 93.9% of profits.
+        let top3: f64 = fams.iter().take(3).map(|f| f.profits_usd).sum();
+        let share = top3 / profits * 100.0;
+        assert!((share - 93.9).abs() < 0.3, "dominant share {share}");
+    }
+
+    #[test]
+    fn ratio_table_sums_to_one() {
+        let total: f64 = RATIO_TABLE.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // All operator shares are strictly less than half: operators take
+        // the smaller cut (§4.3).
+        assert!(RATIO_TABLE.iter().all(|(bps, _)| *bps < 5_000));
+    }
+
+    #[test]
+    fn loss_buckets_sum_to_one_and_match_fig6() {
+        let total: f64 = LOSS_BUCKETS.iter().map(|(_, _, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // 83.5% below $1,000.
+        let below_1k: f64 = LOSS_BUCKETS.iter().filter(|(_, hi, _)| *hi <= 1_000.0).map(|(_, _, p)| p).sum();
+        assert!((below_1k - 0.835).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeat_flags_reconstruct_tx_total() {
+        let cfg = WorldConfig::paper_scale(0);
+        let repeat = (76_582.0 * cfg.repeat_victim_frac).round();
+        assert_eq!(repeat as u64, 8_856);
+        // txs = victims + repeats (2nd incident) + both-flag (3rd).
+        let txs = 76_582.0 + repeat + (repeat * cfg.repeat_both).round();
+        assert!((txs - 87_077.0).abs() < 2.0, "txs {txs}");
+    }
+
+    #[test]
+    fn presets_validate() {
+        assert!(WorldConfig::paper_scale(1).validate().is_ok());
+        assert!(WorldConfig::small(1).validate().is_ok());
+        assert!(WorldConfig::tiny(1).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        let mut cfg = WorldConfig::paper_scale(1);
+        cfg.scale = 0.0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = WorldConfig::paper_scale(1);
+        cfg.families.clear();
+        assert!(cfg.validate().is_err());
+        let mut cfg = WorldConfig::paper_scale(1);
+        cfg.families[0].end = cfg.families[0].start;
+        assert!(cfg.validate().is_err());
+        let mut cfg = WorldConfig::paper_scale(1);
+        cfg.repeat_both = 2.0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn scaled_floors_at_one() {
+        let cfg = WorldConfig::tiny(1);
+        assert_eq!(cfg.scaled(1), 1);
+        assert_eq!(cfg.scaled(10), 1); // 0.1 rounds to 0, floored to 1
+        assert_eq!(cfg.scaled(1_000), 10);
+    }
+
+    #[test]
+    fn entry_cfg_conversion() {
+        assert_eq!(
+            EntryCfg::named("Claim").to_style(),
+            EntryStyle::NamedPayable("Claim".into())
+        );
+        assert_eq!(EntryCfg::Fallback.to_style(), EntryStyle::PayableFallback);
+    }
+}

@@ -1,0 +1,217 @@
+//! Deterministic sampling helpers built on `rand` only (no `rand_distr`
+//! dependency): weighted choice, Zipf rank weights, log-uniform and
+//! exponential draws.
+
+use rand::Rng;
+
+/// A discrete distribution over `0..n` given arbitrary non-negative
+/// weights, sampled by binary search over the cumulative table.
+#[derive(Debug, Clone)]
+pub struct Weighted {
+    cumulative: Vec<f64>,
+}
+
+impl Weighted {
+    /// Builds from weights. At least one weight must be positive.
+    ///
+    /// # Panics
+    /// Panics on empty or all-zero/negative weights.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "Weighted: empty weights");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w >= 0.0 && w.is_finite(), "Weighted: bad weight {w}");
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "Weighted: all weights zero");
+        Weighted { cumulative }
+    }
+
+    /// Samples an index.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().unwrap();
+        let x = rng.gen::<f64>() * total;
+        self.cumulative.partition_point(|&c| c <= x).min(self.cumulative.len() - 1)
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Always false (construction requires at least one weight).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Zipf rank weights: `w_i = 1 / (i+1)^s` for `i = 0..n`. The standard
+/// model for "few accounts dominate" concentration (operator profits,
+/// affiliate traffic — §6.2/§6.3).
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect()
+}
+
+/// Standard normal draw (Box–Muller).
+pub fn normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Log-normal weights `exp(sigma · z_i)` — the affiliate-traffic model:
+/// a long tail of tiny promoters and a few who reach thousands of
+/// victims (§6.3). The scale factor is irrelevant after normalisation.
+pub fn lognormal_weights<R: Rng>(rng: &mut R, n: usize, sigma: f64) -> Vec<f64> {
+    (0..n).map(|_| (sigma * normal(rng)).exp()).collect()
+}
+
+/// Log-uniform draw from `[lo, hi)`: uniform in log-space, the standard
+/// heavy-ish within-bucket model for monetary amounts.
+pub fn log_uniform<R: Rng>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    assert!(lo > 0.0 && hi > lo, "log_uniform: bad range [{lo}, {hi})");
+    let u = rng.gen::<f64>();
+    (lo.ln() + u * (hi.ln() - lo.ln())).exp()
+}
+
+/// Exponential draw with the given mean, via inverse CDF.
+pub fn exponential<R: Rng>(rng: &mut R, mean: f64) -> f64 {
+    assert!(mean > 0.0, "exponential: non-positive mean");
+    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    -u.ln() * mean
+}
+
+/// Uniform integer timestamp in `[lo, hi]`.
+pub fn uniform_time<R: Rng>(rng: &mut R, lo: u64, hi: u64) -> u64 {
+    assert!(lo <= hi, "uniform_time: inverted range");
+    if lo == hi {
+        lo
+    } else {
+        rng.gen_range(lo..=hi)
+    }
+}
+
+/// Bernoulli draw.
+pub fn chance<R: Rng>(rng: &mut R, p: f64) -> bool {
+    rng.gen::<f64>() < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn weighted_respects_weights() {
+        let w = Weighted::new(&[1.0, 0.0, 3.0]);
+        let mut r = rng();
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[w.sample(&mut r)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn weighted_single_category() {
+        let w = Weighted::new(&[0.5]);
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(w.sample(&mut r), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all weights zero")]
+    fn weighted_rejects_zero() {
+        let _ = Weighted::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn zipf_shape() {
+        let w = zipf_weights(4, 1.0);
+        assert!((w[0] - 1.0).abs() < 1e-12);
+        assert!((w[1] - 0.5).abs() < 1e-12);
+        assert!((w[3] - 0.25).abs() < 1e-12);
+        // s = 0 degenerates to uniform.
+        assert!(zipf_weights(3, 0.0).iter().all(|&x| (x - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn log_uniform_in_range_and_log_spread() {
+        let mut r = rng();
+        let mut below_mid = 0;
+        for _ in 0..10_000 {
+            let x = log_uniform(&mut r, 10.0, 1_000.0);
+            assert!((10.0..1_000.0).contains(&x));
+            if x < 100.0 {
+                below_mid += 1;
+            }
+        }
+        // Median of a log-uniform on [10, 1000] is 100.
+        assert!((below_mid as f64 / 10_000.0 - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let mean: f64 = (0..20_000).map(|_| exponential(&mut r, 7.0)).sum::<f64>() / 20_000.0;
+        assert!((mean - 7.0).abs() < 0.3, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..50_000).map(|_| normal(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_weights_positive_and_skewed() {
+        let mut r = rng();
+        let w = lognormal_weights(&mut r, 10_000, 1.9);
+        assert!(w.iter().all(|&x| x > 0.0));
+        let total: f64 = w.iter().sum();
+        let mut sorted = w.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let top1pct: f64 = sorted.iter().take(100).sum();
+        // At sigma 1.9, the top 1% hold a large share.
+        assert!(top1pct / total > 0.25, "top1% share {}", top1pct / total);
+    }
+
+    #[test]
+    fn uniform_time_degenerate() {
+        let mut r = rng();
+        assert_eq!(uniform_time(&mut r, 5, 5), 5);
+        for _ in 0..100 {
+            let t = uniform_time(&mut r, 10, 20);
+            assert!((10..=20).contains(&t));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let w = Weighted::new(&[1.0, 2.0, 3.0]);
+        let seq1: Vec<usize> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..32).map(|_| w.sample(&mut r)).collect()
+        };
+        let seq2: Vec<usize> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..32).map(|_| w.sample(&mut r)).collect()
+        };
+        assert_eq!(seq1, seq2);
+    }
+}

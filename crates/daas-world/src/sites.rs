@@ -1,0 +1,440 @@
+//! Phishing-website and certificate population.
+//!
+//! Generates the observable surface §8.2 works on: drainer site
+//! deployments (domains + served files), benign sites, and the CT
+//! certificate stream, plus the ground truth needed to score detection.
+
+use std::collections::HashSet;
+
+use ct_watch::CertRecord;
+use daas_chain::Timestamp;
+use eth_types::{keccak256, Address};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use webscan::{Fingerprint, Site, SiteFile};
+
+use crate::config::WorldConfig;
+use crate::sampler::{chance, uniform_time, Weighted};
+use crate::truth::GroundTruth;
+
+/// When the paper's CT watcher started (detections span 2023-12-01 to
+/// 2025-04-01).
+pub fn detection_start() -> Timestamp {
+    daas_chain::month_start(2023, 12)
+}
+
+/// Ground truth for one site.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiteTruth {
+    /// Family index, `None` for benign sites.
+    pub family: Option<usize>,
+    /// Deploying affiliate for drainer sites.
+    pub affiliate: Option<Address>,
+    /// Independently reported to the community (fingerprint-expansion
+    /// source).
+    pub reported: bool,
+    /// Whether the domain carries a triage-visible keyword (exact or
+    /// typo).
+    pub keyword_visible: bool,
+}
+
+/// The generated website world.
+#[derive(Debug, Clone, Default)]
+pub struct SitePopulation {
+    /// All sites, drainer and benign (only benign sites that could ever
+    /// be crawled — i.e. keyword-bearing — are materialised).
+    pub sites: Vec<Site>,
+    /// Parallel ground truth for `sites`.
+    pub truth: Vec<SiteTruth>,
+    /// The CT stream: one cert per TLS site, sorted by issuance time.
+    pub certs: Vec<CertRecord>,
+    /// Initial fingerprints ("acquired from Telegram groups"): the first
+    /// two builds of every family toolkit file.
+    pub seed_fingerprints: Vec<Fingerprint>,
+    /// Indices into `sites` of community-reported drainer sites.
+    pub reported: Vec<usize>,
+    /// Domains already taken down when the crawler arrives.
+    pub down: HashSet<String>,
+}
+
+/// TLD mix for drainer domains: Table 4's top ten plus a long tail of
+/// miscellaneous TLDs, each kept under the table's 10th share so the
+/// top-10 ranking is stable.
+const PHISH_TLDS: [(&str, f64); 10] = [
+    ("com", 30.0),
+    ("dev", 13.6),
+    ("app", 11.6),
+    ("xyz", 7.5),
+    ("net", 5.6),
+    ("org", 3.8),
+    ("network", 2.4),
+    ("io", 2.0),
+    ("top", 1.6),
+    ("online", 1.4),
+];
+
+const MISC_TLDS: [&str; 25] = [
+    "site", "live", "info", "pro", "cc", "me", "club", "space", "store", "fun", "run", "lol",
+    "vip", "life", "world", "today", "digital", "finance", "zone", "cloud", "tech", "link",
+    "click", "wiki", "monster",
+];
+
+/// Keywords the *generator* uses to brand drainer domains. A subset of
+/// the detector's list (scammers and defenders converge on the same
+/// vocabulary) — drawn only from words of length ≥ 4 so typo variants
+/// can clear the 0.8 similarity bar.
+const DOMAIN_KEYWORDS: [&str; 18] = [
+    "claim", "airdrop", "mint", "reward", "rewards", "stake", "bridge", "whitelist", "presale",
+    "giveaway", "bonus", "migration", "eligible", "snapshot", "redeem", "unlock", "portal",
+    "allocation",
+];
+
+/// Project words drainer sites impersonate.
+const PROJECT_WORDS: [&str; 16] = [
+    "azuki", "pepe", "zksync", "arbitrum", "blur", "opensea", "uniswap", "linea", "starknet",
+    "blast", "layerzero", "eigen", "celestia", "metamask", "optimism", "apecoin",
+];
+
+/// Neutral words for keyword-free drainer domains and benign sites.
+const NEUTRAL_WORDS: [&str; 20] = [
+    "vaultic", "zentro", "nexora", "lumio", "orbix", "quanta", "stellarix", "novum", "arcadia",
+    "polarex", "meridia", "kestrel", "aurivon", "corvid", "santero", "velaris", "ondura",
+    "tessera", "bravos", "calypso",
+];
+
+/// Benign site vocabulary (never overlaps the keyword list).
+const BENIGN_WORDS: [&str; 24] = [
+    "weather", "bakery", "garden", "news", "recipes", "travel", "fitness", "photo", "books",
+    "music", "school", "dental", "plumbing", "roofing", "florist", "cafe", "museum", "cycling",
+    "karate", "pottery", "law", "realty", "consulting", "insurance",
+];
+
+/// Ambiguous benign words that legitimately contain or resemble
+/// suspicious keywords ("claims processing", "staking ladders"...).
+const BENIGN_AMBIG: [&str; 6] = ["claims", "rewards", "minty", "bridge", "portal", "tokens"];
+
+/// Deterministic 64-bit content digest for a toolkit build.
+fn build_hash(slug: &str, file: &str, version: u32) -> u64 {
+    let mut buf = Vec::with_capacity(slug.len() + file.len() + 12);
+    buf.extend_from_slice(b"toolkit:");
+    buf.extend_from_slice(slug.as_bytes());
+    buf.push(b'/');
+    buf.extend_from_slice(file.as_bytes());
+    buf.extend_from_slice(&version.to_be_bytes());
+    keccak256(&buf).to_low_u64()
+}
+
+/// Deterministic digest for benign file content.
+fn benign_hash(domain: &str, file: &str) -> u64 {
+    let mut buf = Vec::with_capacity(domain.len() + file.len() + 8);
+    buf.extend_from_slice(b"benign:");
+    buf.extend_from_slice(domain.as_bytes());
+    buf.push(b'/');
+    buf.extend_from_slice(file.as_bytes());
+    keccak256(&buf).to_low_u64()
+}
+
+/// Leet-speak typo of a keyword: first substitutable letter becomes a
+/// digit lookalike. One substitution in a ≥ 4-letter word keeps
+/// Levenshtein similarity ≥ 0.75; we only call this for len ≥ 5 (≥ 0.8).
+fn leet_typo(word: &str) -> String {
+    let mut out = String::with_capacity(word.len());
+    let mut done = false;
+    for c in word.chars() {
+        let sub = match c {
+            'o' if !done => '0',
+            'i' if !done => '1',
+            'e' if !done => '3',
+            'a' if !done => '4',
+            _ => c,
+        };
+        if sub != c {
+            done = true;
+        }
+        out.push(sub);
+    }
+    out
+}
+
+struct DomainForge {
+    used: HashSet<String>,
+    tld_picker: Weighted,
+    tlds: Vec<&'static str>,
+}
+
+impl DomainForge {
+    fn new() -> Self {
+        let mut tlds: Vec<&'static str> = PHISH_TLDS.iter().map(|(t, _)| *t).collect();
+        let mut weights: Vec<f64> = PHISH_TLDS.iter().map(|(_, w)| *w).collect();
+        let misc_total = 100.0 - weights.iter().sum::<f64>();
+        let per_misc = misc_total / MISC_TLDS.len() as f64;
+        for t in MISC_TLDS {
+            tlds.push(t);
+            weights.push(per_misc);
+        }
+        DomainForge { used: HashSet::new(), tld_picker: Weighted::new(&weights), tlds }
+    }
+
+    /// Synthesises a unique drainer domain. Returns the domain and
+    /// whether it carries a triage-visible keyword.
+    fn drainer_domain(&mut self, rng: &mut StdRng, cfg: &WorldConfig) -> (String, bool) {
+        let tld = self.tlds[self.tld_picker.sample(rng)];
+        let with_keyword = chance(rng, cfg.site_keyword_rate);
+        let stem = if with_keyword {
+            let kw = DOMAIN_KEYWORDS[rng.gen_range(0..DOMAIN_KEYWORDS.len())];
+            if kw.len() >= 5 && chance(rng, cfg.site_typo_rate) {
+                // Leet-typo evasion: pair the typo'd keyword with a
+                // *neutral* word — the whole point of the typo is that
+                // nothing in the domain matches a blocklist exactly, so
+                // only the fuzzy pass can catch it.
+                let kw = leet_typo(kw);
+                let n = NEUTRAL_WORDS[rng.gen_range(0..NEUTRAL_WORDS.len())];
+                if chance(rng, 0.5) {
+                    format!("{kw}-{n}")
+                } else {
+                    format!("{n}-{kw}")
+                }
+            } else {
+                let proj = PROJECT_WORDS[rng.gen_range(0..PROJECT_WORDS.len())];
+                match rng.gen_range(0..3u8) {
+                    0 => format!("{kw}-{proj}"),
+                    1 => format!("{proj}-{kw}"),
+                    _ => format!("{proj}{kw}"),
+                }
+            }
+        } else {
+            // Keyword-free: escapes triage by construction.
+            let a = NEUTRAL_WORDS[rng.gen_range(0..NEUTRAL_WORDS.len())];
+            let b = NEUTRAL_WORDS[rng.gen_range(0..NEUTRAL_WORDS.len())];
+            format!("{a}-{b}")
+        };
+        (self.unique(stem, tld, rng), with_keyword)
+    }
+
+    /// Synthesises a unique benign domain; `ambiguous` forces a
+    /// keyword-resembling word in.
+    fn benign_domain(&mut self, rng: &mut StdRng, ambiguous: bool) -> String {
+        // Benign TLD mix skews to com/net/org.
+        let tld = match rng.gen_range(0..10u8) {
+            0..=5 => "com",
+            6 => "net",
+            7 => "org",
+            8 => "io",
+            _ => "dev",
+        };
+        let a = BENIGN_WORDS[rng.gen_range(0..BENIGN_WORDS.len())];
+        let stem = if ambiguous {
+            let k = BENIGN_AMBIG[rng.gen_range(0..BENIGN_AMBIG.len())];
+            format!("{a}-{k}")
+        } else {
+            let b = BENIGN_WORDS[rng.gen_range(0..BENIGN_WORDS.len())];
+            format!("{a}-{b}")
+        };
+        self.unique(stem, tld, rng)
+    }
+
+    fn unique(&mut self, stem: String, tld: &str, rng: &mut StdRng) -> String {
+        let base = format!("{stem}.{tld}");
+        if self.used.insert(base.clone()) {
+            return base;
+        }
+        loop {
+            let n: u32 = rng.gen_range(2..100_000);
+            let candidate = format!("{stem}-{n}.{tld}");
+            if self.used.insert(candidate.clone()) {
+                return candidate;
+            }
+        }
+    }
+}
+
+/// Generates the full site population for a built ground truth.
+pub fn generate_sites(
+    rng: &mut StdRng,
+    cfg: &WorldConfig,
+    truth: &GroundTruth,
+) -> SitePopulation {
+    let mut forge = DomainForge::new();
+    let mut pop = SitePopulation::default();
+
+    // Seed fingerprints: builds 0 and 1 of every family toolkit file.
+    for (fi, fam) in truth.families.iter().enumerate() {
+        let fam_cfg = &cfg.families[fi];
+        for file in &fam_cfg.toolkit_files {
+            for version in 0..2u32.min(fam_cfg.toolkit_versions) {
+                pop.seed_fingerprints.push(Fingerprint {
+                    file: file.clone(),
+                    content: build_hash(&fam_cfg.slug, file, version),
+                    family: fam.display_name(),
+                });
+            }
+        }
+    }
+
+    // Drainer sites, distributed across families by victim share.
+    let victim_weights: Vec<f64> =
+        cfg.families.iter().map(|f| f.victims as f64).collect();
+    let family_picker = Weighted::new(&victim_weights);
+    let n_sites = cfg.scaled(cfg.drainer_sites) as usize;
+    for _ in 0..n_sites {
+        let fi = family_picker.sample(rng);
+        let fam_cfg = &cfg.families[fi];
+        let fam = &truth.families[fi];
+        let deployed_at = uniform_time(rng, fam.window.0, fam.window.1);
+        // Toolkit build version advances with time through the family's
+        // window, with slight jitter (affiliates lag updates).
+        let frac = (deployed_at - fam.window.0) as f64
+            / (fam.window.1 - fam.window.0).max(1) as f64;
+        let max_v = fam_cfg.toolkit_versions.max(1);
+        let v_base = (frac * max_v as f64) as i64;
+        let version = (v_base - rng.gen_range(0..3i64)).clamp(0, max_v as i64 - 1) as u32;
+
+        let (domain, keyword_visible) = forge.drainer_domain(rng, cfg);
+        let has_tls = chance(rng, cfg.site_tls_rate);
+        let affiliate = if fam.affiliates.is_empty() {
+            None
+        } else {
+            Some(fam.affiliates[rng.gen_range(0..fam.affiliates.len())])
+        };
+
+        let mut files = vec![
+            SiteFile::new("index.html", benign_hash(&domain, "index.html")),
+            // The CDN library from Listing 2 — identical everywhere, and
+            // deliberately NOT a usable fingerprint (benign sites may
+            // serve it too).
+            SiteFile::new("ethers.umd.min.js", build_hash("shared", "ethers.umd.min.js", 0)),
+        ];
+        for file in &fam_cfg.toolkit_files {
+            files.push(SiteFile::new(file, build_hash(&fam_cfg.slug, file, version)));
+        }
+        // The per-affiliate config blob with a unique random name
+        // (Listing 2's `8839a83b-….js`): unique name AND content, so it
+        // can never be fingerprinted — realism for the detector.
+        files.push(SiteFile::new(
+            &format!("{:016x}.js", rng.gen::<u64>()),
+            rng.gen::<u64>(),
+        ));
+
+        if has_tls {
+            pop.certs.push(CertRecord {
+                domain: domain.clone(),
+                issued_at: deployed_at + rng.gen_range(0..7_200),
+            });
+        }
+        let reported = chance(rng, cfg.site_reported_rate);
+        if chance(rng, cfg.site_down_rate) {
+            pop.down.insert(domain.clone());
+        }
+        if reported {
+            pop.reported.push(pop.sites.len());
+        }
+        pop.sites.push(Site { domain, deployed_at, has_tls, files });
+        pop.truth.push(SiteTruth {
+            family: Some(fi),
+            affiliate,
+            reported,
+            keyword_visible,
+        });
+    }
+
+    // Benign certificates. Only the ambiguous (keyword-resembling) share
+    // is materialised as crawlable sites; the rest never passes triage.
+    let n_benign = cfg.scaled(cfg.benign_certs) as usize;
+    let window = (crate::config::collection_start(), crate::config::collection_end());
+    for _ in 0..n_benign {
+        let ambiguous = chance(rng, 0.15);
+        let domain = forge.benign_domain(rng, ambiguous);
+        let issued_at = uniform_time(rng, window.0, window.1);
+        pop.certs.push(CertRecord { domain: domain.clone(), issued_at });
+        if ambiguous {
+            let files = vec![
+                SiteFile::new("index.html", benign_hash(&domain, "index.html")),
+                SiteFile::new("main.js", benign_hash(&domain, "main.js")),
+                SiteFile::new("vendor.js", benign_hash(&domain, "vendor.js")),
+            ];
+            pop.sites.push(Site { domain, deployed_at: issued_at, has_tls: true, files });
+            pop.truth.push(SiteTruth {
+                family: None,
+                affiliate: None,
+                reported: false,
+                keyword_visible: true,
+            });
+        }
+    }
+
+    pop.certs.sort_by_key(|c| c.issued_at);
+    pop
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leet_typo_single_substitution() {
+        assert_eq!(leet_typo("claim"), "cl4im");
+        assert_eq!(leet_typo("mint"), "m1nt");
+        assert_eq!(leet_typo("xyz"), "xyz"); // nothing substitutable
+        // Exactly one substitution.
+        let t = leet_typo("airdrop");
+        let diff = t.chars().zip("airdrop".chars()).filter(|(a, b)| a != b).count();
+        assert_eq!(diff, 1);
+        assert!(ct_watch::similarity("airdrop", &t) >= 0.8);
+    }
+
+    #[test]
+    fn build_hashes_distinguish_versions_and_files() {
+        let a = build_hash("angel", "webchunk.js", 0);
+        let b = build_hash("angel", "webchunk.js", 1);
+        let c = build_hash("angel", "settings.js", 0);
+        let d = build_hash("pink", "webchunk.js", 0);
+        assert!(a != b && a != c && a != d && b != c);
+    }
+
+    #[test]
+    fn domain_keywords_subset_of_detector_list() {
+        for kw in DOMAIN_KEYWORDS {
+            assert!(
+                ct_watch::SUSPICIOUS_KEYWORDS.contains(&kw),
+                "{kw} missing from detector list"
+            );
+        }
+        // Project words the forge fuses with keywords are also in the
+        // detector's list (they're the cloned-brand vocabulary)… most of
+        // them, at least; the triage only needs one hit per domain.
+    }
+
+    #[test]
+    fn benign_words_never_trigger_exact_keywords() {
+        for w in BENIGN_WORDS {
+            assert!(
+                !ct_watch::SUSPICIOUS_KEYWORDS.contains(&w),
+                "benign word {w} collides with keyword list"
+            );
+        }
+    }
+
+    #[test]
+    fn forge_produces_unique_domains() {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = WorldConfig::tiny(1);
+        let mut forge = DomainForge::new();
+        let mut seen = HashSet::new();
+        for _ in 0..500 {
+            let (d, _) = forge.drainer_domain(&mut rng, &cfg);
+            assert!(seen.insert(d.clone()), "duplicate domain {d}");
+            assert!(d.contains('.'));
+        }
+        for _ in 0..500 {
+            let d = forge.benign_domain(&mut rng, false);
+            assert!(seen.insert(d.clone()), "duplicate domain {d}");
+        }
+    }
+
+    #[test]
+    fn detection_start_is_dec_2023() {
+        assert_eq!(daas_chain::format_date(detection_start()), "2023-12-01");
+    }
+}

@@ -1,0 +1,251 @@
+//! Ground-truth records the generator emits alongside the observable
+//! world. The detection pipeline never reads these; the evaluation
+//! harness scores against them.
+
+use daas_chain::{EntryStyle, Timestamp, TxId};
+use eth_types::Address;
+use serde::{Deserialize, Serialize};
+
+/// What asset an incident drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IncidentKind {
+    /// Direct ETH transfer into the contract's payable entry.
+    Eth,
+    /// ERC-20 approval followed by a `multicall` sweep.
+    Erc20 {
+        /// Token contract drained.
+        token: Address,
+    },
+    /// NFT approval, sweep, marketplace sale, then ETH distribution.
+    Nft {
+        /// Collection contract.
+        token: Address,
+        /// Token id.
+        id: u64,
+    },
+}
+
+/// One phishing incident: a victim signing into one drain flow.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IncidentTruth {
+    /// Index into [`GroundTruth::families`].
+    pub family: usize,
+    /// Victim account.
+    pub victim: Address,
+    /// Affiliate credited by the profit share.
+    pub affiliate: Address,
+    /// Profit-sharing contract used.
+    pub contract: Address,
+    /// Time of the profit-sharing transaction.
+    pub time: Timestamp,
+    /// Drained asset kind.
+    pub kind: IncidentKind,
+    /// Victim's loss in USD at incident time.
+    pub loss_usd: f64,
+    /// The profit-sharing transaction this incident produced.
+    pub ps_tx: TxId,
+    /// True for the simultaneous-multi-sign extra incidents of §6.1.
+    pub simultaneous_with_first: bool,
+    /// True for re-drains that reused an unrevoked approval (§6.1).
+    pub reused_approval: bool,
+}
+
+/// Ground truth for one profit-sharing contract.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ContractTruth {
+    /// Deployed address.
+    pub address: Address,
+    /// The operator account hard-coded at deployment.
+    pub operator: Address,
+    /// Operator share in basis points.
+    pub operator_bps: u32,
+    /// ETH entry style.
+    pub entry: EntryStyle,
+    /// Planned activity window.
+    pub window: (Timestamp, Timestamp),
+    /// Whether this was a long-lived "primary" contract (§7.2).
+    pub primary: bool,
+}
+
+/// Ground truth for one DaaS family.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FamilyTruth {
+    /// Index (stable across runs of the same config).
+    pub id: usize,
+    /// Public label, if the family is named on the explorer.
+    pub label: Option<String>,
+    /// Config slug.
+    pub slug: String,
+    /// Operator accounts.
+    pub operators: Vec<Address>,
+    /// Profit-sharing contracts.
+    pub contracts: Vec<ContractTruth>,
+    /// Affiliate accounts.
+    pub affiliates: Vec<Address>,
+    /// Activity window.
+    pub window: (Timestamp, Timestamp),
+}
+
+impl FamilyTruth {
+    /// The display name the paper's naming rule yields: the explorer
+    /// label if present, else the first six hex digits of the (first)
+    /// operator account.
+    pub fn display_name(&self) -> String {
+        match &self.label {
+            Some(l) => l.clone(),
+            None => self.operators.first().map(|o| o.prefix6()).unwrap_or_else(|| "<empty>".into()),
+        }
+    }
+}
+
+/// Everything the generator knows that the pipeline must rediscover.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// The families.
+    pub families: Vec<FamilyTruth>,
+    /// Every incident, in generation order.
+    pub incidents: Vec<IncidentTruth>,
+}
+
+impl GroundTruth {
+    /// All profit-sharing contract addresses across families.
+    pub fn all_contracts(&self) -> Vec<Address> {
+        let mut v: Vec<Address> = self
+            .families
+            .iter()
+            .flat_map(|f| f.contracts.iter().map(|c| c.address))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// All operator accounts across families.
+    pub fn all_operators(&self) -> Vec<Address> {
+        let mut v: Vec<Address> =
+            self.families.iter().flat_map(|f| f.operators.iter().copied()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// All affiliate accounts across families.
+    pub fn all_affiliates(&self) -> Vec<Address> {
+        let mut v: Vec<Address> =
+            self.families.iter().flat_map(|f| f.affiliates.iter().copied()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// All DaaS accounts (contracts + operators + affiliates) — the
+    /// paper's collective term.
+    pub fn all_daas_accounts(&self) -> Vec<Address> {
+        let mut v = self.all_contracts();
+        v.extend(self.all_operators());
+        v.extend(self.all_affiliates());
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Distinct victim accounts.
+    pub fn all_victims(&self) -> Vec<Address> {
+        let mut v: Vec<Address> = self.incidents.iter().map(|i| i.victim).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// The set of profit-sharing transaction ids (ground truth positives
+    /// for the classifier).
+    pub fn ps_tx_ids(&self) -> Vec<TxId> {
+        let mut v: Vec<TxId> = self.incidents.iter().map(|i| i.ps_tx).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Family index that owns a contract, if any.
+    pub fn family_of_contract(&self, contract: Address) -> Option<usize> {
+        self.families
+            .iter()
+            .position(|f| f.contracts.iter().any(|c| c.address == contract))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(n: u8) -> Address {
+        Address::from_key_seed(&[n])
+    }
+
+    fn truth() -> GroundTruth {
+        GroundTruth {
+            families: vec![
+                FamilyTruth {
+                    id: 0,
+                    label: Some("Angel Drainer".into()),
+                    slug: "angel".into(),
+                    operators: vec![addr(1)],
+                    contracts: vec![ContractTruth {
+                        address: addr(10),
+                        operator: addr(1),
+                        operator_bps: 2000,
+                        entry: EntryStyle::PayableFallback,
+                        window: (0, 100),
+                        primary: true,
+                    }],
+                    affiliates: vec![addr(20), addr(21)],
+                    window: (0, 100),
+                },
+                FamilyTruth {
+                    id: 1,
+                    label: None,
+                    slug: "anon".into(),
+                    operators: vec![addr(2)],
+                    contracts: vec![],
+                    affiliates: vec![addr(21)],
+                    window: (0, 50),
+                },
+            ],
+            incidents: vec![IncidentTruth {
+                family: 0,
+                victim: addr(30),
+                affiliate: addr(20),
+                contract: addr(10),
+                time: 5,
+                kind: IncidentKind::Eth,
+                loss_usd: 100.0,
+                ps_tx: 7,
+                simultaneous_with_first: false,
+                reused_approval: false,
+            }],
+        }
+    }
+
+    #[test]
+    fn display_name_label_or_prefix() {
+        let t = truth();
+        assert_eq!(t.families[0].display_name(), "Angel Drainer");
+        assert_eq!(t.families[1].display_name(), addr(2).prefix6());
+    }
+
+    #[test]
+    fn account_rollups_dedupe() {
+        let t = truth();
+        assert_eq!(t.all_contracts(), vec![addr(10)]);
+        assert_eq!(t.all_operators().len(), 2);
+        // addr(21) affiliates for both families → deduped in the union.
+        assert_eq!(t.all_affiliates().len(), 3);
+        assert_eq!(t.all_daas_accounts().len(), 1 + 2 + 2);
+        assert_eq!(t.all_victims(), vec![addr(30)]);
+        assert_eq!(t.ps_tx_ids(), vec![7]);
+    }
+
+    #[test]
+    fn contract_family_lookup() {
+        let t = truth();
+        assert_eq!(t.family_of_contract(addr(10)), Some(0));
+        assert_eq!(t.family_of_contract(addr(99)), None);
+    }
+}

@@ -1,0 +1,101 @@
+//! Hex encoding/decoding helpers shared by the fixed-size byte types.
+
+use core::fmt;
+
+/// Error produced by [`decode_hex`] and the fixed-size parsers built on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HexError {
+    /// A byte that is not a hex digit, at the given offset in the input.
+    InvalidChar {
+        /// Byte offset of the offending character.
+        at: usize,
+    },
+    /// The input had an odd number of nibbles.
+    OddLength,
+    /// Decoded length did not match the expected fixed size (in bytes).
+    BadLength {
+        /// Expected decoded length in bytes.
+        expected: usize,
+        /// Actual decoded length in bytes.
+        got: usize,
+    },
+}
+
+impl fmt::Display for HexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HexError::InvalidChar { at } => write!(f, "invalid hex character at offset {at}"),
+            HexError::OddLength => write!(f, "odd number of hex digits"),
+            HexError::BadLength { expected, got } => {
+                write!(f, "expected {expected} bytes, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HexError {}
+
+/// Decodes a hex string (optionally `0x`-prefixed) into bytes.
+pub fn decode_hex(s: &str) -> Result<Vec<u8>, HexError> {
+    let t = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+    let prefix = s.len() - t.len();
+    if !t.len().is_multiple_of(2) {
+        return Err(HexError::OddLength);
+    }
+    let mut out = Vec::with_capacity(t.len() / 2);
+    let bytes = t.as_bytes();
+    for i in (0..bytes.len()).step_by(2) {
+        let hi = nibble(bytes[i]).ok_or(HexError::InvalidChar { at: prefix + i })?;
+        let lo = nibble(bytes[i + 1]).ok_or(HexError::InvalidChar { at: prefix + i + 1 })?;
+        out.push(hi << 4 | lo);
+    }
+    Ok(out)
+}
+
+/// Encodes bytes as a `0x`-prefixed lowercase hex string.
+pub fn encode_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(2 + bytes.len() * 2);
+    s.push_str("0x");
+    for &b in bytes {
+        s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+        s.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+    }
+    s
+}
+
+fn nibble(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let bytes = [0x00, 0x01, 0xab, 0xff];
+        let s = encode_hex(&bytes);
+        assert_eq!(s, "0x0001abff");
+        assert_eq!(decode_hex(&s).unwrap(), bytes);
+        assert_eq!(decode_hex("0001ABFF").unwrap(), bytes);
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(encode_hex(&[]), "0x");
+        assert_eq!(decode_hex("0x").unwrap(), Vec::<u8>::new());
+        assert_eq!(decode_hex("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(decode_hex("abc"), Err(HexError::OddLength));
+        assert_eq!(decode_hex("0xzz"), Err(HexError::InvalidChar { at: 2 }));
+        assert_eq!(decode_hex("zz"), Err(HexError::InvalidChar { at: 0 }));
+    }
+}

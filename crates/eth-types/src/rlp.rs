@@ -1,0 +1,106 @@
+//! Minimal RLP (Recursive Length Prefix) encoder.
+//!
+//! Only the subset needed by the workspace is implemented: byte-string and
+//! list encoding, which is exactly what `CREATE` contract-address
+//! derivation (`keccak256(rlp([sender, nonce]))[12..]`) requires.
+
+/// Appends the RLP encoding of a byte string to `out`.
+pub fn encode_bytes(data: &[u8], out: &mut Vec<u8>) {
+    if data.len() == 1 && data[0] < 0x80 {
+        out.push(data[0]);
+    } else if data.len() <= 55 {
+        out.push(0x80 + data.len() as u8);
+        out.extend_from_slice(data);
+    } else {
+        let len_bytes = be_trimmed(data.len() as u64);
+        out.push(0xb7 + len_bytes.len() as u8);
+        out.extend_from_slice(&len_bytes);
+        out.extend_from_slice(data);
+    }
+}
+
+/// Appends the RLP encoding of an unsigned integer (big-endian, no leading
+/// zeros; zero encodes as the empty string, per the spec).
+pub fn encode_uint(v: u64, out: &mut Vec<u8>) {
+    if v == 0 {
+        out.push(0x80);
+    } else {
+        encode_bytes(&be_trimmed(v), out);
+    }
+}
+
+/// Wraps already-encoded `payload` items as an RLP list.
+pub fn wrap_list(payload: &[u8], out: &mut Vec<u8>) {
+    if payload.len() <= 55 {
+        out.push(0xc0 + payload.len() as u8);
+    } else {
+        let len_bytes = be_trimmed(payload.len() as u64);
+        out.push(0xf7 + len_bytes.len() as u8);
+        out.extend_from_slice(&len_bytes);
+    }
+    out.extend_from_slice(payload);
+}
+
+fn be_trimmed(v: u64) -> Vec<u8> {
+    let be = v.to_be_bytes();
+    let start = be.iter().position(|&b| b != 0).unwrap_or(7);
+    be[start..].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bytes(data: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_bytes(data, &mut out);
+        out
+    }
+
+    #[test]
+    fn spec_vectors() {
+        // From the Ethereum wiki RLP test vectors.
+        assert_eq!(bytes(b"dog"), vec![0x83, b'd', b'o', b'g']);
+        assert_eq!(bytes(b""), vec![0x80]);
+        assert_eq!(bytes(&[0x00]), vec![0x00]);
+        assert_eq!(bytes(&[0x0f]), vec![0x0f]);
+        assert_eq!(bytes(&[0x83]), vec![0x81, 0x83]);
+        // "Lorem ipsum..." 56 bytes -> long-form header 0xb8, 0x38.
+        let lorem = b"Lorem ipsum dolor sit amet, consectetur adipisicing elit";
+        let enc = bytes(lorem);
+        assert!(lorem.len() > 55);
+        assert_eq!(&enc[..2], &[0xb8, lorem.len() as u8]);
+        assert_eq!(&enc[2..], lorem);
+    }
+
+    #[test]
+    fn uint_vectors() {
+        let mut out = Vec::new();
+        encode_uint(0, &mut out);
+        assert_eq!(out, vec![0x80]);
+        out.clear();
+        encode_uint(15, &mut out);
+        assert_eq!(out, vec![0x0f]);
+        out.clear();
+        encode_uint(1024, &mut out);
+        assert_eq!(out, vec![0x82, 0x04, 0x00]);
+    }
+
+    #[test]
+    fn list_vectors() {
+        // ["cat", "dog"] -> 0xc8 0x83 'c' 'a' 't' 0x83 'd' 'o' 'g'
+        let mut payload = Vec::new();
+        encode_bytes(b"cat", &mut payload);
+        encode_bytes(b"dog", &mut payload);
+        let mut out = Vec::new();
+        wrap_list(&payload, &mut out);
+        assert_eq!(
+            out,
+            vec![0xc8, 0x83, b'c', b'a', b't', 0x83, b'd', b'o', b'g']
+        );
+        // Empty list -> 0xc0.
+        let mut empty = Vec::new();
+        wrap_list(&[], &mut empty);
+        assert_eq!(empty, vec![0xc0]);
+    }
+}

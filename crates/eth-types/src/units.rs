@@ -1,0 +1,117 @@
+//! Wei / gwei / ether conversions and display helpers.
+//!
+//! All token accounting in the workspace is in wei ([`U256`]); these
+//! helpers exist at the edges: world generation (ether in, wei stored)
+//! and reporting (wei in, ether/USD out).
+
+use crate::U256;
+
+/// Wei per gwei: 10^9.
+pub const WEI_PER_GWEI: u64 = 1_000_000_000;
+/// Wei per ether: 10^18.
+pub const WEI_PER_ETHER: u128 = 1_000_000_000_000_000_000;
+
+/// Converts a whole number of ether to wei.
+pub fn ether(n: u64) -> U256 {
+    U256::from_u128(n as u128 * WEI_PER_ETHER)
+}
+
+/// Converts a fractional amount of ether (milli-ether resolution) to wei.
+///
+/// Takes milliether to keep the conversion exact: `milliether(9_130)` is
+/// 9.13 ETH.
+pub fn milliether(n: u64) -> U256 {
+    U256::from_u128(n as u128 * (WEI_PER_ETHER / 1_000))
+}
+
+/// Converts gwei to wei.
+pub fn gwei(n: u64) -> U256 {
+    U256::from_u128(n as u128 * WEI_PER_GWEI as u128)
+}
+
+/// Converts a float amount of ether to wei, rounding to the nearest wei.
+///
+/// Used only by the world generator when sampling from continuous loss
+/// distributions; accounting paths never round-trip through floats.
+pub fn ether_f64(amount: f64) -> U256 {
+    assert!(amount.is_finite() && amount >= 0.0, "ether_f64: invalid amount {amount}");
+    // Split into integral + fractional to keep precision for large values.
+    let whole = amount.trunc() as u128;
+    let frac_wei = (amount.fract() * WEI_PER_ETHER as f64).round() as u128;
+    U256::from_u128(whole)
+        .checked_mul(U256::from_u128(WEI_PER_ETHER))
+        .and_then(|v| v.checked_add(U256::from_u128(frac_wei)))
+        .expect("ether_f64: overflow")
+}
+
+/// Converts wei to a lossy ether `f64` for display and bucketing.
+pub fn to_ether_f64(wei: U256) -> f64 {
+    wei.to_f64_lossy() / WEI_PER_ETHER as f64
+}
+
+/// Formats a wei amount as ether with the given number of decimals,
+/// truncating (explorer-style: `"9.130"` for 9.13 ETH at 3 decimals).
+pub fn format_ether(wei: U256, decimals: usize) -> String {
+    let (whole, rem) = wei.div_rem(U256::from_u128(WEI_PER_ETHER));
+    if decimals == 0 {
+        return whole.to_string();
+    }
+    let mut frac = String::with_capacity(decimals);
+    let mut rem = rem;
+    let ten = U256::from_u64(10);
+    for _ in 0..decimals.min(18) {
+        rem = rem * ten;
+        let (digit, r) = rem.div_rem(U256::from_u128(WEI_PER_ETHER));
+        frac.push(char::from_digit(digit.as_u64().unwrap_or(0) as u32, 10).unwrap());
+        rem = r;
+    }
+    while frac.len() < decimals {
+        frac.push('0');
+    }
+    format!("{whole}.{frac}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_units() {
+        assert_eq!(ether(1).to_string(), "1000000000000000000");
+        assert_eq!(gwei(1).to_string(), "1000000000");
+        assert_eq!(milliether(9_130).to_string(), "9130000000000000000");
+    }
+
+    #[test]
+    fn float_conversion_roundtrip() {
+        let wei = ether_f64(9.13);
+        assert!((to_ether_f64(wei) - 9.13).abs() < 1e-9);
+        assert_eq!(ether_f64(0.0), U256::ZERO);
+        let one = ether_f64(1.0);
+        assert_eq!(one, ether(1));
+    }
+
+    #[test]
+    fn float_large_values() {
+        let wei = ether_f64(1_000_000.5);
+        assert!((to_ether_f64(wei) - 1_000_000.5).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid amount")]
+    fn float_negative_panics() {
+        let _ = ether_f64(-1.0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(format_ether(milliether(9_130), 3), "9.130");
+        assert_eq!(format_ether(milliether(9_130), 0), "9");
+        assert_eq!(format_ether(ether(27), 2), "27.00");
+        assert_eq!(format_ether(U256::ZERO, 4), "0.0000");
+        // 1 wei at 18 decimals shows the last digit.
+        assert_eq!(format_ether(U256::ONE, 18), "0.000000000000000001");
+        // Requesting more than 18 decimals pads with zeros.
+        assert_eq!(format_ether(U256::ONE, 20), "0.00000000000000000100");
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests for `U256` arithmetic invariants.
+
+use eth_types::U256;
+use proptest::prelude::*;
+
+fn arb_u256() -> impl Strategy<Value = U256> {
+    any::<[u64; 4]>().prop_map(U256::from_limbs)
+}
+
+fn arb_small() -> impl Strategy<Value = U256> {
+    any::<u128>().prop_map(U256::from_u128)
+}
+
+proptest! {
+    #[test]
+    fn add_commutative(a in arb_u256(), b in arb_u256()) {
+        prop_assert_eq!(a.overflowing_add(b), b.overflowing_add(a));
+    }
+
+    #[test]
+    fn add_sub_inverse(a in arb_u256(), b in arb_u256()) {
+        let (sum, overflow) = a.overflowing_add(b);
+        if !overflow {
+            prop_assert_eq!(sum - b, a);
+            prop_assert_eq!(sum - a, b);
+        }
+    }
+
+    #[test]
+    fn sub_wraps_consistently(a in arb_u256(), b in arb_u256()) {
+        let (diff, borrow) = a.overflowing_sub(b);
+        // Wrapping add back always recovers a, borrow or not.
+        prop_assert_eq!(diff.overflowing_add(b).0, a);
+        prop_assert_eq!(borrow, a < b);
+    }
+
+    #[test]
+    fn mul_commutative_small(a in arb_small(), b in arb_small()) {
+        prop_assert_eq!(a.checked_mul(b), b.checked_mul(a));
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let product = U256::from_u64(a) * U256::from_u64(b);
+        prop_assert_eq!(product.as_u128(), Some(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a in arb_u256(), b in arb_u256()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(b);
+        prop_assert!(r < b);
+        prop_assert_eq!(q.checked_mul(b).and_then(|p| p.checked_add(r)), Some(a));
+    }
+
+    #[test]
+    fn mul_div_exact_when_divisible(a in arb_small(), num in 1u64..=1000, den in 1u64..=1000) {
+        // (a * den) * num / den == a * num when no truncation can occur.
+        let scaled = a.checked_mul(U256::from_u64(den));
+        prop_assume!(scaled.is_some());
+        let scaled = scaled.unwrap();
+        let expect = a.checked_mul(U256::from_u64(num));
+        prop_assume!(expect.is_some());
+        prop_assert_eq!(
+            scaled.mul_div(U256::from_u64(num), U256::from_u64(den)),
+            expect.unwrap()
+        );
+    }
+
+    #[test]
+    fn mul_div_matches_mul_then_div(a in arb_small(), num in 1u64..=10_000, den in 1u64..=10_000) {
+        // When a*num fits in 256 bits, mul_div must agree with (a*num)/den.
+        if let Some(product) = a.checked_mul(U256::from_u64(num)) {
+            prop_assert_eq!(
+                a.mul_div(U256::from_u64(num), U256::from_u64(den)),
+                product / U256::from_u64(den)
+            );
+        }
+    }
+
+    #[test]
+    fn mul_div_512bit_profit_split(a in arb_u256(), pct in 1u64..=99) {
+        // The profit-split path: a * pct / 100 never overflows and is
+        // monotone in pct.
+        let share = a.mul_div(U256::from_u64(pct), U256::from_u64(100));
+        prop_assert!(share <= a);
+        if pct < 99 {
+            let next = a.mul_div(U256::from_u64(pct + 1), U256::from_u64(100));
+            prop_assert!(share <= next);
+        }
+    }
+
+    #[test]
+    fn shift_roundtrip(a in arb_u256(), s in 0u32..256) {
+        let masked = (a >> s) << s;
+        // Low s bits are cleared, rest preserved.
+        prop_assert_eq!(masked >> s, a >> s);
+        if s == 0 {
+            prop_assert_eq!(masked, a);
+        }
+    }
+
+    #[test]
+    fn shl_then_shr_identity_when_no_loss(a in arb_small(), s in 0u32..128) {
+        let v = U256::from_u128(a.low_u128());
+        if v.bits() + s <= 256 {
+            prop_assert_eq!((v << s) >> s, v);
+        }
+    }
+
+    #[test]
+    fn dec_string_roundtrip(a in arb_u256()) {
+        let s = a.to_string();
+        prop_assert_eq!(U256::from_dec_str(&s).unwrap(), a);
+    }
+
+    #[test]
+    fn hex_string_roundtrip(a in arb_u256()) {
+        let s = a.to_hex_string();
+        prop_assert_eq!(U256::from_hex_str(&s).unwrap(), a);
+    }
+
+    #[test]
+    fn be_bytes_roundtrip(a in arb_u256()) {
+        prop_assert_eq!(U256::from_be_bytes(&a.to_be_bytes()), a);
+    }
+
+    #[test]
+    fn ordering_total(a in arb_u256(), b in arb_u256()) {
+        use core::cmp::Ordering::*;
+        match a.cmp(&b) {
+            Less => prop_assert!(b > a),
+            Greater => prop_assert!(b < a),
+            Equal => prop_assert_eq!(a, b),
+        }
+    }
+
+    #[test]
+    fn isqrt_bounds(a in arb_u256()) {
+        let r = a.isqrt();
+        // r^2 <= a and (r+1)^2 > a (or overflows).
+        prop_assert!(r.checked_mul(r).map(|sq| sq <= a).unwrap_or(false) || a.is_zero());
+        let r1 = r + U256::ONE;
+        if let Some(sq) = r1.checked_mul(r1) {
+            prop_assert!(sq > a);
+        } // else (r+1)^2 >= 2^256 > a always holds
+    }
+
+    #[test]
+    fn bits_consistent(a in arb_u256()) {
+        let n = a.bits();
+        if n > 0 {
+            prop_assert!(a.bit(n - 1));
+            prop_assert!(a >> n == U256::ZERO);
+        } else {
+            prop_assert!(a.is_zero());
+        }
+    }
+
+    #[test]
+    fn bitops_involutions(a in arb_u256()) {
+        prop_assert_eq!(!!a, a);
+        prop_assert_eq!(a ^ a, U256::ZERO);
+        prop_assert_eq!(a & a, a);
+        prop_assert_eq!(a | a, a);
+        prop_assert_eq!(a ^ U256::MAX, !a);
+    }
+
+    #[test]
+    fn f64_relative_error(a in arb_u256()) {
+        let f = a.to_f64_lossy();
+        prop_assert!(f >= 0.0);
+        if let Some(v) = a.as_u128() {
+            let exact = v as f64;
+            let err = (f - exact).abs();
+            prop_assert!(err <= exact * 1e-9 + 1.0);
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Fund-flow graph utilities.
+//!
+//! The clustering step of the paper (§7.1) groups operator accounts that
+//! are connected by transactions — directly or through a shared labeled
+//! phishing account. That is a connected-components problem over a fund
+//! flow graph; this crate provides the two pieces the pipeline uses:
+//!
+//! * [`UnionFind`] — path-compressed, union-by-rank disjoint sets keyed
+//!   by [`Address`].
+//! * [`FlowGraph`] — an address adjacency structure with edge weights
+//!   (transfer counts / total value), BFS reachability and component
+//!   extraction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod flow;
+
+pub use flow::ValueGraph;
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use eth_types::Address;
+
+/// Disjoint-set forest over addresses, with path compression and union by
+/// rank. Addresses are interned on first use.
+#[derive(Debug, Clone, Default)]
+pub struct UnionFind {
+    index: HashMap<Address, usize>,
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// Creates an empty forest.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns an address (no-op if already present).
+    pub fn insert(&mut self, a: Address) -> usize {
+        if let Some(&i) = self.index.get(&a) {
+            return i;
+        }
+        let i = self.parent.len();
+        self.index.insert(a, i);
+        self.parent.push(i);
+        self.rank.push(0);
+        i
+    }
+
+    fn find_idx(&mut self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            self.parent[i] = self.parent[self.parent[i]]; // halving
+            i = self.parent[i];
+        }
+        i
+    }
+
+    /// Unions the sets containing `a` and `b`.
+    pub fn union(&mut self, a: Address, b: Address) {
+        let (ia, ib) = (self.insert(a), self.insert(b));
+        let (ra, rb) = (self.find_idx(ia), self.find_idx(ib));
+        if ra == rb {
+            return;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+    }
+
+    /// `true` if `a` and `b` are in the same set. Unknown addresses are
+    /// singletons (equal only to themselves).
+    pub fn connected(&mut self, a: Address, b: Address) -> bool {
+        if a == b {
+            return true;
+        }
+        match (self.index.get(&a).copied(), self.index.get(&b).copied()) {
+            (Some(ia), Some(ib)) => self.find_idx(ia) == self.find_idx(ib),
+            _ => false,
+        }
+    }
+
+    /// Groups all interned addresses into components. Deterministic:
+    /// components and their members are sorted by address.
+    pub fn components(&mut self) -> Vec<Vec<Address>> {
+        let addrs: Vec<Address> = self.index.keys().copied().collect();
+        let mut groups: HashMap<usize, Vec<Address>> = HashMap::new();
+        for a in addrs {
+            let i = self.index[&a];
+            let root = self.find_idx(i);
+            groups.entry(root).or_default().push(a);
+        }
+        let mut out: Vec<Vec<Address>> = groups.into_values().collect();
+        for g in &mut out {
+            g.sort_unstable();
+        }
+        out.sort_unstable_by_key(|g| g[0]);
+        out
+    }
+
+    /// Number of interned addresses.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+}
+
+/// Edge statistics between an ordered pair of addresses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EdgeStats {
+    /// Number of transfers observed along this edge.
+    pub transfers: u64,
+}
+
+/// A directed fund-flow multigraph, aggregated per ordered address pair.
+#[derive(Debug, Clone, Default)]
+pub struct FlowGraph {
+    out_edges: HashMap<Address, HashMap<Address, EdgeStats>>,
+    in_edges: HashMap<Address, HashSet<Address>>,
+}
+
+impl FlowGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a transfer from `from` to `to`.
+    pub fn add_transfer(&mut self, from: Address, to: Address) {
+        self.out_edges.entry(from).or_default().entry(to).or_default().transfers += 1;
+        self.in_edges.entry(to).or_default().insert(from);
+    }
+
+    /// Edge statistics for the ordered pair, if any transfer was seen.
+    pub fn edge(&self, from: Address, to: Address) -> Option<EdgeStats> {
+        self.out_edges.get(&from)?.get(&to).copied()
+    }
+
+    /// Outgoing neighbours of `a` (sorted for determinism).
+    pub fn successors(&self, a: Address) -> Vec<Address> {
+        let mut v: Vec<Address> = self
+            .out_edges
+            .get(&a)
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default();
+        v.sort_unstable();
+        v
+    }
+
+    /// Incoming neighbours of `a` (sorted for determinism).
+    pub fn predecessors(&self, a: Address) -> Vec<Address> {
+        let mut v: Vec<Address> = self
+            .in_edges
+            .get(&a)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        v.sort_unstable();
+        v
+    }
+
+    /// Undirected neighbours (union of in and out).
+    pub fn neighbours(&self, a: Address) -> Vec<Address> {
+        let mut v = self.successors(a);
+        v.extend(self.predecessors(a));
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// `true` if funds ever moved between the two addresses, in either
+    /// direction.
+    pub fn linked(&self, a: Address, b: Address) -> bool {
+        self.edge(a, b).is_some() || self.edge(b, a).is_some()
+    }
+
+    /// Addresses reachable from `start` treating edges as undirected,
+    /// within `max_hops` (BFS). Includes `start`.
+    pub fn reachable(&self, start: Address, max_hops: usize) -> Vec<Address> {
+        let mut seen = HashSet::from([start]);
+        let mut queue = VecDeque::from([(start, 0usize)]);
+        while let Some((node, depth)) = queue.pop_front() {
+            if depth == max_hops {
+                continue;
+            }
+            for next in self.neighbours(node) {
+                if seen.insert(next) {
+                    queue.push_back((next, depth + 1));
+                }
+            }
+        }
+        let mut out: Vec<Address> = seen.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of distinct nodes with at least one edge.
+    pub fn node_count(&self) -> usize {
+        let mut nodes: HashSet<Address> = self.out_edges.keys().copied().collect();
+        nodes.extend(self.in_edges.keys().copied());
+        nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(n: u8) -> Address {
+        Address::from_key_seed(&[n])
+    }
+
+    #[test]
+    fn union_find_basic() {
+        let mut uf = UnionFind::new();
+        uf.union(addr(1), addr(2));
+        uf.union(addr(3), addr(4));
+        assert!(uf.connected(addr(1), addr(2)));
+        assert!(!uf.connected(addr(1), addr(3)));
+        uf.union(addr(2), addr(3));
+        assert!(uf.connected(addr(1), addr(4)));
+        assert_eq!(uf.len(), 4);
+    }
+
+    #[test]
+    fn union_find_unknown_addresses() {
+        let mut uf = UnionFind::new();
+        assert!(uf.connected(addr(9), addr(9)));
+        assert!(!uf.connected(addr(9), addr(8)));
+        assert!(uf.is_empty());
+    }
+
+    #[test]
+    fn union_find_components_deterministic() {
+        let mut a = UnionFind::new();
+        let mut b = UnionFind::new();
+        // Insert in different orders; same partition.
+        a.union(addr(1), addr(2));
+        a.union(addr(5), addr(6));
+        a.insert(addr(9));
+        b.insert(addr(9));
+        b.union(addr(6), addr(5));
+        b.union(addr(2), addr(1));
+        assert_eq!(a.components(), b.components());
+        assert_eq!(a.components().len(), 3);
+    }
+
+    #[test]
+    fn union_find_idempotent_union() {
+        let mut uf = UnionFind::new();
+        uf.union(addr(1), addr(2));
+        uf.union(addr(1), addr(2));
+        uf.union(addr(2), addr(1));
+        assert_eq!(uf.components().len(), 1);
+    }
+
+    #[test]
+    fn flow_graph_edges() {
+        let mut g = FlowGraph::new();
+        g.add_transfer(addr(1), addr(2));
+        g.add_transfer(addr(1), addr(2));
+        g.add_transfer(addr(2), addr(3));
+        assert_eq!(g.edge(addr(1), addr(2)).unwrap().transfers, 2);
+        assert_eq!(g.edge(addr(2), addr(1)), None);
+        assert!(g.linked(addr(2), addr(1)));
+        assert!(g.linked(addr(2), addr(3)));
+        assert!(!g.linked(addr(1), addr(3)));
+        assert_eq!(g.node_count(), 3);
+    }
+
+    #[test]
+    fn flow_graph_neighbours_sorted_dedup() {
+        let mut g = FlowGraph::new();
+        g.add_transfer(addr(1), addr(2));
+        g.add_transfer(addr(2), addr(1));
+        g.add_transfer(addr(3), addr(1));
+        let n = g.neighbours(addr(1));
+        assert_eq!(n.len(), 2);
+        let mut sorted = n.clone();
+        sorted.sort_unstable();
+        assert_eq!(n, sorted);
+    }
+
+    #[test]
+    fn reachability_bounded_by_hops() {
+        let mut g = FlowGraph::new();
+        // chain 1 -> 2 -> 3 -> 4
+        g.add_transfer(addr(1), addr(2));
+        g.add_transfer(addr(2), addr(3));
+        g.add_transfer(addr(3), addr(4));
+        assert_eq!(g.reachable(addr(1), 0), vec![addr(1)].into_iter().collect::<Vec<_>>());
+        assert_eq!(g.reachable(addr(1), 1).len(), 2);
+        assert_eq!(g.reachable(addr(1), 2).len(), 3);
+        assert_eq!(g.reachable(addr(1), 9).len(), 4);
+        // Undirected: reachable from the tail too.
+        assert_eq!(g.reachable(addr(4), 9).len(), 4);
+    }
+
+    #[test]
+    fn isolated_node_reachability() {
+        let g = FlowGraph::new();
+        assert_eq!(g.reachable(addr(7), 3), vec![addr(7)]);
+    }
+}

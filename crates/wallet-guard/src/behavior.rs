@@ -1,0 +1,206 @@
+//! dApp behaviour models: what a site asks a connected wallet to sign.
+
+use daas_chain::Asset;
+use eth_types::{Address, U256};
+use serde::{Deserialize, Serialize};
+
+/// One asset position in a probing wallet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Holding {
+    /// The asset held.
+    pub asset: Asset,
+    /// Amount held (1 for an NFT).
+    pub amount: U256,
+}
+
+impl Holding {
+    /// ETH position.
+    pub fn eth(amount: U256) -> Self {
+        Holding { asset: Asset::Eth, amount }
+    }
+
+    /// ERC-20 position.
+    pub fn erc20(token: Address, amount: U256) -> Self {
+        Holding { asset: Asset::Erc20(token), amount }
+    }
+
+    /// NFT position.
+    pub fn nft(token: Address, id: u64) -> Self {
+        Holding { asset: Asset::Erc721 { token, id }, amount: U256::ONE }
+    }
+}
+
+/// A signing request a site presents to the wallet — the observable the
+/// §9 defenses work on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignRequest {
+    /// Call target.
+    pub to: Address,
+    /// ETH value attached.
+    pub value: U256,
+    /// ERC-20 approvals requested: `(token, spender, amount)`.
+    pub erc20_approvals: Vec<(Address, Address, U256)>,
+    /// NFT `setApprovalForAll` requests: `(collection, operator)`.
+    pub nft_approvals: Vec<(Address, Address)>,
+    /// The affiliate parameter drainer calldata carries (Listing 1);
+    /// honest requests have none.
+    pub affiliate_hint: Option<Address>,
+}
+
+/// What a site asks of a connected wallet, as a function of the wallet's
+/// holdings. Implemented by site models; a real deployment would derive
+/// this from the site's proposed transactions.
+pub trait DappBehavior {
+    /// The signing requests shown to `visitor` given its holdings.
+    fn requests(&self, visitor: Address, holdings: &[Holding]) -> Vec<SignRequest>;
+}
+
+/// A wallet drainer: requests the *entire* portfolio — all ETH into the
+/// profit-sharing contract's payable entry, unlimited approvals for
+/// every ERC-20, operator rights on every NFT collection (§2.2: the
+/// toolkit "automatically prompts users to connect their wallets, scans
+/// their tokens, and generates phishing transactions").
+#[derive(Debug, Clone)]
+pub struct DrainerBehavior {
+    /// The profit-sharing contract everything is routed to.
+    pub contract: Address,
+    /// The affiliate credited by the split.
+    pub affiliate: Address,
+}
+
+impl DappBehavior for DrainerBehavior {
+    fn requests(&self, _visitor: Address, holdings: &[Holding]) -> Vec<SignRequest> {
+        let mut requests = Vec::new();
+        let mut erc20_approvals = Vec::new();
+        let mut nft_approvals = Vec::new();
+        let mut eth_value = U256::ZERO;
+        for holding in holdings {
+            match holding.asset {
+                Asset::Eth => eth_value = holding.amount,
+                Asset::Erc20(token) => erc20_approvals.push((token, self.contract, U256::MAX)),
+                Asset::Erc721 { token, .. } => {
+                    if !nft_approvals.contains(&(token, self.contract)) {
+                        nft_approvals.push((token, self.contract));
+                    }
+                }
+            }
+        }
+        if !eth_value.is_zero() {
+            requests.push(SignRequest {
+                to: self.contract,
+                value: eth_value,
+                erc20_approvals: Vec::new(),
+                nft_approvals: Vec::new(),
+                affiliate_hint: Some(self.affiliate),
+            });
+        }
+        if !erc20_approvals.is_empty() || !nft_approvals.is_empty() {
+            requests.push(SignRequest {
+                to: self.contract,
+                value: U256::ZERO,
+                erc20_approvals,
+                nft_approvals,
+                affiliate_hint: Some(self.affiliate),
+            });
+        }
+        requests
+    }
+}
+
+/// An honest checkout: one bounded payment (or a single exact-amount
+/// token approval), independent of everything else the wallet holds.
+#[derive(Debug, Clone)]
+pub struct HonestCheckout {
+    /// The merchant contract.
+    pub merchant: Address,
+    /// Price in wei.
+    pub price: U256,
+    /// Accepted stablecoin, if the checkout supports token payment.
+    pub token: Option<Address>,
+}
+
+impl DappBehavior for HonestCheckout {
+    fn requests(&self, _visitor: Address, holdings: &[Holding]) -> Vec<SignRequest> {
+        // Prefer token payment when the visitor holds the accepted token.
+        if let Some(token) = self.token {
+            let holds_token = holdings
+                .iter()
+                .any(|h| h.asset == Asset::Erc20(token) && h.amount >= self.price);
+            if holds_token {
+                return vec![SignRequest {
+                    to: self.merchant,
+                    value: U256::ZERO,
+                    erc20_approvals: vec![(token, self.merchant, self.price)],
+                    nft_approvals: Vec::new(),
+                    affiliate_hint: None,
+                }];
+            }
+        }
+        vec![SignRequest {
+            to: self.merchant,
+            value: self.price,
+            erc20_approvals: Vec::new(),
+            nft_approvals: Vec::new(),
+            affiliate_hint: None,
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(n: u8) -> Address {
+        Address::from_key_seed(&[b'b', n])
+    }
+
+    #[test]
+    fn drainer_requests_everything() {
+        let d = DrainerBehavior { contract: addr(1), affiliate: addr(2) };
+        let holdings = vec![
+            Holding::eth(U256::from_u64(1_000)),
+            Holding::erc20(addr(10), U256::from_u64(500)),
+            Holding::erc20(addr(11), U256::from_u64(700)),
+            Holding::nft(addr(12), 7),
+        ];
+        let reqs = d.requests(addr(9), &holdings);
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0].value, U256::from_u64(1_000));
+        assert_eq!(reqs[0].affiliate_hint, Some(addr(2)));
+        assert_eq!(reqs[1].erc20_approvals.len(), 2);
+        assert!(reqs[1].erc20_approvals.iter().all(|(_, s, a)| *s == addr(1) && *a == U256::MAX));
+        assert_eq!(reqs[1].nft_approvals, vec![(addr(12), addr(1))]);
+    }
+
+    #[test]
+    fn drainer_with_no_holdings_requests_nothing() {
+        let d = DrainerBehavior { contract: addr(1), affiliate: addr(2) };
+        assert!(d.requests(addr(9), &[]).is_empty());
+    }
+
+    #[test]
+    fn honest_checkout_is_bounded_and_holding_independent() {
+        let c = HonestCheckout { merchant: addr(3), price: U256::from_u64(100), token: None };
+        let rich = vec![
+            Holding::eth(U256::from_u64(1_000_000)),
+            Holding::erc20(addr(10), U256::from_u64(999)),
+        ];
+        let reqs = c.requests(addr(9), &rich);
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].value, U256::from_u64(100));
+        assert!(reqs[0].erc20_approvals.is_empty());
+        assert_eq!(reqs[0].affiliate_hint, None);
+    }
+
+    #[test]
+    fn honest_checkout_token_path_is_exact_amount() {
+        let c = HonestCheckout {
+            merchant: addr(3),
+            price: U256::from_u64(100),
+            token: Some(addr(10)),
+        };
+        let holdings = vec![Holding::erc20(addr(10), U256::from_u64(5_000))];
+        let reqs = c.requests(addr(9), &holdings);
+        assert_eq!(reqs[0].erc20_approvals, vec![(addr(10), addr(3), U256::from_u64(100))]);
+    }
+}

@@ -1,0 +1,410 @@
+//! The guard itself: domain check, pre-signing simulation, and the
+//! multi-account drain-intent test.
+
+use std::collections::HashSet;
+
+use daas_chain::{Asset, Chain, Transaction};
+use daas_detector::{classify_tx, ClassifierConfig};
+use eth_types::Address;
+use serde::{Deserialize, Serialize};
+use webscan::{FingerprintDb, Site};
+
+use crate::behavior::{DappBehavior, Holding, SignRequest};
+
+/// Verdict of the pre-connect domain check.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DomainVerdict {
+    /// Domain is on the reported-phishing list.
+    KnownPhishing,
+    /// Live fingerprint match against a drainer toolkit.
+    ToolkitDetected {
+        /// Attributed family.
+        family: String,
+    },
+    /// Nothing known against the domain.
+    NoFindings,
+}
+
+/// Verdict of the pre-signing simulation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimulationVerdict {
+    /// A simulated transfer or approval touches a blacklisted account:
+    /// the wallet must refuse.
+    Blocked {
+        /// The blacklisted account that was about to be paid/approved.
+        account: Address,
+    },
+    /// No blacklist hit, but the simulated fund flow has the
+    /// profit-sharing shape (two fixed-ratio transfers from one
+    /// source): warn the user.
+    SuspiciousShape {
+        /// The matched operator ratio, basis points.
+        ratio_bps: u32,
+    },
+    /// The request could not be simulated (e.g. insufficient balance):
+    /// surface as suspicious rather than silently passing.
+    SimulationFailed {
+        /// Why the dry run failed.
+        reason: String,
+    },
+    /// Simulation ran and found nothing alarming.
+    Clean,
+}
+
+/// Verdict of the multi-account test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MultiAccountVerdict {
+    /// The site requested authorization over (nearly) every token type
+    /// across every probe account: drain intent.
+    DrainIntent {
+        /// Fraction of probed holdings the site tried to control.
+        coverage: f64,
+    },
+    /// Requests were bounded and holding-independent.
+    Bounded {
+        /// Fraction of probed holdings the site tried to control.
+        coverage: f64,
+    },
+}
+
+/// The §9 wallet guard.
+#[derive(Debug, Clone, Default)]
+pub struct WalletGuard {
+    blocklist: HashSet<Address>,
+    phishing_domains: HashSet<String>,
+    fingerprints: FingerprintDb,
+    classifier: ClassifierConfig,
+}
+
+impl WalletGuard {
+    /// Creates an empty guard (no intelligence loaded).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads a phishing-account blocklist (e.g. a reported dataset).
+    pub fn with_blocklist(mut self, accounts: impl IntoIterator<Item = Address>) -> Self {
+        self.blocklist.extend(accounts);
+        self
+    }
+
+    /// Loads reported phishing domains.
+    pub fn with_phishing_domains<S: Into<String>>(
+        mut self,
+        domains: impl IntoIterator<Item = S>,
+    ) -> Self {
+        self.phishing_domains.extend(domains.into_iter().map(Into::into));
+        self
+    }
+
+    /// Loads a drainer-toolkit fingerprint database.
+    pub fn with_fingerprints(mut self, db: FingerprintDb) -> Self {
+        self.fingerprints = db;
+        self
+    }
+
+    /// Number of blocklisted accounts.
+    pub fn blocklist_len(&self) -> usize {
+        self.blocklist.len()
+    }
+
+    /// §9 defense 1: check a domain (and, when the wallet can fetch it,
+    /// the site's file manifest) before connecting.
+    pub fn check_domain(&self, domain: &str, site: Option<&Site>) -> DomainVerdict {
+        if self.phishing_domains.contains(domain) {
+            return DomainVerdict::KnownPhishing;
+        }
+        if let Some(site) = site {
+            if let Some(family) = self.fingerprints.match_site(&site.files) {
+                return DomainVerdict::ToolkitDetected { family: family.to_owned() };
+            }
+        }
+        DomainVerdict::NoFindings
+    }
+
+    /// §9 defense 2: dry-run the request on a copy of the chain and
+    /// inspect the resulting fund flow — the local equivalent of the
+    /// Alchemy simulation API the paper cites.
+    pub fn simulate(&self, chain: &Chain, sender: Address, request: &SignRequest) -> SimulationVerdict {
+        // Approvals are visible without execution: a spender on the
+        // blocklist is an immediate refusal.
+        for (_, spender, _) in &request.erc20_approvals {
+            if self.blocklist.contains(spender) {
+                return SimulationVerdict::Blocked { account: *spender };
+            }
+        }
+        for (_, operator) in &request.nft_approvals {
+            if self.blocklist.contains(operator) {
+                return SimulationVerdict::Blocked { account: *operator };
+            }
+        }
+        if self.blocklist.contains(&request.to) {
+            return SimulationVerdict::Blocked { account: request.to };
+        }
+
+        // Value transfers: execute on a scratch copy and inspect the
+        // trace (this is where a profit-sharing contract reveals its
+        // split even if no account involved is blacklisted yet).
+        if !request.value.is_zero() {
+            let mut scratch = chain.clone();
+            let result = if scratch.profit_sharing_spec(request.to).is_some() {
+                let affiliate = request.affiliate_hint.unwrap_or(sender);
+                scratch.claim_eth(sender, request.to, request.value, affiliate)
+            } else {
+                scratch.transfer_eth(sender, request.to, request.value)
+            };
+            let tx_id = match result {
+                Ok(id) => id,
+                Err(e) => {
+                    return SimulationVerdict::SimulationFailed { reason: e.to_string() }
+                }
+            };
+            let tx: &Transaction = scratch.tx(tx_id);
+            for transfer in &tx.transfers {
+                if transfer.to != sender && self.blocklist.contains(&transfer.to) {
+                    return SimulationVerdict::Blocked { account: transfer.to };
+                }
+            }
+            if let Some(obs) = classify_tx(tx, &self.classifier) {
+                return SimulationVerdict::SuspiciousShape { ratio_bps: obs.ratio_bps };
+            }
+        }
+        SimulationVerdict::Clean
+    }
+}
+
+/// §9 defense 3: probe the site with several synthetic wallets and
+/// measure how much of their combined holdings the site tries to gain
+/// control over. Above `threshold` (e.g. 0.9) the site has drain
+/// intent; honest dApps request a fixed, holding-independent amount.
+pub fn multi_account_test(
+    behavior: &dyn DappBehavior,
+    probes: &[(Address, Vec<Holding>)],
+    threshold: f64,
+) -> MultiAccountVerdict {
+    let mut positions = 0usize;
+    let mut controlled = 0usize;
+    for (visitor, holdings) in probes {
+        let requests = behavior.requests(*visitor, holdings);
+        for holding in holdings {
+            positions += 1;
+            if requests.iter().any(|r| request_controls(r, holding)) {
+                controlled += 1;
+            }
+        }
+    }
+    let coverage = controlled as f64 / positions.max(1) as f64;
+    if coverage >= threshold {
+        MultiAccountVerdict::DrainIntent { coverage }
+    } else {
+        MultiAccountVerdict::Bounded { coverage }
+    }
+}
+
+/// Does the request gain control over the holding? Full-balance value
+/// transfers, unlimited (or full-balance) ERC-20 approvals, and NFT
+/// operator rights all count.
+fn request_controls(request: &SignRequest, holding: &Holding) -> bool {
+    match holding.asset {
+        Asset::Eth => request.value >= holding.amount && !request.value.is_zero(),
+        Asset::Erc20(token) => request
+            .erc20_approvals
+            .iter()
+            .any(|(t, _, amount)| *t == token && *amount >= holding.amount),
+        Asset::Erc721 { token, .. } => {
+            request.nft_approvals.iter().any(|(t, _)| *t == token)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::{DrainerBehavior, HonestCheckout};
+    use eth_types::U256;
+    use daas_chain::{ContractKind, EntryStyle, ProfitSharingSpec};
+    use eth_types::units::ether;
+    use webscan::{Fingerprint, SiteFile};
+
+    fn addr(n: u8) -> Address {
+        Address::from_key_seed(&[b'g', n])
+    }
+
+    fn chain_with_drainer() -> (Chain, Address, Address, Address) {
+        let mut chain = Chain::new();
+        let operator = chain.create_eoa_funded(b"g/op", ether(1)).unwrap();
+        let user = chain.create_eoa_funded(b"g/user", ether(100)).unwrap();
+        let affiliate = chain.create_eoa(b"g/aff").unwrap();
+        let contract = chain
+            .deploy_contract(
+                operator,
+                ContractKind::ProfitSharing(ProfitSharingSpec {
+                    operator,
+                    operator_bps: 2000,
+                    entry: EntryStyle::PayableFallback,
+                }),
+            )
+            .unwrap();
+        (chain, user, contract, affiliate)
+    }
+
+    #[test]
+    fn domain_check_layers() {
+        let mut db = FingerprintDb::new();
+        db.add(Fingerprint { file: "seaport.js".into(), content: 7, family: "Inferno Drainer".into() });
+        let guard = WalletGuard::new()
+            .with_phishing_domains(["claim-pepe.com"])
+            .with_fingerprints(db);
+        assert_eq!(guard.check_domain("claim-pepe.com", None), DomainVerdict::KnownPhishing);
+        let site = Site {
+            domain: "fresh-drainer.xyz".into(),
+            deployed_at: 0,
+            has_tls: true,
+            files: vec![SiteFile::new("seaport.js", 7)],
+        };
+        assert_eq!(
+            guard.check_domain("fresh-drainer.xyz", Some(&site)),
+            DomainVerdict::ToolkitDetected { family: "Inferno Drainer".into() }
+        );
+        assert_eq!(guard.check_domain("example.org", None), DomainVerdict::NoFindings);
+    }
+
+    #[test]
+    fn simulation_blocks_blacklisted_target() {
+        let (chain, user, contract, affiliate) = chain_with_drainer();
+        let guard = WalletGuard::new().with_blocklist([contract]);
+        let request = SignRequest {
+            to: contract,
+            value: ether(1),
+            erc20_approvals: vec![],
+            nft_approvals: vec![],
+            affiliate_hint: Some(affiliate),
+        };
+        assert_eq!(
+            guard.simulate(&chain, user, &request),
+            SimulationVerdict::Blocked { account: contract }
+        );
+    }
+
+    #[test]
+    fn simulation_flags_unlisted_drainer_by_shape() {
+        // The drainer contract is brand new — nothing blacklisted — but
+        // the simulated trace shows the two-transfer ratio split.
+        let (chain, user, contract, affiliate) = chain_with_drainer();
+        let guard = WalletGuard::new();
+        let request = SignRequest {
+            to: contract,
+            value: ether(10),
+            erc20_approvals: vec![],
+            nft_approvals: vec![],
+            affiliate_hint: Some(affiliate),
+        };
+        assert_eq!(
+            guard.simulate(&chain, user, &request),
+            SimulationVerdict::SuspiciousShape { ratio_bps: 2000 }
+        );
+        // And the dry run left the real chain untouched.
+        assert_eq!(chain.eth_balance(user), ether(100));
+    }
+
+    #[test]
+    fn simulation_blocks_blacklisted_beneficiary() {
+        // The contract is unknown but the operator receiving the split
+        // is already reported: the simulated *internal* transfer hits
+        // the blocklist.
+        let (chain, user, contract, affiliate) = chain_with_drainer();
+        let operator = chain.profit_sharing_spec(contract).unwrap().operator;
+        let guard = WalletGuard::new().with_blocklist([operator]);
+        let request = SignRequest {
+            to: contract,
+            value: ether(10),
+            erc20_approvals: vec![],
+            nft_approvals: vec![],
+            affiliate_hint: Some(affiliate),
+        };
+        assert_eq!(
+            guard.simulate(&chain, user, &request),
+            SimulationVerdict::Blocked { account: operator }
+        );
+    }
+
+    #[test]
+    fn simulation_blocks_approval_to_blacklisted_spender() {
+        let (chain, user, contract, _) = chain_with_drainer();
+        let guard = WalletGuard::new().with_blocklist([contract]);
+        let request = SignRequest {
+            to: addr(50),
+            value: U256::ZERO,
+            erc20_approvals: vec![(addr(60), contract, U256::MAX)],
+            nft_approvals: vec![],
+            affiliate_hint: None,
+        };
+        assert_eq!(
+            guard.simulate(&chain, user, &request),
+            SimulationVerdict::Blocked { account: contract }
+        );
+    }
+
+    #[test]
+    fn simulation_passes_plain_payment() {
+        let (mut chain, user, _, _) = chain_with_drainer();
+        let merchant = chain.create_eoa(b"g/merchant").unwrap();
+        let guard = WalletGuard::new();
+        let request = SignRequest {
+            to: merchant,
+            value: ether(1),
+            erc20_approvals: vec![],
+            nft_approvals: vec![],
+            affiliate_hint: None,
+        };
+        assert_eq!(guard.simulate(&chain, user, &request), SimulationVerdict::Clean);
+    }
+
+    #[test]
+    fn simulation_failure_is_surfaced() {
+        let (chain, user, contract, affiliate) = chain_with_drainer();
+        let guard = WalletGuard::new();
+        let request = SignRequest {
+            to: contract,
+            value: ether(10_000), // more than the user has
+            erc20_approvals: vec![],
+            nft_approvals: vec![],
+            affiliate_hint: Some(affiliate),
+        };
+        assert!(matches!(
+            guard.simulate(&chain, user, &request),
+            SimulationVerdict::SimulationFailed { .. }
+        ));
+    }
+
+    #[test]
+    fn multi_account_test_separates_drainer_from_checkout() {
+        let drainer = DrainerBehavior { contract: addr(1), affiliate: addr(2) };
+        let checkout = HonestCheckout { merchant: addr(3), price: ether(1), token: None };
+        let probes = vec![
+            (addr(10), vec![Holding::eth(ether(5)), Holding::erc20(addr(20), ether(100))]),
+            (addr(11), vec![Holding::erc20(addr(21), ether(50)), Holding::nft(addr(22), 3)]),
+            (addr(12), vec![Holding::eth(ether(900))]),
+        ];
+        match multi_account_test(&drainer, &probes, 0.9) {
+            MultiAccountVerdict::DrainIntent { coverage } => assert!(coverage >= 0.99),
+            other => panic!("drainer not flagged: {other:?}"),
+        }
+        match multi_account_test(&checkout, &probes, 0.9) {
+            MultiAccountVerdict::Bounded { coverage } => {
+                // The checkout only ever controls the fixed payment.
+                assert!(coverage < 0.5, "coverage {coverage}");
+            }
+            other => panic!("honest checkout flagged: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_account_test_empty_probes() {
+        let checkout = HonestCheckout { merchant: addr(3), price: ether(1), token: None };
+        assert!(matches!(
+            multi_account_test(&checkout, &[], 0.9),
+            MultiAccountVerdict::Bounded { .. }
+        ));
+    }
+}

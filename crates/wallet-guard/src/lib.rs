@@ -1,0 +1,32 @@
+//! Wallet-side countermeasures — a working prototype of the three
+//! defenses the paper proposes in §9 ("More countermeasures are in
+//! need"):
+//!
+//! 1. **Domain check** ([`WalletGuard::check_domain`]): before the wallet
+//!    connects to a dApp, verify the site is not a known drainer
+//!    deployment — by reported-domain list and by live toolkit
+//!    fingerprint match.
+//! 2. **Transaction simulation** ([`WalletGuard::simulate`]): before the
+//!    user signs, dry-run the transaction (the paper cites Alchemy-style
+//!    simulation APIs), inspect the resulting fund flow and approvals,
+//!    and alert when they touch a blacklisted account — or when the flow
+//!    has the profit-sharing *shape* even without a blacklist hit.
+//! 3. **Multi-account test** ([`multi_account_test`]): probe the site
+//!    with several synthetic wallets holding different token types; a
+//!    site that requests authorization over **all** tokens across
+//!    **all** accounts reveals drain intent.
+//!
+//! The module also ships the two reference dApp behaviours the test
+//! needs: a drainer (asks for everything, routed to its profit-sharing
+//! contract) and an honest checkout (asks for one bounded payment).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod behavior;
+mod guard;
+
+pub use behavior::{DappBehavior, DrainerBehavior, HonestCheckout, Holding, SignRequest};
+pub use guard::{
+    multi_account_test, DomainVerdict, MultiAccountVerdict, SimulationVerdict, WalletGuard,
+};

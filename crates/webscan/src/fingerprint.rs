@@ -1,0 +1,181 @@
+//! The drainer-toolkit fingerprint database.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::site::SiteFile;
+
+/// One toolkit fingerprint: a file name + content digest attributed to a
+/// DaaS family.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Fingerprint {
+    /// File name (e.g. `webchunk.js` for Angel, `seaport.js` for
+    /// Inferno, `vendor.js` for Pink — §7.2).
+    pub file: String,
+    /// Content digest of that build.
+    pub content: u64,
+    /// Family the toolkit belongs to.
+    pub family: String,
+}
+
+/// In-memory fingerprint database with the paper's expansion rule:
+/// files gathered from *reported* phishing sites that share a known
+/// toolkit file name but carry new content are folded in as new
+/// fingerprints of the same family.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FingerprintDb {
+    exact: HashMap<(String, u64), String>,
+    name_to_family: HashMap<String, String>,
+    generic_names: HashSet<String>,
+}
+
+/// File names too generic to anchor family attribution or expansion on
+/// their own (every second website serves a `main.js`). The paper's
+/// fingerprints pair names *with content*; we additionally refuse to
+/// expand on these names unless the site already matched exactly.
+const GENERIC_NAMES: [&str; 6] = ["main.js", "index.js", "app.js", "vendor.js", "bundle.js", "script.js"];
+
+impl FingerprintDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        FingerprintDb {
+            generic_names: GENERIC_NAMES.iter().map(|s| (*s).to_owned()).collect(),
+            ..Default::default()
+        }
+    }
+
+    /// Adds a fingerprint. Returns `true` if it was new.
+    pub fn add(&mut self, fp: Fingerprint) -> bool {
+        let is_new = self
+            .exact
+            .insert((fp.file.clone(), fp.content), fp.family.clone())
+            .is_none();
+        // First-registered family owns a (non-generic) name for expansion.
+        if !self.generic_names.contains(&fp.file) {
+            self.name_to_family.entry(fp.file).or_insert(fp.family);
+        }
+        is_new
+    }
+
+    /// Number of distinct fingerprints.
+    pub fn len(&self) -> usize {
+        self.exact.len()
+    }
+
+    /// `true` if the database holds no fingerprints.
+    pub fn is_empty(&self) -> bool {
+        self.exact.is_empty()
+    }
+
+    /// Exact-match check: does any served file equal a known fingerprint?
+    /// Returns the attributed family of the first match (deterministic:
+    /// scans `files` in order).
+    pub fn match_site(&self, files: &[SiteFile]) -> Option<&str> {
+        files
+            .iter()
+            .find_map(|f| self.exact.get(&(f.name.clone(), f.content)).map(String::as_str))
+    }
+
+    /// The §8.2 expansion rule, applied to a site *reported by the
+    /// community* (not to unconfirmed crawl candidates): any served file
+    /// whose name matches a known non-generic toolkit file name but whose
+    /// content is new becomes a new fingerprint of that name's family.
+    /// Returns how many fingerprints were added.
+    pub fn expand_from_reported(&mut self, files: &[SiteFile]) -> usize {
+        let mut added = 0;
+        for f in files {
+            if self.generic_names.contains(&f.name) {
+                continue;
+            }
+            let Some(family) = self.name_to_family.get(&f.name).cloned() else {
+                continue;
+            };
+            if self.add(Fingerprint { file: f.name.clone(), content: f.content, family }) {
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// All families present in the database, sorted.
+    pub fn families(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self
+            .exact
+            .values()
+            .map(String::as_str)
+            .collect::<HashSet<_>>()
+            .into_iter()
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(file: &str, content: u64, family: &str) -> Fingerprint {
+        Fingerprint { file: file.into(), content, family: family.into() }
+    }
+
+    #[test]
+    fn add_and_match() {
+        let mut db = FingerprintDb::new();
+        assert!(db.add(fp("seaport.js", 7, "Inferno Drainer")));
+        assert!(!db.add(fp("seaport.js", 7, "Inferno Drainer"))); // dup
+        assert_eq!(db.len(), 1);
+        let site = vec![SiteFile::new("index.html", 1), SiteFile::new("seaport.js", 7)];
+        assert_eq!(db.match_site(&site), Some("Inferno Drainer"));
+        let clean = vec![SiteFile::new("seaport.js", 8)];
+        assert_eq!(db.match_site(&clean), None);
+    }
+
+    #[test]
+    fn expansion_only_on_known_names() {
+        let mut db = FingerprintDb::new();
+        db.add(fp("webchunk.js", 1, "Angel Drainer"));
+        // Reported site with a new webchunk.js build and an unknown file.
+        let reported = vec![
+            SiteFile::new("webchunk.js", 99),
+            SiteFile::new("unknown.js", 5),
+        ];
+        assert_eq!(db.expand_from_reported(&reported), 1);
+        assert_eq!(db.len(), 2);
+        // The new build now matches future sites.
+        assert_eq!(
+            db.match_site(&[SiteFile::new("webchunk.js", 99)]),
+            Some("Angel Drainer")
+        );
+        // Expanding again adds nothing.
+        assert_eq!(db.expand_from_reported(&reported), 0);
+    }
+
+    #[test]
+    fn generic_names_never_anchor_expansion() {
+        let mut db = FingerprintDb::new();
+        db.add(fp("main.js", 10, "Pink Drainer"));
+        // main.js with new content on a reported site must NOT become a
+        // fingerprint — every benign site has a main.js.
+        assert_eq!(db.expand_from_reported(&[SiteFile::new("main.js", 11)]), 0);
+        // But the exact (main.js, 10) build still matches.
+        assert_eq!(db.match_site(&[SiteFile::new("main.js", 10)]), Some("Pink Drainer"));
+    }
+
+    #[test]
+    fn families_listing() {
+        let mut db = FingerprintDb::new();
+        db.add(fp("a.js", 1, "Angel Drainer"));
+        db.add(fp("b.js", 2, "Pink Drainer"));
+        db.add(fp("c.js", 3, "Angel Drainer"));
+        assert_eq!(db.families(), vec!["Angel Drainer", "Pink Drainer"]);
+    }
+
+    #[test]
+    fn empty_db() {
+        let db = FingerprintDb::new();
+        assert!(db.is_empty());
+        assert_eq!(db.match_site(&[SiteFile::new("x.js", 0)]), None);
+    }
+}

@@ -1,0 +1,26 @@
+//! Toolkit-based phishing-website verification.
+//!
+//! Step 2 of the paper's website detection (§8.2): crawl domains that
+//! survived CT-log triage and check whether the site serves files from a
+//! known drainer toolkit. A toolkit fingerprint is a `(file name,
+//! content)` pair; the fingerprint database starts from toolkits acquired
+//! in Telegram groups and grows by folding in files from *externally
+//! reported* phishing sites that reuse known file names with new content
+//! (867 fingerprints in the paper).
+//!
+//! File *content* is modelled as a 64-bit digest — the pipeline only ever
+//! compares content for equality, exactly like hashing the crawled file
+//! would.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fingerprint;
+mod site;
+mod tld;
+mod verify;
+
+pub use fingerprint::{Fingerprint, FingerprintDb};
+pub use site::{Crawler, Site, SiteFile, StaticCrawler};
+pub use tld::{tld_of, TldTable};
+pub use verify::{scan_domains, ScanOutcome, ScanReport, Verdict};

@@ -1,0 +1,80 @@
+//! Observable website data and the crawler interface.
+
+use serde::{Deserialize, Serialize};
+
+/// One file served by a website, reduced to name + content digest.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SiteFile {
+    /// File name as served (e.g. `settings.js`, `seaport.js`).
+    pub name: String,
+    /// 64-bit digest of the file body.
+    pub content: u64,
+}
+
+impl SiteFile {
+    /// Convenience constructor.
+    pub fn new(name: &str, content: u64) -> Self {
+        SiteFile { name: name.to_owned(), content }
+    }
+}
+
+/// A live website as the crawler sees it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Site {
+    /// Fully qualified domain.
+    pub domain: String,
+    /// When the site went live (unix seconds).
+    pub deployed_at: u64,
+    /// Whether the site serves over TLS (and therefore appears in CT
+    /// logs — the paper leans on >70% of phishing sites using HTTPS).
+    pub has_tls: bool,
+    /// Files the site serves.
+    pub files: Vec<SiteFile>,
+}
+
+/// The crawling interface (the urlscan.io stand-in). Implemented by the
+/// world simulator in experiments; a real deployment would implement it
+/// with an HTTP fetcher.
+pub trait Crawler {
+    /// Fetches the file manifest of `domain`, or `None` if the site is
+    /// unreachable / already taken down.
+    fn fetch(&self, domain: &str) -> Option<&Site>;
+}
+
+/// A trivial in-memory crawler over a site list, for tests and harnesses.
+#[derive(Debug, Clone, Default)]
+pub struct StaticCrawler {
+    by_domain: std::collections::HashMap<String, Site>,
+}
+
+impl StaticCrawler {
+    /// Builds a crawler over the given sites (last duplicate wins).
+    pub fn new(sites: impl IntoIterator<Item = Site>) -> Self {
+        let by_domain = sites.into_iter().map(|s| (s.domain.clone(), s)).collect();
+        StaticCrawler { by_domain }
+    }
+}
+
+impl Crawler for StaticCrawler {
+    fn fetch(&self, domain: &str) -> Option<&Site> {
+        self.by_domain.get(domain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_crawler_lookup() {
+        let site = Site {
+            domain: "claim-x.com".into(),
+            deployed_at: 1,
+            has_tls: true,
+            files: vec![SiteFile::new("main.js", 42)],
+        };
+        let c = StaticCrawler::new(vec![site.clone()]);
+        assert_eq!(c.fetch("claim-x.com"), Some(&site));
+        assert_eq!(c.fetch("gone.com"), None);
+    }
+}

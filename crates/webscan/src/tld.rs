@@ -1,0 +1,103 @@
+//! TLD statistics over detected phishing domains (Table 4).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// The final label of a domain (`"com"` for `claim-x.com`). Domains
+/// without a dot yield the whole string.
+pub fn tld_of(domain: &str) -> &str {
+    match domain.rfind('.') {
+        Some(i) => &domain[i + 1..],
+        None => domain,
+    }
+}
+
+/// A ranked TLD frequency table.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TldTable {
+    /// `(tld, count)` sorted by count descending, ties by name.
+    pub rows: Vec<(String, usize)>,
+    /// Total domains counted.
+    pub total: usize,
+}
+
+impl TldTable {
+    /// Builds the table from an iterator of domains.
+    pub fn build<'a>(domains: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        let mut total = 0;
+        for d in domains {
+            *counts.entry(tld_of(d).to_lowercase()).or_insert(0) += 1;
+            total += 1;
+        }
+        let mut rows: Vec<(String, usize)> = counts.into_iter().collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        TldTable { rows, total }
+    }
+
+    /// Top `k` rows as `(tld, share)` percentages.
+    pub fn top(&self, k: usize) -> Vec<(&str, f64)> {
+        self.rows
+            .iter()
+            .take(k)
+            .map(|(tld, n)| (tld.as_str(), 100.0 * *n as f64 / self.total.max(1) as f64))
+            .collect()
+    }
+
+    /// The share (percent) of one TLD.
+    pub fn share(&self, tld: &str) -> f64 {
+        let n = self
+            .rows
+            .iter()
+            .find(|(t, _)| t == tld)
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
+        100.0 * n as f64 / self.total.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tld_extraction() {
+        assert_eq!(tld_of("claim-x.com"), "com");
+        assert_eq!(tld_of("a.b.pages.dev"), "dev");
+        assert_eq!(tld_of("localhost"), "localhost");
+    }
+
+    #[test]
+    fn table_ranks_by_count() {
+        let t = TldTable::build(["a.com", "b.com", "c.dev", "d.com", "e.xyz", "f.dev"]);
+        assert_eq!(t.total, 6);
+        assert_eq!(t.rows[0], ("com".to_owned(), 3));
+        assert_eq!(t.rows[1], ("dev".to_owned(), 2));
+        let top = t.top(2);
+        assert!((top[0].1 - 50.0).abs() < 1e-9);
+        assert!((t.share("xyz") - 100.0 / 6.0).abs() < 1e-9);
+        assert_eq!(t.share("io"), 0.0);
+    }
+
+    #[test]
+    fn ties_break_alphabetically() {
+        let t = TldTable::build(["a.net", "b.app", "c.net", "d.app"]);
+        assert_eq!(t.rows[0].0, "app");
+        assert_eq!(t.rows[1].0, "net");
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = TldTable::build([]);
+        assert_eq!(t.total, 0);
+        assert!(t.top(5).is_empty());
+        assert_eq!(t.share("com"), 0.0);
+    }
+
+    #[test]
+    fn case_folding() {
+        let t = TldTable::build(["x.COM", "y.com"]);
+        assert_eq!(t.rows[0], ("com".to_owned(), 2));
+    }
+}

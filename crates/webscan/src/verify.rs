@@ -1,0 +1,164 @@
+//! Crawl-and-verify: confirm triaged domains as drainer deployments.
+
+use serde::{Deserialize, Serialize};
+
+use crate::fingerprint::FingerprintDb;
+use crate::site::Crawler;
+use crate::tld::TldTable;
+
+/// Verdict for one crawled domain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Site serves a known drainer-toolkit build; attributed family.
+    Phishing {
+        /// Family the matched fingerprint belongs to.
+        family: String,
+    },
+    /// Site was reachable but served no known toolkit file.
+    Clean,
+    /// Site could not be fetched (down, parked, or blocked).
+    Unreachable,
+}
+
+/// Per-domain scan outcome.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScanOutcome {
+    /// Domain scanned.
+    pub domain: String,
+    /// Result of the crawl + fingerprint match.
+    pub verdict: Verdict,
+}
+
+/// Aggregated scan results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScanReport {
+    /// Every scanned domain with its verdict, in input order.
+    pub outcomes: Vec<ScanOutcome>,
+    /// Count of confirmed phishing sites.
+    pub confirmed: usize,
+    /// Count of reachable-but-clean sites.
+    pub clean: usize,
+    /// Count of unreachable domains.
+    pub unreachable: usize,
+}
+
+impl ScanReport {
+    /// Domains confirmed as phishing.
+    pub fn phishing_domains(&self) -> Vec<&str> {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.verdict, Verdict::Phishing { .. }))
+            .map(|o| o.domain.as_str())
+            .collect()
+    }
+
+    /// Table 4: TLD distribution over confirmed phishing domains.
+    pub fn tld_table(&self) -> TldTable {
+        TldTable::build(self.phishing_domains())
+    }
+
+    /// Confirmed sites per family, sorted by count descending.
+    pub fn by_family(&self) -> Vec<(String, usize)> {
+        let mut counts: std::collections::HashMap<&str, usize> = Default::default();
+        for o in &self.outcomes {
+            if let Verdict::Phishing { family } = &o.verdict {
+                *counts.entry(family).or_insert(0) += 1;
+            }
+        }
+        let mut rows: Vec<(String, usize)> =
+            counts.into_iter().map(|(f, n)| (f.to_owned(), n)).collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        rows
+    }
+}
+
+/// Crawls each domain and matches its files against the fingerprint
+/// database (§8.2 step 2). Duplicated input domains are scanned once,
+/// first occurrence wins.
+pub fn scan_domains<'d, C: Crawler>(
+    crawler: &C,
+    db: &FingerprintDb,
+    domains: impl IntoIterator<Item = &'d str>,
+) -> ScanReport {
+    let mut seen = std::collections::HashSet::new();
+    let mut outcomes = Vec::new();
+    let (mut confirmed, mut clean, mut unreachable) = (0, 0, 0);
+    for domain in domains {
+        if !seen.insert(domain.to_owned()) {
+            continue;
+        }
+        let verdict = match crawler.fetch(domain) {
+            None => {
+                unreachable += 1;
+                Verdict::Unreachable
+            }
+            Some(site) => match db.match_site(&site.files) {
+                Some(family) => {
+                    confirmed += 1;
+                    Verdict::Phishing { family: family.to_owned() }
+                }
+                None => {
+                    clean += 1;
+                    Verdict::Clean
+                }
+            },
+        };
+        outcomes.push(ScanOutcome { domain: domain.to_owned(), verdict });
+    }
+    ScanReport { outcomes, confirmed, clean, unreachable }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::Fingerprint;
+    use crate::site::{Site, SiteFile, StaticCrawler};
+
+    fn site(domain: &str, files: Vec<SiteFile>) -> Site {
+        Site { domain: domain.into(), deployed_at: 0, has_tls: true, files }
+    }
+
+    fn setup() -> (StaticCrawler, FingerprintDb) {
+        let crawler = StaticCrawler::new(vec![
+            site("drainer.com", vec![SiteFile::new("seaport.js", 7), SiteFile::new("index.html", 1)]),
+            site("legit-claims.com", vec![SiteFile::new("main.js", 555)]),
+            site("pink-mint.xyz", vec![SiteFile::new("contract.js", 33)]),
+        ]);
+        let mut db = FingerprintDb::new();
+        db.add(Fingerprint { file: "seaport.js".into(), content: 7, family: "Inferno Drainer".into() });
+        db.add(Fingerprint { file: "contract.js".into(), content: 33, family: "Pink Drainer".into() });
+        (crawler, db)
+    }
+
+    #[test]
+    fn scan_classifies_all_outcomes() {
+        let (crawler, db) = setup();
+        let report = scan_domains(&crawler, &db, ["drainer.com", "legit-claims.com", "pink-mint.xyz", "gone.dev"]);
+        assert_eq!(report.confirmed, 2);
+        assert_eq!(report.clean, 1);
+        assert_eq!(report.unreachable, 1);
+        assert_eq!(report.outcomes[0].verdict, Verdict::Phishing { family: "Inferno Drainer".into() });
+        assert_eq!(report.outcomes[1].verdict, Verdict::Clean);
+        assert_eq!(report.phishing_domains(), vec!["drainer.com", "pink-mint.xyz"]);
+    }
+
+    #[test]
+    fn dedupes_input_domains() {
+        let (crawler, db) = setup();
+        let report = scan_domains(&crawler, &db, ["drainer.com", "drainer.com"]);
+        assert_eq!(report.outcomes.len(), 1);
+        assert_eq!(report.confirmed, 1);
+    }
+
+    #[test]
+    fn family_breakdown_and_tlds() {
+        let (crawler, db) = setup();
+        let report = scan_domains(&crawler, &db, ["drainer.com", "pink-mint.xyz"]);
+        let fams = report.by_family();
+        assert_eq!(fams.len(), 2);
+        assert!(fams.iter().any(|(f, n)| f == "Inferno Drainer" && *n == 1));
+        let tlds = report.tld_table();
+        assert_eq!(tlds.total, 2);
+        assert!((tlds.share("com") - 50.0).abs() < 1e-9);
+    }
+}

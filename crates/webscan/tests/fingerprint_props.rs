@@ -1,0 +1,91 @@
+//! Property tests for the fingerprint database: dedup, expansion
+//! monotonicity and idempotence, and match soundness.
+
+use proptest::prelude::*;
+use webscan::{Fingerprint, FingerprintDb, SiteFile};
+
+fn arb_fp() -> impl Strategy<Value = Fingerprint> {
+    ("[a-z]{2,8}\\.js", any::<u64>(), "[A-Z][a-z]{2,6} Drainer")
+        .prop_map(|(file, content, family)| Fingerprint { file, content, family })
+        // Generic names (main.js, app.js, …) are deliberately excluded
+        // from name-based expansion; keep the strategy off them.
+        .prop_filter("generic file name", |fp| {
+            !["main.js", "index.js", "app.js", "vendor.js", "bundle.js", "script.js"]
+                .contains(&fp.file.as_str())
+        })
+}
+
+proptest! {
+    #[test]
+    fn add_is_idempotent(fps in proptest::collection::vec(arb_fp(), 0..24)) {
+        let mut db = FingerprintDb::new();
+        for fp in &fps {
+            db.add(fp.clone());
+        }
+        let len_once = db.len();
+        for fp in &fps {
+            prop_assert!(!db.add(fp.clone()), "re-adding claimed to be new");
+        }
+        prop_assert_eq!(db.len(), len_once);
+    }
+
+    #[test]
+    fn every_added_fingerprint_matches(fps in proptest::collection::vec(arb_fp(), 1..24)) {
+        let mut db = FingerprintDb::new();
+        for fp in &fps {
+            db.add(fp.clone());
+        }
+        for fp in &fps {
+            let site = vec![SiteFile::new(&fp.file, fp.content)];
+            prop_assert!(db.match_site(&site).is_some(), "{}/{} not matched", fp.file, fp.content);
+        }
+    }
+
+    #[test]
+    fn unrelated_content_never_matches(fps in proptest::collection::vec(arb_fp(), 1..16), probe in any::<u64>()) {
+        let mut db = FingerprintDb::new();
+        for fp in &fps {
+            db.add(fp.clone());
+        }
+        // A file name absent from the DB can never match regardless of content.
+        let site = vec![SiteFile::new("never-a-toolkit-name.html", probe)];
+        prop_assert!(db.match_site(&site).is_none());
+    }
+
+    #[test]
+    fn expansion_monotone_and_idempotent(
+        seed in arb_fp(),
+        contents in proptest::collection::vec(any::<u64>(), 1..12),
+    ) {
+        let mut db = FingerprintDb::new();
+        db.add(seed.clone());
+        let reported: Vec<SiteFile> = contents
+            .iter()
+            .map(|&c| SiteFile::new(&seed.file, c))
+            .collect();
+        let before = db.len();
+        let added = db.expand_from_reported(&reported);
+        prop_assert!(db.len() >= before);
+        prop_assert_eq!(db.len(), before + added);
+        // Idempotent: same reported files add nothing new.
+        prop_assert_eq!(db.expand_from_reported(&reported), 0);
+        // Every expanded build matches, attributed to the seed's family
+        // (unless the name is generic, which this strategy never makes).
+        for file in &reported {
+            prop_assert_eq!(db.match_site(std::slice::from_ref(file)), Some(seed.family.as_str()));
+        }
+    }
+
+    #[test]
+    fn families_listing_complete(fps in proptest::collection::vec(arb_fp(), 0..24)) {
+        let mut db = FingerprintDb::new();
+        let mut expected: std::collections::BTreeSet<String> = Default::default();
+        for fp in &fps {
+            db.add(fp.clone());
+            expected.insert(fp.family.clone());
+        }
+        let listed: std::collections::BTreeSet<String> =
+            db.families().into_iter().map(str::to_owned).collect();
+        prop_assert_eq!(listed, expected);
+    }
+}

@@ -1,0 +1,25 @@
+//! `daas-lab` — facade crate re-exporting the whole workspace.
+//!
+//! This is the one-stop dependency for downstream users: examples and
+//! integration tests in this repository use only this crate, exercising
+//! the same public API an external adopter would see.
+//!
+//! Reproduction of "Unmasking the Shadow Economy: A Deep Dive into
+//! Drainer-as-a-Service Phishing on Ethereum" (IMC 2025). See `DESIGN.md`
+//! for the system inventory and `EXPERIMENTS.md` for paper-vs-measured
+//! results.
+
+#![forbid(unsafe_code)]
+
+pub use daas_chain as chain;
+pub use daas_cluster as cluster;
+pub use daas_detector as detector;
+pub use daas_measure as measure;
+pub use daas_pricing as pricing;
+pub use daas_reporting as reporting;
+pub use daas_world as world;
+pub use wallet_guard;
+pub use ct_watch;
+pub use eth_types as types;
+pub use txgraph;
+pub use webscan;

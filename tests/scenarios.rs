@@ -1,0 +1,57 @@
+//! Custom-scenario support: configurations serialise losslessly and
+//! drive the full pipeline (the `daas-lab --config` path).
+
+use daas_lab::detector::{build_dataset, evaluate, SnowballConfig};
+use daas_lab::world::{World, WorldConfig};
+
+#[test]
+fn config_json_roundtrip() {
+    let cfg = WorldConfig::paper_scale(7);
+    let json = serde_json::to_string_pretty(&cfg).expect("serialise");
+    let back: WorldConfig = serde_json::from_str(&json).expect("deserialise");
+    assert_eq!(back.seed, cfg.seed);
+    assert_eq!(back.families.len(), cfg.families.len());
+    for (a, b) in back.families.iter().zip(&cfg.families) {
+        assert_eq!(a.slug, b.slug);
+        assert_eq!(a.victims, b.victims);
+        assert_eq!(a.entry, b.entry);
+        assert_eq!(a.toolkit_files, b.toolkit_files);
+    }
+    // A world built from the round-tripped config is identical.
+    let w1 = World::build(&WorldConfig { scale: 0.01, ..cfg }).unwrap();
+    let w2 = World::build(&WorldConfig { scale: 0.01, ..back }).unwrap();
+    assert_eq!(w1.chain.stats(), w2.chain.stats());
+    assert_eq!(
+        w1.chain.transactions().last().unwrap().hash,
+        w2.chain.transactions().last().unwrap().hash
+    );
+}
+
+#[test]
+fn shipped_hydra_scenario_runs_clean() {
+    let text = std::fs::read_to_string(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/hydra-demo.json"),
+    )
+    .expect("scenario file present");
+    let cfg: WorldConfig = serde_json::from_str(&text).expect("valid scenario");
+    cfg.validate().expect("scenario validates");
+    assert_eq!(cfg.families.len(), 2, "the demo models two families");
+
+    let world = World::build(&cfg).expect("world builds");
+    let dataset = build_dataset(&world.chain, &world.labels, &SnowballConfig::default());
+    let eval = evaluate(
+        &dataset,
+        &world.truth.all_contracts(),
+        &world.truth.all_operators(),
+        &world.truth.all_affiliates(),
+        &world.truth.ps_tx_ids(),
+    );
+    assert_eq!(eval.contracts.false_positives, 0);
+    assert!(eval.contracts.recall() > 0.95, "recall {}", eval.contracts.recall());
+    // The two custom families cluster apart.
+    let clustering =
+        daas_lab::cluster::cluster(&world.chain, &world.labels, &dataset);
+    assert_eq!(clustering.families.len(), 2);
+    assert!(clustering.by_name("Hydra Drainer").is_some());
+    assert!(clustering.by_name("Gorgon Drainer").is_some());
+}
