@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI gate: the tier-1 contract (ROADMAP.md) plus the parallel-snowball
+# equivalence suite. Test threads are pinned so the harness schedule is
+# reproducible; the detector's own worker counts are set per-test.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+# ---- Tier 1: build + root-package tests. ----
+cargo build --release
+cargo test -q
+
+# ---- Sequential-oracle equivalence suite. ----
+cargo test -q -p daas-detector --test parallel_equivalence -- --test-threads 4
+cargo test -q -p daas-detector --test snowball_props -- --test-threads 4
+cargo test -q --test determinism -- --test-threads 4
+
+# ---- Everything else. ----
+cargo test -q --workspace
+
+# ---- Slow full-scale equivalence (paper-scale world, opt-out with
+#      CI_FULL_SCALE=0). ----
+if [[ "${CI_FULL_SCALE:-1}" == "1" ]]; then
+  cargo test -q --release -p daas-detector --test parallel_equivalence -- --ignored --test-threads 1
+fi
+
+# ---- Throughput tracking: writes BENCH_snowball_parallel.json (see
+#      BENCH_OUT_DIR) with sequential/parallel, cold/warm numbers. ----
+cargo bench -p daas-bench --bench snowball_parallel

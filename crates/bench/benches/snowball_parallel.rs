@@ -1,0 +1,43 @@
+//! Criterion: sequential-oracle vs round-parallel snowball sampling,
+//! with a cold and a pre-warmed classification cache. Tracks the §5.1
+//! throughput claim: parallel expansion must beat the oracle on
+//! multi-core hosts while producing byte-identical datasets
+//! (`crates/daas-detector/tests/parallel_equivalence.rs`).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use daas_detector::{
+    build_dataset, build_dataset_with_cache, ClassificationCache, SnowballConfig,
+};
+use daas_world::{World, WorldConfig};
+
+fn cfg(threads: usize) -> SnowballConfig {
+    SnowballConfig { threads, ..Default::default() }
+}
+
+fn bench_snowball_parallel(c: &mut Criterion) {
+    let world = World::build(&WorldConfig::small(7)).expect("world");
+    let transactions = world.chain.transactions().len() as u64;
+
+    let mut group = c.benchmark_group("snowball_parallel");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(transactions));
+    group.bench_function("sequential_cold", |b| {
+        b.iter(|| build_dataset(&world.chain, &world.labels, &cfg(1)))
+    });
+    group.bench_function("parallel_cold", |b| {
+        b.iter(|| build_dataset(&world.chain, &world.labels, &cfg(0)))
+    });
+
+    let warm = ClassificationCache::new();
+    build_dataset_with_cache(&world.chain, &world.labels, &cfg(0), &warm);
+    group.bench_function("sequential_warm", |b| {
+        b.iter(|| build_dataset_with_cache(&world.chain, &world.labels, &cfg(1), &warm))
+    });
+    group.bench_function("parallel_warm", |b| {
+        b.iter(|| build_dataset_with_cache(&world.chain, &world.labels, &cfg(0), &warm))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_snowball_parallel);
+criterion_main!(benches);

@@ -1,9 +1,10 @@
 //! Ablations A1–A5 (DESIGN.md §4): how each design choice in the
 //! pipeline affects precision/recall.
 //!
-//! Runs at `DAAS_SCALE` (default 0.1 here — ablations rebuild the
-//! pipeline repeatedly, so full scale would be slow for no extra
-//! insight).
+//! Runs at `DAAS_SCALE` (default 1.0 — the round-parallel snowball
+//! makes repeated full-scale rebuilds affordable; lower it for a quick
+//! pass). `DAAS_THREADS` picks the snowball worker count (0 = all
+//! cores); the datasets are byte-identical at every setting.
 
 use daas_cli::{render_ablations, run_website_pipeline};
 use daas_detector::{build_dataset, evaluate, ClassifierConfig, SnowballConfig};
@@ -11,8 +12,9 @@ use daas_world::{World, WorldConfig};
 
 fn main() {
     let seed = std::env::var("DAAS_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42);
-    let scale = std::env::var("DAAS_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.1);
-    eprintln!("[exp_ablations] seed {seed}, scale {scale}");
+    let scale = std::env::var("DAAS_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0);
+    let base = daas_bench::snowball_config();
+    eprintln!("[exp_ablations] seed {seed}, scale {scale}, threads {}", base.effective_threads());
     let config = WorldConfig { scale, ..WorldConfig::paper_scale(seed) };
     let world = World::build(&config).expect("world");
     let truth = (
@@ -31,7 +33,7 @@ fn main() {
     for tol in [0.0, 0.001, 0.005, 0.02, 0.10] {
         let cfg = SnowballConfig {
             classifier: ClassifierConfig { tolerance: tol, ..Default::default() },
-            ..Default::default()
+            ..base.clone()
         };
         let ds = build_dataset(&world.chain, &world.labels, &cfg);
         let (recall, fps) = score(&ds);
@@ -47,7 +49,7 @@ fn main() {
     for frac in [0.02, 0.05, 0.10, 391.0 / 1_910.0, 0.40] {
         let cfg = WorldConfig { label_contract_frac: frac, ..config.clone() };
         let w = World::build(&cfg).expect("world");
-        let ds = build_dataset(&w.chain, &w.labels, &SnowballConfig::default());
+        let ds = build_dataset(&w.chain, &w.labels, &base);
         let e = evaluate(
             &ds,
             &w.truth.all_contracts(),
@@ -81,7 +83,7 @@ fn main() {
     );
     let mut rows = Vec::new();
     for (label, guard) in [("guard on (paper)", true), ("guard off", false)] {
-        let cfg = SnowballConfig { expansion_guard: guard, ..Default::default() };
+        let cfg = SnowballConfig { expansion_guard: guard, ..base.clone() };
         let ds = build_dataset(&noisy.chain, &noisy.labels, &cfg);
         let e = evaluate(&ds, &noisy_truth.0, &noisy_truth.1, &noisy_truth.2, &noisy_truth.3);
         rows.push((
@@ -126,7 +128,7 @@ fn main() {
     for (label, strict) in [("exactly two transfers (paper)", true), ("two largest of many", false)] {
         let cfg = SnowballConfig {
             classifier: ClassifierConfig { strict_two_transfers: strict, ..Default::default() },
-            ..Default::default()
+            ..base.clone()
         };
         let ds = build_dataset(&world.chain, &world.labels, &cfg);
         let (recall, fps) = score(&ds);

@@ -13,11 +13,19 @@ pub fn env_config() -> (u64, f64) {
     (seed, scale)
 }
 
+/// The standard snowball configuration, honouring `DAAS_THREADS`
+/// (default 0 = all cores; 1 = the sequential oracle path). The
+/// discovered dataset is byte-identical at every setting.
+pub fn snowball_config() -> daas_detector::SnowballConfig {
+    let threads = std::env::var("DAAS_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(0);
+    daas_detector::SnowballConfig { threads, ..Default::default() }
+}
+
 /// Builds the standard pipeline at the env-configured seed/scale.
 pub fn standard_pipeline() -> daas_cli::Pipeline {
     let (seed, scale) = env_config();
+    let snowball = snowball_config();
     let config = daas_world::WorldConfig { scale, ..daas_world::WorldConfig::paper_scale(seed) };
-    eprintln!("[exp] seed {seed}, scale {scale}");
-    daas_cli::run_pipeline(&config, &daas_detector::SnowballConfig::default())
-        .expect("pipeline builds")
+    eprintln!("[exp] seed {seed}, scale {scale}, threads {}", snowball.effective_threads());
+    daas_cli::run_pipeline(&config, &snowball).expect("pipeline builds")
 }

@@ -6,6 +6,8 @@
 //!
 //!   --seed N     RNG seed (default 42)
 //!   --scale F    world scale, 1.0 = paper scale (default 0.1)
+//!   --threads N  snowball worker threads, 0 = all cores (default 0);
+//!                the dataset is byte-identical at every setting
 //!   --exp NAME   one of: table1 table2 table3 table4 fig4 fig6 fig7
 //!                ratios scale lifecycles community validation all
 //!                (default: all)
@@ -29,6 +31,7 @@ const ALL_EXPERIMENTS: [&str; 13] = [
 fn main() -> ExitCode {
     let mut seed = 42u64;
     let mut scale = 0.1f64;
+    let mut threads = 0usize;
     let mut experiments: Vec<String> = Vec::new();
     let mut export: Option<String> = None;
     let mut config_path: Option<String> = None;
@@ -52,6 +55,10 @@ fn main() -> ExitCode {
                     scale_set = true;
                 }
                 _ => return usage("--scale needs a positive number"),
+            },
+            "--threads" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => threads = v,
+                None => return usage("--threads needs an integer (0 = all cores)"),
             },
             "--config" => match args.next() {
                 Some(path) => config_path = Some(path),
@@ -131,7 +138,8 @@ fn main() -> ExitCode {
     }
     let (seed, scale) = (config.seed, config.scale);
     eprintln!("building world (seed {seed}, scale {scale}) …");
-    let pipeline = match run_pipeline(&config, &SnowballConfig::default()) {
+    let snowball = SnowballConfig { threads, ..Default::default() };
+    let pipeline = match run_pipeline(&config, &snowball) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("pipeline failed: {e}");
@@ -197,7 +205,7 @@ fn usage(error: &str) -> ExitCode {
         eprintln!("error: {error}\n");
     }
     eprintln!(
-        "usage: daas-lab [--seed N] [--scale F] [--config FILE] [--dump-config FILE] [--export FILE] [--exp NAME]...\n       experiments: {} all",
+        "usage: daas-lab [--seed N] [--scale F] [--threads N] [--config FILE] [--dump-config FILE] [--export FILE] [--exp NAME]...\n       experiments: {} all",
         ALL_EXPERIMENTS.join(" ")
     );
     if error.is_empty() {

@@ -1,0 +1,159 @@
+//! Shared transaction-classification cache.
+//!
+//! [`classify_tx`] is a pure function of the transaction and the
+//! classifier settings, yet batch snowball sampling, step-2
+//! re-qualification and the online detector all classify the same
+//! transactions repeatedly. [`ClassificationCache`] memoises the
+//! verdict — including negative verdicts — keyed by transaction id,
+//! sharded so parallel expansion workers do not serialise on a single
+//! lock.
+//!
+//! A cache is valid for exactly one [`ClassifierConfig`]; callers that
+//! sweep classifier settings (the ablation harness) must use a fresh
+//! cache per configuration.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use daas_chain::{Chain, TxId};
+use eth_types::Address;
+use parking_lot::RwLock;
+
+use crate::classify::{classify_tx, ClassifierConfig, PsObservation};
+
+/// Shard count; a power of two so the shard index is a mask.
+const SHARDS: usize = 16;
+
+/// Concurrent memo table for [`classify_tx`] verdicts.
+pub struct ClassificationCache {
+    shards: Vec<RwLock<HashMap<TxId, Option<PsObservation>>>>,
+}
+
+impl Default for ClassificationCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for ClassificationCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClassificationCache").field("entries", &self.len()).finish()
+    }
+}
+
+impl ClassificationCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        ClassificationCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, txid: TxId) -> &RwLock<HashMap<TxId, Option<PsObservation>>> {
+        &self.shards[txid as usize & (SHARDS - 1)]
+    }
+
+    /// Classifies `txid` through the cache: returns the memoised
+    /// verdict when present, otherwise computes, stores and returns it.
+    pub fn classify(
+        &self,
+        chain: &Chain,
+        txid: TxId,
+        cfg: &ClassifierConfig,
+    ) -> Option<PsObservation> {
+        let shard = self.shard(txid);
+        if let Some(hit) = shard.read().get(&txid) {
+            return hit.clone();
+        }
+        let verdict = classify_tx(chain.tx(txid), cfg);
+        shard.write().insert(txid, verdict.clone());
+        verdict
+    }
+
+    /// Whether a verdict for `txid` is already cached.
+    pub fn contains(&self, txid: TxId) -> bool {
+        self.shard(txid).read().contains_key(&txid)
+    }
+
+    /// Number of cached verdicts (positive and negative).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether the cache holds no verdicts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached verdict (e.g. before reusing the allocation
+    /// with a different [`ClassifierConfig`]).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+    }
+
+    /// Warms the cache with every transaction in the given accounts'
+    /// histories, fanning the pure classification over `threads`
+    /// workers. With `threads <= 1` this is a no-op: the sequential
+    /// oracle path computes verdicts lazily through [`Self::classify`]
+    /// and must not change shape.
+    ///
+    /// Workers only insert results of a pure function keyed by
+    /// transaction id, so the warming order — and therefore the thread
+    /// schedule — cannot influence anything a reader later observes.
+    pub fn prewarm(
+        &self,
+        chain: &Chain,
+        accounts: &[Address],
+        cfg: &ClassifierConfig,
+        threads: usize,
+    ) {
+        if threads <= 1 || accounts.is_empty() {
+            return;
+        }
+        let mut txids: Vec<TxId> =
+            accounts.iter().flat_map(|&a| chain.txs_of(a).iter().copied()).collect();
+        txids.sort_unstable();
+        txids.dedup();
+        txids.retain(|&id| !self.contains(id));
+        if txids.is_empty() {
+            return;
+        }
+        let workers = threads.min(txids.len());
+        let chunk = txids.len().div_ceil(workers);
+        crossbeam::scope(|scope| {
+            for part in txids.chunks(chunk) {
+                scope.spawn(move |_| {
+                    for &id in part {
+                        self.classify(chain, id, cfg);
+                    }
+                });
+            }
+        })
+        .expect("classification workers do not panic");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cache_reports_empty() {
+        let cache = ClassificationCache::new();
+        assert!(cache.is_empty());
+        assert_eq!(cache.len(), 0);
+        assert!(!cache.contains(0));
+    }
+
+    #[test]
+    fn clear_resets_shards() {
+        let cache = ClassificationCache::new();
+        cache.shard(3).write().insert(3, None);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.contains(3));
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

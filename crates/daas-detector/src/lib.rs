@@ -21,14 +21,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod classify;
 mod dataset;
 mod evaluate;
 pub mod online;
 mod snowball;
 
+pub use cache::ClassificationCache;
 pub use classify::{classify_tx, ClassifierConfig, PsObservation, DEFAULT_RATIOS_BPS};
 pub use dataset::{Dataset, DatasetCounts};
 pub use evaluate::{evaluate, validation_sample, ClassScores, Evaluation, ValidationSample};
 pub use online::{Admission, DetectorEvent, OnlineDetector};
-pub use snowball::{build_dataset, SnowballConfig};
+pub use snowball::{build_dataset, build_dataset_with_cache, SnowballConfig};

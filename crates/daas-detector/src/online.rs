@@ -13,12 +13,13 @@
 //! since the last poll) follows the workspace's event-driven style.
 
 use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
 
 use daas_chain::{Chain, LabelStore, TxId};
 use eth_types::Address;
 use serde::{Deserialize, Serialize};
 
-use crate::classify::classify_tx;
+use crate::cache::ClassificationCache;
 use crate::dataset::Dataset;
 use crate::snowball::SnowballConfig;
 
@@ -61,12 +62,22 @@ pub struct OnlineDetector {
     cfg: SnowballConfig,
     dataset: Dataset,
     cursor: TxId,
+    cache: Arc<ClassificationCache>,
 }
 
 impl OnlineDetector {
     /// Creates a detector starting at the chain's first transaction.
     pub fn new(cfg: SnowballConfig) -> Self {
-        OnlineDetector { cfg, dataset: Dataset::default(), cursor: 0 }
+        let cache = Arc::new(ClassificationCache::new());
+        OnlineDetector { cfg, dataset: Dataset::default(), cursor: 0, cache }
+    }
+
+    /// Creates a detector sharing a classification cache — typically
+    /// one warmed by a batch [`crate::build_dataset_with_cache`] run
+    /// over the same chain, so polling skips re-classification. The
+    /// cache must match `cfg.classifier`.
+    pub fn with_cache(cfg: SnowballConfig, cache: Arc<ClassificationCache>) -> Self {
+        OnlineDetector { cfg, dataset: Dataset::default(), cursor: 0, cache }
     }
 
     /// The dataset maintained so far.
@@ -98,8 +109,9 @@ impl OnlineDetector {
         while self.cursor < limit {
             let txid = self.cursor;
             self.cursor += 1;
-            let tx = chain.tx(txid);
-            let Some(obs) = classify_tx(tx, &self.cfg.classifier) else { continue };
+            let Some(obs) = self.cache.classify(chain, txid, &self.cfg.classifier) else {
+                continue;
+            };
             let contract = obs.contract;
 
             if self.dataset.contracts.contains(&contract) {
@@ -113,7 +125,8 @@ impl OnlineDetector {
             // in the dataset, and the contract has a *prior* interaction
             // with the dataset (identical to the batch guard).
             let expansion = !seed && {
-                let touches_dataset = tx
+                let touches_dataset = chain
+                    .tx(txid)
                     .touched_addresses()
                     .into_iter()
                     .any(|a| a != contract && self.dataset.contains(a));
@@ -191,8 +204,9 @@ impl OnlineDetector {
             .filter(|&id| id < self.cursor)
             .collect();
         for txid in history {
-            let tx = chain.tx(txid);
-            let Some(obs) = classify_tx(tx, &self.cfg.classifier) else { continue };
+            let Some(obs) = self.cache.classify(chain, txid, &self.cfg.classifier) else {
+                continue;
+            };
             let contract = obs.contract;
             let known = self.dataset.contracts.contains(&contract);
             if !known {

@@ -6,7 +6,8 @@ use daas_chain::{Chain, LabelSource, LabelStore};
 use eth_types::Address;
 use serde::{Deserialize, Serialize};
 
-use crate::classify::{classify_tx, ClassifierConfig, PsObservation};
+use crate::cache::ClassificationCache;
+use crate::classify::{ClassifierConfig, PsObservation};
 use crate::dataset::Dataset;
 
 /// Snowball parameters.
@@ -24,6 +25,11 @@ pub struct SnowballConfig {
     pub expansion_guard: bool,
     /// Safety bound on expansion rounds.
     pub max_rounds: usize,
+    /// Worker threads for the per-round classification fan-out: `0`
+    /// uses all available cores, `1` is the sequential oracle path.
+    /// The discovered dataset is byte-identical at every setting
+    /// (enforced by `tests/parallel_equivalence.rs`).
+    pub threads: usize,
 }
 
 impl Default for SnowballConfig {
@@ -33,6 +39,17 @@ impl Default for SnowballConfig {
             min_ps_txs: 1,
             expansion_guard: true,
             max_rounds: 64,
+            threads: 0,
+        }
+    }
+}
+
+impl SnowballConfig {
+    /// Resolves `threads`: `0` means all available cores.
+    pub fn effective_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            n => n,
         }
     }
 }
@@ -45,7 +62,26 @@ impl Default for SnowballConfig {
 ///    transactions (seed dataset — counts snapshotted);
 /// 4. iteratively scan the accounts' histories for new profit-sharing
 ///    contracts (guarded), until no new account emerges.
+///
+/// Expansion is round-synchronous: with `cfg.threads != 1` each round's
+/// frontier histories are classified in parallel into a fresh
+/// [`ClassificationCache`] before the coordinator absorbs them in batch
+/// order, so the result is byte-identical at any thread count.
 pub fn build_dataset(chain: &Chain, labels: &LabelStore, cfg: &SnowballConfig) -> Dataset {
+    build_dataset_with_cache(chain, labels, cfg, &ClassificationCache::new())
+}
+
+/// [`build_dataset`] over a caller-supplied classification cache, so
+/// repeated runs (benchmarks, the online detector hand-off) skip
+/// re-classifying known transactions. The cache must have been warmed —
+/// if at all — under the same `cfg.classifier`.
+pub fn build_dataset_with_cache(
+    chain: &Chain,
+    labels: &LabelStore,
+    cfg: &SnowballConfig,
+    cache: &ClassificationCache,
+) -> Dataset {
+    let threads = cfg.effective_threads();
     let mut dataset = Dataset::default();
     let mut rejected: HashSet<Address> = HashSet::new();
 
@@ -62,8 +98,9 @@ pub fn build_dataset(chain: &Chain, labels: &LabelStore, cfg: &SnowballConfig) -
     candidates.sort_unstable();
 
     // ---- Steps 2–3: qualify candidates, build the seed dataset. ----
+    cache.prewarm(chain, &candidates, &cfg.classifier, threads);
     for contract in candidates {
-        let observations = qualify_contract(chain, contract, cfg);
+        let observations = qualify_contract(chain, contract, cfg, cache);
         for obs in observations {
             dataset.absorb(obs);
         }
@@ -83,10 +120,30 @@ pub fn build_dataset(chain: &Chain, labels: &LabelStore, cfg: &SnowballConfig) -
     while !queue.is_empty() && rounds < cfg.max_rounds {
         rounds += 1;
         let batch: Vec<Address> = queue.drain(..).collect();
+        // Parallel phase: warm the cache over the whole frontier, then
+        // over the histories of every contract the frontier could
+        // surface, so step-2 re-qualification also hits the cache. The
+        // candidate set over-approximates what the replay will qualify
+        // — warming a pure cache more than needed cannot change the
+        // output.
+        cache.prewarm(chain, &batch, &cfg.classifier, threads);
+        if threads > 1 {
+            let mut surfaced: Vec<Address> = batch
+                .iter()
+                .flat_map(|&a| chain.txs_of(a).iter().copied())
+                .filter_map(|txid| cache.classify(chain, txid, &cfg.classifier))
+                .map(|obs| obs.contract)
+                .filter(|c| !dataset.contracts.contains(c) && !rejected.contains(c))
+                .collect();
+            surfaced.sort_unstable();
+            surfaced.dedup();
+            cache.prewarm(chain, &surfaced, &cfg.classifier, threads);
+        }
+        // Sequential phase: absorb in batch order, classifying through
+        // the cache (a hit for every tx the prewarm covered).
         for account in batch {
             for &txid in chain.txs_of(account) {
-                let tx = chain.tx(txid);
-                let Some(obs) = classify_tx(tx, &cfg.classifier) else { continue };
+                let Some(obs) = cache.classify(chain, txid, &cfg.classifier) else { continue };
                 let contract = obs.contract;
                 if dataset.contracts.contains(&contract) {
                     // Known contract: absorb the transaction anyway so
@@ -101,7 +158,7 @@ pub fn build_dataset(chain: &Chain, labels: &LabelStore, cfg: &SnowballConfig) -
                     continue;
                 }
                 // Re-apply step 2 on the new contract.
-                let observations = qualify_contract(chain, contract, cfg);
+                let observations = qualify_contract(chain, contract, cfg, cache);
                 if observations.is_empty() {
                     rejected.insert(contract);
                     continue;
@@ -137,14 +194,18 @@ fn absorb_and_enqueue(
 /// `min_ps_txs` of its historical transactions classify, with the
 /// contract as the invoked target. Returns the qualifying observations
 /// (empty if it does not qualify).
-fn qualify_contract(chain: &Chain, contract: Address, cfg: &SnowballConfig) -> Vec<PsObservation> {
+fn qualify_contract(
+    chain: &Chain,
+    contract: Address,
+    cfg: &SnowballConfig,
+    cache: &ClassificationCache,
+) -> Vec<PsObservation> {
     let mut observations = Vec::new();
     for &txid in chain.txs_of(contract) {
-        let tx = chain.tx(txid);
-        if tx.to != Some(contract) {
+        if chain.tx(txid).to != Some(contract) {
             continue;
         }
-        if let Some(obs) = classify_tx(tx, &cfg.classifier) {
+        if let Some(obs) = cache.classify(chain, txid, &cfg.classifier) {
             observations.push(obs);
         }
     }

@@ -1,0 +1,136 @@
+//! The sequential-oracle contract: `build_dataset` must produce a
+//! byte-identical serialized dataset at every thread count, on
+//! generated worlds and hand-built micro-worlds alike, with a cold or
+//! a warm classification cache.
+
+use std::sync::Arc;
+
+use daas_chain::{
+    Chain, ContractKind, EntryStyle, LabelSource, LabelStore, ProfitSharingSpec,
+};
+use daas_detector::{
+    build_dataset, build_dataset_with_cache, ClassificationCache, Dataset, OnlineDetector,
+    SnowballConfig,
+};
+use daas_world::{World, WorldConfig};
+use eth_types::units::ether;
+use eth_types::Address;
+
+fn cfg(threads: usize) -> SnowballConfig {
+    SnowballConfig { threads, ..Default::default() }
+}
+
+fn json(ds: &Dataset) -> String {
+    serde_json::to_string(ds).expect("dataset serialises")
+}
+
+/// Every thread count (plus `0` = all cores) against the `threads: 1`
+/// oracle, by serialized-JSON equality.
+fn assert_all_thread_counts_agree(chain: &Chain, labels: &LabelStore, base: &SnowballConfig) {
+    let oracle = json(&build_dataset(chain, labels, &SnowballConfig { threads: 1, ..base.clone() }));
+    for threads in [2usize, 4, 8, 0] {
+        let ds = build_dataset(chain, labels, &SnowballConfig { threads, ..base.clone() });
+        assert_eq!(json(&ds), oracle, "threads={threads} diverged from the sequential oracle");
+    }
+}
+
+/// A hand-built multi-family micro-world: `families` drainer contracts
+/// sharing one operator (so expansion must hop between them), one
+/// affiliate and `victims` claims each. Returns the chain, the labels
+/// (first contract reported) and the operator.
+fn micro_world(families: usize, victims: usize) -> (Chain, LabelStore, Address) {
+    let mut chain = Chain::new();
+    let mut labels = LabelStore::new();
+    let operator = chain.create_eoa_funded(b"op", ether(10)).unwrap();
+    let spec = ProfitSharingSpec { operator, operator_bps: 2000, entry: EntryStyle::PayableFallback };
+    let mut first = None;
+    for f in 0..families {
+        let contract = chain.deploy_contract(operator, ContractKind::ProfitSharing(spec.clone())).unwrap();
+        first.get_or_insert(contract);
+        let affiliate = chain.create_eoa(format!("aff{f}").as_bytes()).unwrap();
+        for v in 0..victims {
+            let victim = chain
+                .create_eoa_funded(format!("victim{f}-{v}").as_bytes(), ether(100))
+                .unwrap();
+            chain.advance(12);
+            chain.claim_eth(victim, contract, ether(10), affiliate).unwrap();
+        }
+    }
+    labels.add_phishing(first.unwrap(), LabelSource::Chainabuse, "reported");
+    (chain, labels, operator)
+}
+
+#[test]
+fn thread_counts_agree_on_micro_worlds() {
+    for (families, victims) in [(1, 1), (2, 2), (3, 1), (4, 3)] {
+        let (chain, labels, _) = micro_world(families, victims);
+        assert_all_thread_counts_agree(&chain, &labels, &SnowballConfig::default());
+    }
+}
+
+#[test]
+fn thread_counts_agree_without_expansion_guard() {
+    let (chain, labels, _) = micro_world(3, 2);
+    let base = SnowballConfig { expansion_guard: false, ..Default::default() };
+    assert_all_thread_counts_agree(&chain, &labels, &base);
+}
+
+#[test]
+fn thread_counts_agree_on_tiny_worlds() {
+    for seed in [7u64, 31, 99] {
+        let world = World::build(&WorldConfig::tiny(seed)).expect("world");
+        assert_all_thread_counts_agree(&world.chain, &world.labels, &SnowballConfig::default());
+    }
+}
+
+#[test]
+fn thread_counts_agree_on_small_world() {
+    let world = World::build(&WorldConfig::small(7)).expect("world");
+    assert_all_thread_counts_agree(&world.chain, &world.labels, &SnowballConfig::default());
+}
+
+#[test]
+fn warm_cache_changes_nothing() {
+    let world = World::build(&WorldConfig::tiny(11)).expect("world");
+    let cache = ClassificationCache::new();
+    let parallel = cfg(4);
+    let cold = json(&build_dataset_with_cache(&world.chain, &world.labels, &parallel, &cache));
+    assert!(!cache.is_empty(), "a cold run must populate the cache");
+    let filled = cache.len();
+
+    // Warm rerun, same thread count: identical bytes, no new entries.
+    let warm = json(&build_dataset_with_cache(&world.chain, &world.labels, &parallel, &cache));
+    assert_eq!(warm, cold);
+    assert_eq!(cache.len(), filled, "a warm rerun classifies nothing new");
+
+    // Warm rerun on the sequential oracle path: still identical.
+    let seq = json(&build_dataset_with_cache(&world.chain, &world.labels, &cfg(1), &cache));
+    assert_eq!(seq, cold);
+}
+
+#[test]
+fn online_detector_shares_the_batch_cache() {
+    let world = World::build(&WorldConfig::tiny(31)).expect("world");
+    let cache = Arc::new(ClassificationCache::new());
+    let batch = build_dataset_with_cache(&world.chain, &world.labels, &cfg(0), &cache);
+    let filled = cache.len();
+
+    let mut online = OnlineDetector::with_cache(SnowballConfig::default(), Arc::clone(&cache));
+    online.poll(&world.chain, &world.labels);
+    assert_eq!(online.dataset().contracts, batch.contracts);
+    assert_eq!(online.dataset().operators, batch.operators);
+    assert_eq!(online.dataset().affiliates, batch.affiliates);
+    assert_eq!(online.dataset().ps_txs, batch.ps_txs);
+    assert!(cache.len() >= filled, "sharing never drops entries");
+}
+
+/// Full paper-scale equivalence — minutes of CPU, so opt-in:
+/// `cargo test -p daas-detector --test parallel_equivalence -- --ignored`.
+#[test]
+#[ignore = "paper-scale world; run via ci.sh or -- --ignored"]
+fn thread_counts_agree_at_paper_scale() {
+    let world = World::build(&WorldConfig::paper_scale(42)).expect("world");
+    let oracle = json(&build_dataset(&world.chain, &world.labels, &cfg(1)));
+    let parallel = json(&build_dataset(&world.chain, &world.labels, &cfg(0)));
+    assert_eq!(parallel, oracle, "parallel diverged at paper scale");
+}

@@ -1,0 +1,306 @@
+//! Offline drop-in subset of `criterion`.
+//!
+//! The build container cannot fetch crates, so this shim provides the
+//! benchmark API surface the workspace uses — `Criterion`,
+//! `benchmark_group`, `Bencher::iter` / `iter_batched`, `Throughput`,
+//! `BatchSize`, and the `criterion_group!` / `criterion_main!` macros —
+//! over a simple wall-clock sampler. There are no statistics beyond
+//! mean ns/iter; each group's results are appended to
+//! `BENCH_<group>.json` in the working directory (override the
+//! directory with `BENCH_OUT_DIR`) so CI can track throughput drift.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-sample batch sizing hint (accepted, not used for sizing).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Work-per-iteration annotation used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    group: String,
+    name: String,
+    mean_ns: f64,
+    iterations: u64,
+    throughput: Option<Throughput>,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    records: Vec<BenchRecord>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { records: Vec::new(), default_sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Runs an ungrouped benchmark (reported under group `misc`).
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        self.run_one("misc", name, sample_size, None, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    fn run_one<F>(
+        &mut self,
+        group: &str,
+        name: &str,
+        sample_size: usize,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { sample_size, total: Duration::ZERO, iterations: 0 };
+        f(&mut bencher);
+        let mean_ns = if bencher.iterations == 0 {
+            0.0
+        } else {
+            bencher.total.as_nanos() as f64 / bencher.iterations as f64
+        };
+        eprintln!(
+            "{group}/{name}: {:.1} ns/iter ({} iterations){}",
+            mean_ns,
+            bencher.iterations,
+            match throughput {
+                Some(Throughput::Elements(n)) if mean_ns > 0.0 => format!(
+                    ", {:.0} elem/s",
+                    n as f64 / (mean_ns / 1e9)
+                ),
+                _ => String::new(),
+            }
+        );
+        self.records.push(BenchRecord {
+            group: group.to_string(),
+            name: name.to_string(),
+            mean_ns,
+            iterations: bencher.iterations,
+            throughput,
+        });
+    }
+
+    /// Writes per-group `BENCH_<group>.json` summaries. Called by
+    /// `criterion_main!`.
+    pub fn final_summary(&self) {
+        let out_dir = std::env::var("BENCH_OUT_DIR").unwrap_or_else(|_| ".".to_string());
+        let mut groups: Vec<&str> = self.records.iter().map(|r| r.group.as_str()).collect();
+        groups.dedup();
+        groups.sort_unstable();
+        groups.dedup();
+        for group in groups {
+            let mut body = String::from("{\n");
+            body.push_str(&format!("  \"group\": \"{group}\",\n  \"benchmarks\": [\n"));
+            let members: Vec<&BenchRecord> =
+                self.records.iter().filter(|r| r.group == group).collect();
+            for (i, r) in members.iter().enumerate() {
+                let throughput = match r.throughput {
+                    Some(Throughput::Elements(n)) if r.mean_ns > 0.0 => {
+                        format!(", \"elements_per_sec\": {:.1}", n as f64 / (r.mean_ns / 1e9))
+                    }
+                    Some(Throughput::Bytes(n)) if r.mean_ns > 0.0 => {
+                        format!(", \"bytes_per_sec\": {:.1}", n as f64 / (r.mean_ns / 1e9))
+                    }
+                    _ => String::new(),
+                };
+                body.push_str(&format!(
+                    "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"iterations\": {}{}}}{}\n",
+                    r.name,
+                    r.mean_ns,
+                    r.iterations,
+                    throughput,
+                    if i + 1 < members.len() { "," } else { "" }
+                ));
+            }
+            body.push_str("  ]\n}\n");
+            let path = format!("{out_dir}/BENCH_{group}.json");
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("warning: could not write {path}: {e}");
+            }
+        }
+    }
+}
+
+/// Scoped view over a [`Criterion`] applying group-wide settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size.unwrap_or(self.criterion.default_sample_size);
+        let group = self.name.clone();
+        let throughput = self.throughput;
+        self.criterion.run_one(&group, name, sample_size, throughput, f);
+        self
+    }
+
+    /// Ends the group (summary is written by `criterion_main!`).
+    pub fn finish(self) {}
+}
+
+/// Samples a routine's wall-clock time.
+pub struct Bencher {
+    sample_size: usize,
+    total: Duration,
+    iterations: u64,
+}
+
+/// Total measurement budget per benchmark; keeps expensive routines
+/// (full-scale snowball runs) from dominating CI time.
+const BENCH_BUDGET: Duration = Duration::from_secs(3);
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // One untimed warmup call also calibrates the per-call cost.
+        let calibrate = Instant::now();
+        black_box(routine());
+        let per_call = calibrate.elapsed().max(Duration::from_nanos(1));
+
+        // Aim each sample at ~10ms of work, budget-capped overall.
+        let iters_per_sample =
+            (Duration::from_millis(10).as_nanos() / per_call.as_nanos()).clamp(1, 1_000_000) as u64;
+        let started = Instant::now();
+        for _ in 0..self.sample_size.max(1) {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.total += t.elapsed();
+            self.iterations += iters_per_sample;
+            if started.elapsed() > BENCH_BUDGET {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` over inputs produced by the untimed `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let calibrate = Instant::now();
+        black_box(routine(input));
+        let per_call = calibrate.elapsed().max(Duration::from_nanos(1));
+
+        let iters_per_sample =
+            (Duration::from_millis(10).as_nanos() / per_call.as_nanos()).clamp(1, 100_000) as u64;
+        let started = Instant::now();
+        for _ in 0..self.sample_size.max(1) {
+            let inputs: Vec<I> = (0..iters_per_sample).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.total += t.elapsed();
+            self.iterations += iters_per_sample;
+            if started.elapsed() > BENCH_BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+/// Bundles benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Entry point running every group then writing summaries.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shimtest");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("add", |b| b.iter(|| black_box(2u64) + 2));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+        assert_eq!(c.records.len(), 2);
+        assert!(c.records.iter().all(|r| r.iterations > 0));
+        assert!(c.records.iter().all(|r| r.group == "shimtest"));
+    }
+}

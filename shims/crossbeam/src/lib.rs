@@ -1,0 +1,101 @@
+//! Offline drop-in subset of `crossbeam`.
+//!
+//! The build container cannot fetch crates, so this shim provides
+//! `crossbeam::scope` / `crossbeam::thread::scope` — the only surface
+//! the workspace uses — on top of `std::thread::scope` (stable since
+//! Rust 1.63). Semantics follow crossbeam: the closure receives a scope
+//! handle, `spawn` closures take the scope as an argument so they can
+//! spawn recursively, and `scope` returns `Err` instead of unwinding
+//! when a child thread panicked.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads (`crossbeam::thread`).
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::thread as std_thread;
+
+    /// A handle that spawns threads scoped to an enclosing [`scope`]
+    /// call.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to join one scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` if it
+        /// panicked).
+        pub fn join(self) -> std_thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope so it
+        /// can spawn further threads, mirroring crossbeam's API.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Runs `f` with a scope handle; all spawned threads are joined
+    /// before returning. Returns `Err` if any unjoined child panicked
+    /// (crossbeam's contract — std's scope would resume the unwind).
+    pub fn scope<'env, F, R>(f: F) -> std_thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| std_thread::scope(|s| f(&Scope { inner: s }))))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    use super::scope;
+
+    #[test]
+    fn spawn_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn() {
+        let n = scope(|s| {
+            let h = s.spawn(|s2| {
+                let inner = s2.spawn(|_| 21u32);
+                inner.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn child_panic_is_an_err() {
+        let result = scope(|s| {
+            let _ = s.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,817 @@
+//! Offline drop-in subset of `proptest`.
+//!
+//! The build container cannot fetch crates, so this shim reimplements
+//! the slice of proptest this workspace relies on: the `proptest!` /
+//! `prop_assert*` / `prop_assume!` / `prop_oneof!` macros, integer
+//! range strategies, regex-subset string strategies, tuple strategies,
+//! `any::<T>()`, `proptest::collection::vec`, `prop_map`, and
+//! `prop_filter`. There is no shrinking — a failing case panics with
+//! the generated inputs' debug output. Generation is deterministic:
+//! the RNG is seeded from the property's name, so failures reproduce.
+
+#![forbid(unsafe_code)]
+
+/// Deterministic RNG + case runner.
+pub mod test_runner {
+    /// Failure (assert) or rejection (assume) raised inside a property.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assert*` failed: the property is falsified.
+        Fail(String),
+        /// `prop_assume!` failed: discard the case and draw another.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure.
+        pub fn fail(msg: String) -> Self {
+            TestCaseError::Fail(msg)
+        }
+
+        /// Builds a rejection.
+        pub fn reject(msg: &str) -> Self {
+            TestCaseError::Reject(msg.to_string())
+        }
+    }
+
+    /// SplitMix64: tiny, uniform, and plenty for test-case generation.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds deterministically from the property name so each test
+        /// explores its own reproducible sequence.
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h | 1 }
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, n)`. `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+    }
+
+    /// Runs one property: draws cases until `config.cases` succeed,
+    /// skipping rejected draws (bounded), panicking on the first
+    /// falsified case.
+    pub fn run<F>(config: &crate::config::ProptestConfig, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let mut rng = TestRng::from_name(name);
+        let mut passed: u32 = 0;
+        let mut rejected: u64 = 0;
+        let max_rejects = (config.cases as u64).saturating_mul(64).max(1024);
+        while passed < config.cases {
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > max_rejects {
+                        panic!(
+                            "property `{name}`: too many rejected cases \
+                             ({rejected} rejects for {passed} passes)"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("property `{name}` falsified after {passed} passing cases: {msg}")
+                }
+            }
+        }
+    }
+}
+
+/// Runner configuration (`cases` only).
+pub mod config {
+    /// Subset of proptest's config: just the case count.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// Generates values of one type. Object-safe so `prop_oneof!` can
+    /// box heterogeneous arms.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Discards generated values failing `pred` (re-drawing, with a
+        /// bounded number of attempts).
+        fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, reason, pred }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// `prop_filter` adapter.
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: &'static str,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter exhausted retries: {}", self.reason)
+        }
+    }
+
+    /// `prop_oneof!` support: uniform choice over boxed arms.
+    pub struct Union<V> {
+        arms: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union; `arms` must be non-empty.
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let idx = rng.below(self.arms.len() as u64) as usize;
+            self.arms[idx].generate(rng)
+        }
+    }
+
+    // Integer range strategies.
+    macro_rules! int_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    let hi = rng.next_u64() as u128;
+                    let lo = rng.next_u64() as u128;
+                    let draw = ((hi << 64) | lo) % span;
+                    (self.start as u128).wrapping_add(draw) as $ty
+                }
+            }
+
+            impl Strategy for ::std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as u128).wrapping_sub(start as u128).wrapping_add(1);
+                    if span == 0 {
+                        // Full-width u128 range: any draw is in range.
+                        let hi = rng.next_u64() as u128;
+                        let lo = rng.next_u64() as u128;
+                        return ((hi << 64) | lo) as $ty;
+                    }
+                    let hi = rng.next_u64() as u128;
+                    let lo = rng.next_u64() as u128;
+                    let draw = ((hi << 64) | lo) % span;
+                    (start as u128).wrapping_add(draw) as $ty
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    // Tuple strategies (each element an independent strategy).
+    macro_rules! tuple_strategy {
+        ($(($($name:ident . $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+
+    // String strategies from a regex subset (see `crate::pattern`).
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::pattern::sample(self, rng)
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::pattern::sample(self, rng)
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "whole domain" strategy.
+    pub trait Arbitrary {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_uint {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+    arb_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! arb_int {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+    arb_int!(i8, i16, i32, i64, isize);
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Arbitrary for i128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            u128::arbitrary(rng) as i128
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            std::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+
+    macro_rules! arb_tuple {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    ($($name::arbitrary(rng),)+)
+                }
+            }
+        )*};
+    }
+    arb_tuple! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+    }
+
+    /// Strategy over a type's whole domain.
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The `any::<T>()` entry point.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi_exclusive: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi_exclusive: r.end() + 1 }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_exclusive: n + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi_exclusive - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+/// Regex-subset sampler backing string strategies. Supports literal
+/// chars, `\`-escapes, `[...]` classes with ranges (trailing `-`
+/// literal), `(a|b|c)` alternation groups, and `{n}` / `{m,n}` / `*` /
+/// `+` / `?` repetitions.
+pub mod pattern {
+    use crate::test_runner::TestRng;
+
+    enum Atom {
+        Literal(char),
+        Class(Vec<char>),
+        Group(Vec<Vec<(Atom, Rep)>>),
+    }
+
+    struct Rep {
+        min: usize,
+        max: usize,
+    }
+
+    /// Draws one string matching `pattern`.
+    pub fn sample(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let seq = parse_seq(&chars, &mut pos, pattern);
+        assert!(
+            pos == chars.len(),
+            "proptest shim: unsupported regex `{pattern}` (stopped at {pos})"
+        );
+        let mut out = String::new();
+        emit_seq(&seq, rng, &mut out);
+        out
+    }
+
+    fn emit_seq(seq: &[(Atom, Rep)], rng: &mut TestRng, out: &mut String) {
+        for (atom, rep) in seq {
+            let n = rep.min + rng.below((rep.max - rep.min + 1) as u64) as usize;
+            for _ in 0..n {
+                match atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(set) => {
+                        out.push(set[rng.below(set.len() as u64) as usize]);
+                    }
+                    Atom::Group(alts) => {
+                        let alt = &alts[rng.below(alts.len() as u64) as usize];
+                        emit_seq(alt, rng, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Parses until end of input, `)`, or `|` (caller handles both).
+    fn parse_seq(chars: &[char], pos: &mut usize, pattern: &str) -> Vec<(Atom, Rep)> {
+        let mut seq = Vec::new();
+        while *pos < chars.len() {
+            let atom = match chars[*pos] {
+                ')' | '|' => break,
+                '[' => {
+                    *pos += 1;
+                    Atom::Class(parse_class(chars, pos, pattern))
+                }
+                '(' => {
+                    *pos += 1;
+                    let mut alts = vec![parse_seq(chars, pos, pattern)];
+                    while *pos < chars.len() && chars[*pos] == '|' {
+                        *pos += 1;
+                        alts.push(parse_seq(chars, pos, pattern));
+                    }
+                    assert!(
+                        *pos < chars.len() && chars[*pos] == ')',
+                        "proptest shim: unterminated group in `{pattern}`"
+                    );
+                    *pos += 1;
+                    Atom::Group(alts)
+                }
+                '\\' => {
+                    *pos += 1;
+                    assert!(*pos < chars.len(), "proptest shim: dangling escape in `{pattern}`");
+                    let c = chars[*pos];
+                    *pos += 1;
+                    Atom::Literal(c)
+                }
+                c => {
+                    *pos += 1;
+                    Atom::Literal(c)
+                }
+            };
+            let rep = parse_rep(chars, pos, pattern);
+            seq.push((atom, rep));
+        }
+        seq
+    }
+
+    fn parse_class(chars: &[char], pos: &mut usize, pattern: &str) -> Vec<char> {
+        let mut set = Vec::new();
+        while *pos < chars.len() && chars[*pos] != ']' {
+            let c = match chars[*pos] {
+                '\\' => {
+                    *pos += 1;
+                    assert!(*pos < chars.len(), "proptest shim: dangling escape in `{pattern}`");
+                    chars[*pos]
+                }
+                c => c,
+            };
+            *pos += 1;
+            if *pos + 1 < chars.len() && chars[*pos] == '-' && chars[*pos + 1] != ']' {
+                let end = chars[*pos + 1];
+                *pos += 2;
+                assert!(c <= end, "proptest shim: inverted class range in `{pattern}`");
+                for code in (c as u32)..=(end as u32) {
+                    set.push(char::from_u32(code).expect("class range stays in valid chars"));
+                }
+            } else {
+                set.push(c);
+            }
+        }
+        assert!(
+            *pos < chars.len(),
+            "proptest shim: unterminated character class in `{pattern}`"
+        );
+        *pos += 1; // consume ']'
+        assert!(!set.is_empty(), "proptest shim: empty character class in `{pattern}`");
+        set
+    }
+
+    fn parse_rep(chars: &[char], pos: &mut usize, pattern: &str) -> Rep {
+        if *pos >= chars.len() {
+            return Rep { min: 1, max: 1 };
+        }
+        match chars[*pos] {
+            '*' => {
+                *pos += 1;
+                Rep { min: 0, max: 8 }
+            }
+            '+' => {
+                *pos += 1;
+                Rep { min: 1, max: 8 }
+            }
+            '?' => {
+                *pos += 1;
+                Rep { min: 0, max: 1 }
+            }
+            '{' => {
+                *pos += 1;
+                let mut min = String::new();
+                while *pos < chars.len() && chars[*pos].is_ascii_digit() {
+                    min.push(chars[*pos]);
+                    *pos += 1;
+                }
+                let min: usize =
+                    min.parse().unwrap_or_else(|_| panic!("bad repetition in `{pattern}`"));
+                let max = if *pos < chars.len() && chars[*pos] == ',' {
+                    *pos += 1;
+                    let mut max = String::new();
+                    while *pos < chars.len() && chars[*pos].is_ascii_digit() {
+                        max.push(chars[*pos]);
+                        *pos += 1;
+                    }
+                    max.parse().unwrap_or_else(|_| panic!("bad repetition in `{pattern}`"))
+                } else {
+                    min
+                };
+                assert!(
+                    *pos < chars.len() && chars[*pos] == '}',
+                    "proptest shim: unterminated repetition in `{pattern}`"
+                );
+                *pos += 1;
+                assert!(min <= max, "proptest shim: inverted repetition in `{pattern}`");
+                Rep { min, max }
+            }
+            _ => Rep { min: 1, max: 1 },
+        }
+    }
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::config::ProptestConfig;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...)` block
+/// becomes a `#[test]` drawing `cases` inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! { (<$crate::config::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+/// Internal: expands one property fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            $crate::test_runner::run(&__config, ::std::stringify!($name), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                $body
+                ::std::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_each! { ($config) $($rest)* }
+    };
+}
+
+/// Asserts inside a property; failure falsifies the case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", ::std::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = $left;
+        let __right = $right;
+        if !(__left == __right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{:?}` == `{:?}`",
+                    __left,
+                    __right
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __left = $left;
+        let __right = $right;
+        if !(__left == __right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Discards the current case when the condition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                ::std::stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        let __arms: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = ::std::vec![$(::std::boxed::Box::new($arm)),+];
+        $crate::strategy::Union::new(__arms)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn patterns_match_expected_shapes() {
+        let mut rng = TestRng::from_name("patterns");
+        for _ in 0..200 {
+            let s = crate::pattern::sample("[a-z]{2,8}\\.js", &mut rng);
+            assert!(s.ends_with(".js"));
+            let stem = &s[..s.len() - 3];
+            assert!((2..=8).contains(&stem.len()));
+            assert!(stem.chars().all(|c| c.is_ascii_lowercase()));
+
+            let t = crate::pattern::sample("(com|dev|xyz)", &mut rng);
+            assert!(["com", "dev", "xyz"].contains(&t.as_str()));
+
+            let d = crate::pattern::sample("[A-Z][a-z]{2,6} Drainer", &mut rng);
+            assert!(d.ends_with(" Drainer"));
+            assert!(d.chars().next().unwrap().is_ascii_uppercase());
+
+            let w = crate::pattern::sample("[a-zA-Z0-9-]{1,20}", &mut rng);
+            assert!((1..=20).contains(&w.chars().count()));
+            assert!(w.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        use crate::strategy::Strategy;
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..1000 {
+            let v = (10u64..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let b = (b'a'..=b'z').generate(&mut rng);
+            assert!(b.is_ascii_lowercase());
+            let i = (0usize..3).generate(&mut rng);
+            assert!(i < 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_pipeline_works(
+            n in 1u32..100,
+            v in crate::collection::vec(any::<u8>(), 0..4),
+            s in "[a-z]{1,3}",
+        ) {
+            prop_assert!(n >= 1);
+            prop_assert!(v.len() < 4);
+            prop_assume!(n != 55);
+            prop_assert_eq!(s.len(), s.chars().count());
+        }
+
+        #[test]
+        fn oneof_and_map_work(x in prop_oneof![
+            (0u32..10).prop_map(|v| v * 2),
+            (100u32..110).prop_map(|v| v),
+        ]) {
+            prop_assert!(x < 20 || (100..110).contains(&x));
+        }
+    }
+}

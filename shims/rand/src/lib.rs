@@ -1,0 +1,465 @@
+//! Offline drop-in subset of `rand` 0.8.
+//!
+//! The build container has no network access and no vendored registry,
+//! so the real `rand` crate cannot be fetched. This shim reimplements
+//! the slice of the 0.8 API the workspace uses — `StdRng`,
+//! `SeedableRng::seed_from_u64`, `Rng::gen`, `Rng::gen_range` — with
+//! **bit-identical output**: `StdRng` is ChaCha12 behind the same
+//! four-block `BlockRng` buffering as `rand_chacha`, `seed_from_u64`
+//! uses the same PCG32 seed expansion as `rand_core`, and integer
+//! ranges use the same widening-multiply rejection sampling as
+//! `rand 0.8.5`. Every seed-derived world in the test suite therefore
+//! reproduces exactly what it did when the repo was built against the
+//! real crate.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+// ---------------------------------------------------------------------
+// Core traits (rand_core shapes).
+// ---------------------------------------------------------------------
+
+/// Minimal `rand_core::RngCore`.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// Minimal `rand_core::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Constructs from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs from a `u64`, expanding it with the same PCG32-based
+    /// fill as `rand_core` 0.6 so streams match the real crate.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            let bytes = x.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Distributions.
+// ---------------------------------------------------------------------
+
+/// Distribution subset (`rand::distributions`).
+pub mod distributions {
+    use super::RngCore;
+
+    /// A value distribution.
+    pub trait Distribution<T> {
+        /// Samples one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The standard (uniform-bits) distribution.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<u8> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u8 {
+            rng.next_u32() as u8
+        }
+    }
+    impl Distribution<u16> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u16 {
+            rng.next_u32() as u16
+        }
+    }
+    impl Distribution<u32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+    impl Distribution<u64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+    impl Distribution<u128> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+            // Low half first, as in rand 0.8.
+            let x = u128::from(rng.next_u64());
+            let y = u128::from(rng.next_u64());
+            (y << 64) | x
+        }
+    }
+    impl Distribution<usize> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            // Sign test on the most significant bit, as in rand 0.8.
+            (rng.next_u32() as i32) < 0
+        }
+    }
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53-bit multiply conversion into [0, 1).
+            let value = rng.next_u64() >> 11;
+            value as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            let value = rng.next_u32() >> 8;
+            value as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+}
+
+use distributions::{Distribution, Standard};
+
+// ---------------------------------------------------------------------
+// Uniform range sampling (rand 0.8.5 `sample_single_inclusive`).
+// ---------------------------------------------------------------------
+
+/// Types samplable from a range by [`Rng::gen_range`].
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[low, high)`.
+    fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Uniform draw from `[low, high]`.
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// Range argument of [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_single(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_single_inclusive(low, high, rng)
+    }
+}
+
+/// Mirrors rand 0.8.5's `uniform_int_impl!`: `$ty` sampled through the
+/// widened `$u_large` with widening-multiply rejection. Small types
+/// (≤ 16 bits) use the exact-modulus zone; larger types the shifted
+/// approximation — both exactly as upstream, so accept/reject decisions
+/// (and therefore stream consumption) are identical.
+macro_rules! uniform_int_impl {
+    ($ty:ty, $unsigned:ty, $u_large:ty, $wide:ty, $gen:ident) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "UniformSampler::sample_single: low >= high");
+                Self::sample_single_inclusive(low, high - 1, rng)
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                assert!(low <= high, "UniformSampler::sample_single_inclusive: low > high");
+                let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $u_large;
+                if range == 0 {
+                    // The full integer domain: every draw is acceptable.
+                    return $gen(rng) as $u_large as $ty;
+                }
+                let zone = if <$unsigned>::MAX <= u16::MAX as $unsigned {
+                    let ints_to_reject = (<$u_large>::MAX - range + 1) % range;
+                    <$u_large>::MAX - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $u_large = $gen(rng) as $u_large;
+                    let wide = (v as $wide) * (range as $wide);
+                    let hi = (wide >> (<$u_large>::BITS)) as $u_large;
+                    let lo = wide as $u_large;
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+fn gen_u32<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+    rng.next_u32()
+}
+fn gen_u64<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+    rng.next_u64()
+}
+
+uniform_int_impl! { u8, u8, u32, u64, gen_u32 }
+uniform_int_impl! { u16, u16, u32, u64, gen_u32 }
+uniform_int_impl! { u32, u32, u32, u64, gen_u32 }
+uniform_int_impl! { u64, u64, u64, u128, gen_u64 }
+uniform_int_impl! { usize, usize, usize, u128, gen_u64 }
+uniform_int_impl! { i8, u8, u32, u64, gen_u32 }
+uniform_int_impl! { i16, u16, u32, u64, gen_u32 }
+uniform_int_impl! { i32, u32, u32, u64, gen_u32 }
+uniform_int_impl! { i64, u64, u64, u128, gen_u64 }
+uniform_int_impl! { isize, usize, usize, u128, gen_u64 }
+
+impl SampleUniform for f64 {
+    fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        // rand 0.8.5 UniformFloat::sample_single: a [1, 2) mantissa draw
+        // rescaled into the target range.
+        let scale = high - low;
+        let value1_2 = f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52));
+        let value0_1 = value1_2 - 1.0;
+        value0_1 * scale + low
+    }
+
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        Self::sample_single(low, high, rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The user-facing `Rng` extension trait.
+// ---------------------------------------------------------------------
+
+/// The `rand::Rng` extension trait (subset).
+pub trait Rng: RngCore {
+    /// Samples a value of an inferred type from the standard
+    /// distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Uniform draw from a range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+// ---------------------------------------------------------------------
+// StdRng: ChaCha12 behind rand_chacha's four-block buffer.
+// ---------------------------------------------------------------------
+
+/// Named RNGs (`rand::rngs`).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+    /// rand_chacha computes four ChaCha blocks per refill; the buffer
+    /// length drives the `BlockRng` wrap-around arithmetic, so it must
+    /// match.
+    const BUF_WORDS: usize = 64;
+
+    /// The standard RNG of rand 0.8: ChaCha with 12 rounds.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        key: [u32; 8],
+        counter: u64,
+        buf: [u32; BUF_WORDS],
+        index: usize,
+    }
+
+    fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(16);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(12);
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(8);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(7);
+    }
+
+    /// One ChaCha block: `double_rounds` column/diagonal round pairs
+    /// (6 for ChaCha12), djb layout — 64-bit block counter in words
+    /// 12–13, 64-bit stream id (always 0 here) in words 14–15.
+    pub(crate) fn chacha_block(
+        key: &[u32; 8],
+        counter: u64,
+        double_rounds: usize,
+        out: &mut [u32],
+    ) {
+        let mut initial = [0u32; 16];
+        initial[..4].copy_from_slice(&CONSTANTS);
+        initial[4..12].copy_from_slice(key);
+        initial[12] = counter as u32;
+        initial[13] = (counter >> 32) as u32;
+        let mut working = initial;
+        for _ in 0..double_rounds {
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (o, (w, i)) in out.iter_mut().zip(working.iter().zip(initial.iter())) {
+            *o = w.wrapping_add(*i);
+        }
+    }
+
+    impl StdRng {
+        fn generate(&mut self) {
+            for block in 0..4 {
+                let c = self.counter.wrapping_add(block as u64);
+                chacha_block(&self.key, c, 6, &mut self.buf[block * 16..(block + 1) * 16]);
+            }
+            self.counter = self.counter.wrapping_add(4);
+        }
+
+        fn generate_and_set(&mut self, offset: usize) {
+            self.generate();
+            self.index = offset;
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut key = [0u32; 8];
+            for (i, k) in key.iter_mut().enumerate() {
+                *k = u32::from_le_bytes(seed[i * 4..i * 4 + 4].try_into().unwrap());
+            }
+            StdRng { key, counter: 0, buf: [0; BUF_WORDS], index: BUF_WORDS }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            if self.index >= BUF_WORDS {
+                self.generate_and_set(0);
+            }
+            let value = self.buf[self.index];
+            self.index += 1;
+            value
+        }
+
+        // rand_core's BlockRng::next_u64, including the buffer-straddle
+        // case: the stream position of every draw must match upstream.
+        fn next_u64(&mut self) -> u64 {
+            let read_u64 =
+                |buf: &[u32; BUF_WORDS], i: usize| (u64::from(buf[i + 1]) << 32) | u64::from(buf[i]);
+            let index = self.index;
+            if index < BUF_WORDS - 1 {
+                self.index += 2;
+                read_u64(&self.buf, index)
+            } else if index >= BUF_WORDS {
+                self.generate_and_set(2);
+                read_u64(&self.buf, 0)
+            } else {
+                let x = u64::from(self.buf[BUF_WORDS - 1]);
+                self.generate_and_set(1);
+                let y = u64::from(self.buf[0]);
+                (y << 32) | x
+            }
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(4) {
+                let bytes = self.next_u32().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::{chacha_block, StdRng};
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn chacha20_zero_key_known_answer() {
+        // The canonical ChaCha20 (10 double rounds) keystream for the
+        // all-zero key/nonce at counter 0 — validates the core the
+        // ChaCha12 StdRng shares.
+        let mut out = [0u32; 16];
+        chacha_block(&[0; 8], 0, 10, &mut out);
+        let mut bytes = Vec::new();
+        for w in out {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        let expected: [u8; 32] = [
+            0x76, 0xb8, 0xe0, 0xad, 0xa0, 0xf1, 0x3d, 0x90, 0x40, 0x5d, 0x6a, 0xe5, 0x53, 0x86,
+            0xbd, 0x28, 0xbd, 0xd2, 0x19, 0xb8, 0xa0, 0x8d, 0xed, 0x1a, 0xa8, 0x36, 0xef, 0xcc,
+            0x8b, 0x77, 0x0d, 0xc7,
+        ];
+        assert_eq!(&bytes[..32], &expected);
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..100).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..100).map(|_| b.gen()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs[0], c.gen::<u64>());
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y = rng.gen_range(0usize..3);
+            assert!(y < 3);
+            let z = rng.gen_range(b'a'..=b'z');
+            assert!((b'a'..=b'z').contains(&z));
+            let f = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn u64_straddles_buffer_boundary() {
+        // Drain 63 words then draw a u64: exercises the wrap-around arm
+        // of next_u64.
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..63 {
+            rng.next_u32();
+        }
+        let _ = rng.next_u64();
+        let _ = rng.next_u64();
+    }
+}

@@ -1,0 +1,736 @@
+//! Offline drop-in subset of `serde`.
+//!
+//! The build container has no network access, so the real `serde`
+//! cannot be fetched. This shim keeps serde's trait *shapes* — so the
+//! workspace's hand-written `impl Serialize`/`impl Deserialize` and
+//! `#[serde(with = …)]` modules compile unchanged — but collapses the
+//! data model to a single JSON-like [`Value`]: every serializer lowers
+//! to a `Value`, every deserializer lifts from one. `serde_json` (also
+//! shimmed) renders and parses that `Value`.
+//!
+//! Supported surface: `Serialize`/`Serializer` (`serialize_str` plus
+//! scalar convenience methods), `Deserialize`/`Deserializer`,
+//! `ser::Error`/`de::Error` with `custom`, impls for the std types the
+//! workspace serializes, and the derive macros via the `derive`
+//! feature.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The single in-memory data model every (de)serializer goes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON null.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating point number.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Value>),
+    /// JSON object, insertion-ordered.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A canonical text form used only for deterministic ordering of
+    /// unordered containers (HashSet serialization).
+    fn canonical(&self) -> String {
+        match self {
+            Value::Null => "null".into(),
+            Value::Bool(b) => b.to_string(),
+            Value::U64(n) => n.to_string(),
+            Value::I64(n) => n.to_string(),
+            Value::F64(n) => format!("{n:?}"),
+            Value::Str(s) => s.clone(),
+            Value::Seq(items) => {
+                let inner: Vec<String> = items.iter().map(Value::canonical).collect();
+                format!("[{}]", inner.join(","))
+            }
+            Value::Map(entries) => {
+                let inner: Vec<String> =
+                    entries.iter().map(|(k, v)| format!("{k}:{}", v.canonical())).collect();
+                format!("{{{}}}", inner.join(","))
+            }
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+}
+
+/// The shared error type of the value model.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialization half.
+pub mod ser {
+    use super::Value;
+    use std::fmt::Display;
+
+    /// Error constraint for serializers.
+    pub trait Error: Sized + Display + std::fmt::Debug {
+        /// Builds an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    impl Error for super::Error {
+        fn custom<T: Display>(msg: T) -> Self {
+            super::Error(msg.to_string())
+        }
+    }
+
+    /// A sink for one value. All methods lower to [`Value`].
+    pub trait Serializer: Sized {
+        /// Output of a successful serialization.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+
+        /// Accepts the fully lowered value.
+        fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+
+        /// Serializes a string slice.
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::Str(v.to_owned()))
+        }
+
+        /// Serializes a boolean.
+        fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::Bool(v))
+        }
+
+        /// Serializes an unsigned integer.
+        fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::U64(v))
+        }
+
+        /// Serializes a signed integer.
+        fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(if v < 0 { Value::I64(v) } else { Value::U64(v as u64) })
+        }
+
+        /// Serializes a float.
+        fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::F64(v))
+        }
+
+        /// Serializes a unit/null.
+        fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::Null)
+        }
+    }
+
+    /// A serializable type.
+    pub trait Serialize {
+        /// Lowers `self` into the serializer.
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+    }
+}
+
+/// Deserialization half.
+pub mod de {
+    use super::Value;
+    use std::fmt::Display;
+
+    /// Error constraint for deserializers.
+    pub trait Error: Sized + Display + std::fmt::Debug {
+        /// Builds an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    impl Error for super::Error {
+        fn custom<T: Display>(msg: T) -> Self {
+            super::Error(msg.to_string())
+        }
+    }
+
+    /// A source of one value. All methods lift from [`Value`].
+    pub trait Deserializer<'de>: Sized {
+        /// Error type.
+        type Error: Error;
+
+        /// Yields the underlying value.
+        fn into_value(self) -> Result<Value, Self::Error>;
+    }
+
+    /// A deserializable type.
+    pub trait Deserialize<'de>: Sized {
+        /// Lifts `Self` out of the deserializer.
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+    }
+}
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+// ---------------------------------------------------------------------
+// The one concrete serializer/deserializer pair.
+// ---------------------------------------------------------------------
+
+/// Serializer producing a [`Value`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_value(self, value: Value) -> Result<Value, Error> {
+        Ok(value)
+    }
+}
+
+/// Deserializer reading from a [`Value`].
+#[derive(Debug, Clone)]
+pub struct ValueDeserializer(Value);
+
+impl ValueDeserializer {
+    /// Wraps a value.
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer(value)
+    }
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = Error;
+
+    fn into_value(self) -> Result<Value, Error> {
+        Ok(self.0)
+    }
+}
+
+/// Lowers any serializable value into the [`Value`] model.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    value.serialize(ValueSerializer)
+}
+
+/// Lifts a typed value out of the [`Value`] model.
+pub fn from_value<T>(value: Value) -> Result<T, Error>
+where
+    T: for<'de> Deserialize<'de>,
+{
+    T::deserialize(ValueDeserializer(value))
+}
+
+/// Derive support: removes a named field from a decoded object.
+/// Unknown extra fields are ignored (serde's default posture).
+pub fn take_field(
+    map: &mut Vec<(String, Value)>,
+    name: &str,
+    type_name: &str,
+) -> Result<Value, Error> {
+    match map.iter().position(|(k, _)| k == name) {
+        Some(i) => Ok(map.remove(i).1),
+        None => Err(Error(format!("missing field `{name}` in {type_name}"))),
+    }
+}
+
+/// Derive support: expects an object.
+pub fn expect_map(value: Value, type_name: &str) -> Result<Vec<(String, Value)>, Error> {
+    match value {
+        Value::Map(m) => Ok(m),
+        other => Err(Error(format!("expected object for {type_name}, found {}", other.kind()))),
+    }
+}
+
+/// Derive support: expects an array of exactly `n` elements.
+pub fn expect_seq(value: Value, n: usize, type_name: &str) -> Result<Vec<Value>, Error> {
+    match value {
+        Value::Seq(items) if items.len() == n => Ok(items),
+        Value::Seq(items) => Err(Error(format!(
+            "expected {n} elements for {type_name}, found {}",
+            items.len()
+        ))),
+        other => Err(Error(format!("expected array for {type_name}, found {}", other.kind()))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialize impls for std types.
+// ---------------------------------------------------------------------
+
+macro_rules! serialize_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_u64(*self as u64)
+            }
+        }
+    )*};
+}
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_i64(*self as i64)
+            }
+        }
+    )*};
+}
+serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self as f64)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_unit(),
+            Some(v) => v.serialize(serializer),
+        }
+    }
+}
+
+fn seq_to_value<'a, T, I, S>(items: I) -> Result<Value, S::Error>
+where
+    T: Serialize + 'a,
+    I: Iterator<Item = &'a T>,
+    S: Serializer,
+{
+    let mut seq = Vec::new();
+    for item in items {
+        seq.push(to_value(item).map_err(<S::Error as ser::Error>::custom)?);
+    }
+    Ok(Value::Seq(seq))
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value::<T, _, S>(self.iter())?;
+        serializer.serialize_value(v)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value::<T, _, S>(self.iter())?;
+        serializer.serialize_value(v)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value::<T, _, S>(self.iter())?;
+        serializer.serialize_value(v)
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value::<T, _, S>(self.iter())?;
+        serializer.serialize_value(v)
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // Hash iteration order is arbitrary; sort canonically so output
+        // is deterministic.
+        let mut seq = Vec::new();
+        for item in self {
+            seq.push(to_value(item).map_err(<S::Error as ser::Error>::custom)?);
+        }
+        seq.sort_by(|a, b| a.canonical().cmp(&b.canonical()));
+        serializer.serialize_value(Value::Seq(seq))
+    }
+}
+
+fn map_to_value<'a, K, V, I, S>(entries: I, sort: bool) -> Result<Value, S::Error>
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+    S: Serializer,
+{
+    let mut out = Vec::new();
+    for (k, v) in entries {
+        let key = match to_value(k).map_err(<S::Error as ser::Error>::custom)? {
+            Value::Str(s) => s,
+            other => {
+                return Err(<S::Error as ser::Error>::custom(format!(
+                    "map key must serialize to a string, got {}",
+                    other.kind()
+                )))
+            }
+        };
+        out.push((key, to_value(v).map_err(<S::Error as ser::Error>::custom)?));
+    }
+    if sort {
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+    Ok(Value::Map(out))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let v = map_to_value::<K, V, _, S>(self.iter(), true)?;
+        serializer.serialize_value(v)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let v = map_to_value::<K, V, _, S>(self.iter(), false)?;
+        serializer.serialize_value(v)
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let seq = vec![
+                    $(to_value(&self.$idx).map_err(<S::Error as ser::Error>::custom)?),+
+                ];
+                serializer.serialize_value(Value::Seq(seq))
+            }
+        }
+    )*};
+}
+serialize_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+// ---------------------------------------------------------------------
+// Deserialize impls for std types.
+// ---------------------------------------------------------------------
+
+macro_rules! deserialize_unsigned {
+    ($($ty:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let err = |k| <D::Error as de::Error>::custom(
+                    format!(concat!("expected ", stringify!($ty), ", found {}"), k),
+                );
+                match deserializer.into_value()? {
+                    Value::U64(n) => <$ty>::try_from(n).map_err(|_| err("overflow")),
+                    other => Err(err(other.kind())),
+                }
+            }
+        }
+    )*};
+}
+deserialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_signed {
+    ($($ty:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let err = |k| <D::Error as de::Error>::custom(
+                    format!(concat!("expected ", stringify!($ty), ", found {}"), k),
+                );
+                match deserializer.into_value()? {
+                    Value::U64(n) => <$ty>::try_from(n).map_err(|_| err("overflow")),
+                    Value::I64(n) => <$ty>::try_from(n).map_err(|_| err("overflow")),
+                    other => Err(err(other.kind())),
+                }
+            }
+        }
+    )*};
+}
+deserialize_signed!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::F64(n) => Ok(n),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected number, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|n| n as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for &'static str {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        // The value model owns its strings, so a borrowed str can only
+        // be produced by leaking. Only structs carrying interned
+        // `&'static str` fields hit this (e.g. keyword-table entries),
+        // and only when actually deserialized.
+        match deserializer.into_value()? {
+            Value::Str(s) => Ok(Box::leak(s.into_boxed_str())),
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// Lifts one [`Value`] into any `Deserialize<'de>` type, converting the
+/// shim error into the caller's error type. This is the glue every
+/// container impl uses; it works for one specific `'de` (no
+/// higher-ranked bound), matching hand-written generic serde code.
+fn lift<'de, T: Deserialize<'de>, E: de::Error>(value: Value) -> Result<T, E> {
+    T::deserialize(ValueDeserializer(value)).map_err(E::custom)
+}
+
+impl<'de, T> Deserialize<'de> for Option<T>
+where
+    T: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Null => Ok(None),
+            value => lift(value).map(Some),
+        }
+    }
+}
+
+fn value_seq<'de, D: Deserializer<'de>>(deserializer: D) -> Result<Vec<Value>, D::Error> {
+    match deserializer.into_value()? {
+        Value::Seq(items) => Ok(items),
+        other => Err(<D::Error as de::Error>::custom(format!(
+            "expected array, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+impl<'de, T> Deserialize<'de> for Vec<T>
+where
+    T: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        value_seq(deserializer)?.into_iter().map(lift).collect()
+    }
+}
+
+impl<'de, T, const N: usize> Deserialize<'de> for [T; N]
+where
+    T: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items = value_seq(deserializer)?;
+        if items.len() != N {
+            return Err(<D::Error as de::Error>::custom(format!(
+                "expected array of {N}, found {}",
+                items.len()
+            )));
+        }
+        let elems: Vec<T> = items.into_iter().map(lift).collect::<Result<_, D::Error>>()?;
+        elems
+            .try_into()
+            .map_err(|_| <D::Error as de::Error>::custom("array length changed mid-build"))
+    }
+}
+
+impl<'de, T> Deserialize<'de> for BTreeSet<T>
+where
+    T: Deserialize<'de> + Ord,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        value_seq(deserializer)?.into_iter().map(lift).collect()
+    }
+}
+
+impl<'de, T> Deserialize<'de> for HashSet<T>
+where
+    T: Deserialize<'de> + Hash + Eq,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        value_seq(deserializer)?.into_iter().map(lift).collect()
+    }
+}
+
+fn value_map<'de, D: Deserializer<'de>>(
+    deserializer: D,
+) -> Result<Vec<(String, Value)>, D::Error> {
+    match deserializer.into_value()? {
+        Value::Map(entries) => Ok(entries),
+        other => Err(<D::Error as de::Error>::custom(format!(
+            "expected object, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for HashMap<K, V>
+where
+    K: Deserialize<'de> + Hash + Eq,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        value_map(deserializer)?
+            .into_iter()
+            .map(|(k, v)| Ok((lift(Value::Str(k))?, lift(v)?)))
+            .collect()
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        value_map(deserializer)?
+            .into_iter()
+            .map(|(k, v)| Ok((lift(Value::Str(k))?, lift(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($n:expr => $($name:ident . $idx:tt),+))*) => {$(
+        impl<'de, $($name),+> Deserialize<'de> for ($($name,)+)
+        where
+            $($name: Deserialize<'de>),+
+        {
+            fn deserialize<De: Deserializer<'de>>(deserializer: De) -> Result<Self, De::Error> {
+                let items = value_seq(deserializer)?;
+                if items.len() != $n {
+                    return Err(<De::Error as de::Error>::custom(format!(
+                        "expected {}-tuple, found array of {}", $n, items.len()
+                    )));
+                }
+                let mut iter = items.into_iter();
+                Ok(($({
+                    let _ = stringify!($name);
+                    lift::<$name, De::Error>(iter.next().expect("length checked"))?
+                },)+))
+            }
+        }
+    )*};
+}
+deserialize_tuple! {
+    (1 => A.0)
+    (2 => A.0, B.1)
+    (3 => A.0, B.1, C.2)
+    (4 => A.0, B.1, C.2, D.3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        assert_eq!(from_value::<u64>(to_value(&7u64).unwrap()).unwrap(), 7);
+        assert_eq!(from_value::<String>(to_value("hi").unwrap()).unwrap(), "hi");
+        assert_eq!(from_value::<bool>(to_value(&true).unwrap()).unwrap(), true);
+        assert_eq!(from_value::<f64>(to_value(&1.5f64).unwrap()).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn container_roundtrip() {
+        let v = vec![(1u64, "a".to_string()), (2, "b".to_string())];
+        let back: Vec<(u64, String)> = from_value(to_value(&v).unwrap()).unwrap();
+        assert_eq!(back, v);
+
+        let mut map = HashMap::new();
+        map.insert("k".to_string(), 3u32);
+        let back: HashMap<String, u32> = from_value(to_value(&map).unwrap()).unwrap();
+        assert_eq!(back, map);
+
+        let opt: Option<u8> = None;
+        assert_eq!(from_value::<Option<u8>>(to_value(&opt).unwrap()).unwrap(), None);
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        assert!(from_value::<u64>(Value::Str("x".into())).is_err());
+        assert!(from_value::<Vec<u8>>(Value::Bool(true)).is_err());
+    }
+}

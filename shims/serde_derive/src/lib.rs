@@ -1,0 +1,581 @@
+//! Offline drop-in subset of `serde_derive`.
+//!
+//! The build container cannot fetch crates, so `syn`/`quote` are
+//! unavailable; this macro parses the item's `TokenStream` by hand and
+//! emits impl code by string templating. It supports exactly the item
+//! shapes this workspace derives on:
+//!
+//! - structs with named fields (no generics, no tuple/unit structs),
+//! - enums with unit / newtype / tuple / struct variants,
+//! - the field attribute `#[serde(with = "module")]`.
+//!
+//! Enums use serde's externally-tagged representation: unit variants
+//! become a string, data variants a single-key object.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------
+// Item model + parser
+// ---------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor { toks: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let tok = self.toks.get(self.pos).cloned();
+        if tok.is_some() {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn peek_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn peek_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    /// Skips `#[...]` attributes, returning a `with = "module"` path if a
+    /// `#[serde(...)]` attribute carried one.
+    fn skip_attrs(&mut self) -> Option<String> {
+        let mut with = None;
+        while self.peek_punct('#') {
+            self.next();
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    if let Some(w) = parse_serde_attr(&g) {
+                        with = Some(w);
+                    }
+                }
+                other => panic!("serde_derive shim: malformed attribute near {other:?}"),
+            }
+        }
+        with
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if self.peek_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Consumes a type (everything up to a top-level `,`), eating the
+    /// comma too. Tracks angle-bracket depth so commas inside generics
+    /// don't terminate early; parens/brackets arrive as whole groups.
+    fn skip_type(&mut self) {
+        let mut depth: i64 = 0;
+        while let Some(tok) = self.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    self.next();
+                    return;
+                }
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_serde_attr(bracket: &Group) -> Option<String> {
+    let toks: Vec<TokenTree> = bracket.stream().into_iter().collect();
+    match toks.first() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return None, // doc comment or other attribute: ignore
+    }
+    let inner = match toks.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => panic!("serde_derive shim: unsupported #[serde] attribute shape"),
+    };
+    let parts: Vec<TokenTree> = inner.into_iter().collect();
+    match (parts.first(), parts.get(1), parts.get(2)) {
+        (
+            Some(TokenTree::Ident(key)),
+            Some(TokenTree::Punct(eq)),
+            Some(TokenTree::Literal(lit)),
+        ) if key.to_string() == "with" && eq.as_char() == '=' => {
+            Some(lit.to_string().trim_matches('"').to_string())
+        }
+        _ => panic!(
+            "serde_derive shim: only #[serde(with = \"module\")] is supported, got #[serde({})]",
+            parts.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" ")
+        ),
+    }
+}
+
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        let with = cur.skip_attrs();
+        cur.skip_visibility();
+        let name = match cur.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected field name, found {other:?}"),
+        };
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected `:` after `{name}`, found {other:?}"),
+        }
+        cur.skip_type();
+        fields.push(Field { name, with });
+    }
+    fields
+}
+
+/// Counts top-level comma-separated segments inside a tuple variant's
+/// parens (trailing comma tolerated).
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut depth: i64 = 0;
+    let mut arity = 0usize;
+    let mut seen_tok = false;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if seen_tok {
+                    arity += 1;
+                }
+                seen_tok = false;
+                continue;
+            }
+            _ => {}
+        }
+        seen_tok = true;
+    }
+    if seen_tok {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        cur.skip_attrs();
+        let name = match cur.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected variant name, found {other:?}"),
+        };
+        let kind = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                cur.next();
+                if arity == 0 {
+                    VariantKind::Unit
+                } else {
+                    VariantKind::Tuple(arity)
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream());
+                cur.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        if cur.peek_punct(',') {
+            cur.next();
+        } else if let Some(other) = cur.peek() {
+            panic!("serde_derive shim: expected `,` after variant `{name}`, found {other:?}");
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    cur.skip_attrs();
+    cur.skip_visibility();
+    let kw = match cur.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match cur.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive shim: expected item name, found {other:?}"),
+    };
+    if cur.peek_punct('<') {
+        panic!("serde_derive shim: generic item `{name}` is not supported");
+    }
+    let body_group = match cur.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!(
+            "serde_derive shim: `{name}` must have a braced body (tuple/unit items unsupported), found {other:?}"
+        ),
+    };
+    let body = match kw.as_str() {
+        "struct" => Body::Struct(parse_fields(body_group.stream())),
+        "enum" => Body::Enum(parse_variants(body_group.stream())),
+        other => panic!("serde_derive shim: unsupported item kind `{other}`"),
+    };
+    Item { name, body }
+}
+
+// ---------------------------------------------------------------------
+// Codegen (string templates; `%key%` placeholders avoid brace escaping)
+// ---------------------------------------------------------------------
+
+fn t(template: &str, subs: &[(&str, &str)]) -> String {
+    let mut out = template.to_string();
+    for (key, value) in subs {
+        out = out.replace(&format!("%{key}%"), value);
+    }
+    out
+}
+
+/// `match <expr> { Ok(v) => v, Err(e) => return Err(<Path>::custom(e)) }`
+fn try_custom(expr: &str, err_trait: &str) -> String {
+    t(
+        "match %expr% { ::std::result::Result::Ok(__v) => __v, \
+         ::std::result::Result::Err(__e) => return ::std::result::Result::Err(\
+         <%err% as %trait%>::custom(__e)) }",
+        &[("expr", expr), ("err", err_path(err_trait)), ("trait", err_trait)],
+    )
+}
+
+fn err_path(err_trait: &str) -> &'static str {
+    if err_trait == SER_TRAIT {
+        "S::Error"
+    } else {
+        "D::Error"
+    }
+}
+
+const SER_TRAIT: &str = "::serde::ser::Error";
+const DE_TRAIT: &str = "::serde::de::Error";
+
+fn field_to_value_expr(field: &Field, place: &str) -> String {
+    match &field.with {
+        None => format!("::serde::to_value({place})"),
+        Some(with) => format!("{with}::serialize({place}, ::serde::ValueSerializer)"),
+    }
+}
+
+fn field_from_value_expr(field: &Field, value: &str) -> String {
+    match &field.with {
+        None => format!("::serde::from_value({value})"),
+        Some(with) => format!("{with}::deserialize(::serde::ValueDeserializer::new({value}))"),
+    }
+}
+
+/// `name: { let __v = take_field(...)?; convert(__v)? },` lines for a
+/// braced constructor, consuming a `__map: Vec<(String, Value)>`.
+fn struct_field_inits(type_label: &str, fields: &[Field]) -> String {
+    let mut out = String::new();
+    for field in fields {
+        let take = try_custom(
+            &format!("::serde::take_field(&mut __map, \"{}\", \"{type_label}\")", field.name),
+            DE_TRAIT,
+        );
+        let convert = try_custom(&field_from_value_expr(field, "__v"), DE_TRAIT);
+        out.push_str(&t(
+            "%name%: { let __v = %take%; %convert% },\n",
+            &[("name", field.name.as_str()), ("take", take.as_str()), ("convert", convert.as_str())],
+        ));
+    }
+    out
+}
+
+/// `__fields.push(("name", to_value(<place>)?));` lines.
+fn struct_field_pushes(fields: &[Field], place_prefix: &str) -> String {
+    let mut out = String::new();
+    for field in fields {
+        let place = format!("{place_prefix}{}", field.name);
+        let value = try_custom(&field_to_value_expr(field, &place), SER_TRAIT);
+        out.push_str(&t(
+            "__fields.push((::std::string::String::from(\"%name%\"), %value%));\n",
+            &[("name", field.name.as_str()), ("value", value.as_str())],
+        ));
+    }
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = item.name.as_str();
+    let body = match &item.body {
+        Body::Struct(fields) => t(
+            "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+             ::std::vec::Vec::new();\n\
+             %pushes%\
+             ::serde::ser::Serializer::serialize_value(serializer, ::serde::Value::Map(__fields))\n",
+            &[("pushes", struct_field_pushes(fields, "&self.").as_str())],
+        ),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for variant in variants {
+                let vname = variant.name.as_str();
+                match &variant.kind {
+                    VariantKind::Unit => arms.push_str(&t(
+                        "%item%::%v% => ::serde::ser::Serializer::serialize_str(serializer, \"%v%\"),\n",
+                        &[("item", name), ("v", vname)],
+                    )),
+                    VariantKind::Tuple(1) => {
+                        let value =
+                            try_custom("::serde::to_value(__f0)", SER_TRAIT);
+                        arms.push_str(&t(
+                            "%item%::%v%(__f0) => {\n\
+                             let __inner = %value%;\n\
+                             ::serde::ser::Serializer::serialize_value(serializer, \
+                             ::serde::Value::Map(::std::vec![(::std::string::String::from(\"%v%\"), __inner)]))\n\
+                             }\n",
+                            &[("item", name), ("v", vname), ("value", value.as_str())],
+                        ));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let binders: Vec<String> =
+                            (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let mut pushes = String::new();
+                        for binder in &binders {
+                            let value = try_custom(
+                                &format!("::serde::to_value({binder})"),
+                                SER_TRAIT,
+                            );
+                            pushes.push_str(&format!("__seq.push({value});\n"));
+                        }
+                        arms.push_str(&t(
+                            "%item%::%v%(%binders%) => {\n\
+                             let mut __seq: ::std::vec::Vec<::serde::Value> = ::std::vec::Vec::new();\n\
+                             %pushes%\
+                             ::serde::ser::Serializer::serialize_value(serializer, \
+                             ::serde::Value::Map(::std::vec![(::std::string::String::from(\"%v%\"), \
+                             ::serde::Value::Seq(__seq))]))\n\
+                             }\n",
+                            &[
+                                ("item", name),
+                                ("v", vname),
+                                ("binders", binders.join(", ").as_str()),
+                                ("pushes", pushes.as_str()),
+                            ],
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binders: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        arms.push_str(&t(
+                            "%item%::%v% { %binders% } => {\n\
+                             let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                             ::std::vec::Vec::new();\n\
+                             %pushes%\
+                             ::serde::ser::Serializer::serialize_value(serializer, \
+                             ::serde::Value::Map(::std::vec![(::std::string::String::from(\"%v%\"), \
+                             ::serde::Value::Map(__fields))]))\n\
+                             }\n",
+                            &[
+                                ("item", name),
+                                ("v", vname),
+                                ("binders", binders.join(", ").as_str()),
+                                ("pushes", struct_field_pushes(fields, "").as_str()),
+                            ],
+                        ));
+                    }
+                }
+            }
+            t("match self {\n%arms%}\n", &[("arms", arms.as_str())])
+        }
+    };
+    t(
+        "#[automatically_derived]\n\
+         impl ::serde::ser::Serialize for %item% {\n\
+         fn serialize<S: ::serde::ser::Serializer>(&self, serializer: S) \
+         -> ::std::result::Result<S::Ok, S::Error> {\n\
+         %body%\
+         }\n}\n",
+        &[("item", name), ("body", body.as_str())],
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = item.name.as_str();
+    let body = match &item.body {
+        Body::Struct(fields) => t(
+            "let __value = ::serde::de::Deserializer::into_value(deserializer)?;\n\
+             let mut __map = %expect%;\n\
+             let _ = &mut __map;\n\
+             ::std::result::Result::Ok(%item% {\n%inits%})\n",
+            &[
+                (
+                    "expect",
+                    try_custom(
+                        &format!("::serde::expect_map(__value, \"{name}\")"),
+                        DE_TRAIT,
+                    )
+                    .as_str(),
+                ),
+                ("item", name),
+                ("inits", struct_field_inits(name, fields).as_str()),
+            ],
+        ),
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for variant in variants {
+                let vname = variant.name.as_str();
+                let label = format!("{name}::{vname}");
+                match &variant.kind {
+                    VariantKind::Unit => unit_arms.push_str(&t(
+                        "\"%v%\" => ::std::result::Result::Ok(%item%::%v%),\n",
+                        &[("item", name), ("v", vname)],
+                    )),
+                    VariantKind::Tuple(1) => {
+                        let convert = try_custom("::serde::from_value(__inner)", DE_TRAIT);
+                        data_arms.push_str(&t(
+                            "\"%v%\" => ::std::result::Result::Ok(%item%::%v%(%convert%)),\n",
+                            &[("item", name), ("v", vname), ("convert", convert.as_str())],
+                        ));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let expect = try_custom(
+                            &format!("::serde::expect_seq(__inner, {arity}, \"{label}\")"),
+                            DE_TRAIT,
+                        );
+                        let elems: Vec<String> = (0..*arity)
+                            .map(|_| {
+                                try_custom(
+                                    "::serde::from_value(__it.next().expect(\"length checked\"))",
+                                    DE_TRAIT,
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&t(
+                            "\"%v%\" => {\n\
+                             let __items = %expect%;\n\
+                             let mut __it = __items.into_iter();\n\
+                             ::std::result::Result::Ok(%item%::%v%(%elems%))\n\
+                             }\n",
+                            &[
+                                ("item", name),
+                                ("v", vname),
+                                ("expect", expect.as_str()),
+                                ("elems", elems.join(", ").as_str()),
+                            ],
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let expect = try_custom(
+                            &format!("::serde::expect_map(__inner, \"{label}\")"),
+                            DE_TRAIT,
+                        );
+                        data_arms.push_str(&t(
+                            "\"%v%\" => {\n\
+                             let mut __map = %expect%;\n\
+                             let _ = &mut __map;\n\
+                             ::std::result::Result::Ok(%item%::%v% {\n%inits%})\n\
+                             }\n",
+                            &[
+                                ("item", name),
+                                ("v", vname),
+                                ("expect", expect.as_str()),
+                                ("inits", struct_field_inits(&label, fields).as_str()),
+                            ],
+                        ));
+                    }
+                }
+            }
+            t(
+                "let __value = ::serde::de::Deserializer::into_value(deserializer)?;\n\
+                 match __value {\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {\n\
+                 %unit_arms%\
+                 __other => ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+                 ::std::format!(\"unknown variant `{}` for %item%\", __other))),\n\
+                 },\n\
+                 ::serde::Value::Map(mut __entries) => {\n\
+                 if __entries.len() != 1 {\n\
+                 return ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+                 \"expected single-key object for enum %item%\"));\n\
+                 }\n\
+                 let (__tag, __inner) = __entries.remove(0);\n\
+                 let _ = &__inner;\n\
+                 match __tag.as_str() {\n\
+                 %data_arms%\
+                 __other => ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+                 ::std::format!(\"unknown variant `{}` for %item%\", __other))),\n\
+                 }\n\
+                 }\n\
+                 _ => ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+                 \"expected string or single-key object for enum %item%\")),\n\
+                 }\n",
+                &[("unit_arms", unit_arms.as_str()), ("data_arms", data_arms.as_str()), ("item", name)],
+            )
+        }
+    };
+    t(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::de::Deserialize<'de> for %item% {\n\
+         fn deserialize<D: ::serde::de::Deserializer<'de>>(deserializer: D) \
+         -> ::std::result::Result<Self, D::Error> {\n\
+         %body%\
+         }\n}\n",
+        &[("item", name), ("body", body.as_str())],
+    )
+}
+
+// ---------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------
+
+/// Derives `serde::Serialize` for the supported item shapes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive shim: generated invalid Serialize tokens")
+}
+
+/// Derives `serde::Deserialize` for the supported item shapes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive shim: generated invalid Deserialize tokens")
+}

@@ -28,6 +28,51 @@ fn different_seeds_differ() {
     assert_ne!(a.0, b.0, "chains should differ across seeds");
 }
 
+/// One number summarising a full detection run: FNV-1a over the
+/// serialized dataset plus the clustering's family names.
+fn pipeline_fingerprint(world: &World, threads: usize) -> u64 {
+    let cfg = SnowballConfig { threads, ..Default::default() };
+    let dataset = build_dataset(&world.chain, &world.labels, &cfg);
+    let clustering = cluster(&world.chain, &world.labels, &dataset);
+    let mut text = serde_json::to_string(&dataset).expect("dataset serialises");
+    for family in &clustering.families {
+        text.push_str(&family.name);
+    }
+    let mut hash = 0xcbf29ce484222325u64;
+    for byte in text.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+#[test]
+fn pipeline_hash_stable_across_thread_counts() {
+    let world = World::build(&WorldConfig::tiny(7)).expect("world");
+    let reference = pipeline_fingerprint(&world, 1);
+    for threads in [1usize, 2, 4, 8, 0] {
+        assert_eq!(
+            pipeline_fingerprint(&world, threads),
+            reference,
+            "pipeline hash drifted at threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn pipeline_hash_stable_across_repeat_runs() {
+    // Fresh world builds and repeated parallel detection runs all land
+    // on the same fingerprint — no schedule leaks into the output.
+    let reference = {
+        let world = World::build(&WorldConfig::tiny(13)).expect("world");
+        pipeline_fingerprint(&world, 0)
+    };
+    for _ in 0..2 {
+        let world = World::build(&WorldConfig::tiny(13)).expect("world");
+        assert_eq!(pipeline_fingerprint(&world, 0), reference);
+    }
+}
+
 #[test]
 fn dataset_is_insensitive_to_detector_rerun() {
     // Re-running detection on the same world is bit-identical (no hidden
