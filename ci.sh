@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI gate: the tier-1 contract (ROADMAP.md) plus the parallel-snowball
-# equivalence suite. Test threads are pinned so the harness schedule is
-# reproducible; the detector's own worker counts are set per-test.
+# and parallel-clustering equivalence suites. Test threads are pinned so
+# the harness schedule is reproducible; the pipeline's own worker counts
+# are set per-test.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -9,9 +10,10 @@ cd "$(dirname "$0")"
 cargo build --release
 cargo test -q
 
-# ---- Sequential-oracle equivalence suite. ----
+# ---- Sequential-oracle equivalence suites. ----
 cargo test -q -p daas-detector --test parallel_equivalence -- --test-threads 4
 cargo test -q -p daas-detector --test snowball_props -- --test-threads 4
+cargo test -q -p daas-cluster --test parallel_equivalence -- --test-threads 4
 cargo test -q --test determinism -- --test-threads 4
 
 # ---- Everything else. ----
@@ -21,8 +23,11 @@ cargo test -q --workspace
 #      CI_FULL_SCALE=0). ----
 if [[ "${CI_FULL_SCALE:-1}" == "1" ]]; then
   cargo test -q --release -p daas-detector --test parallel_equivalence -- --ignored --test-threads 1
+  cargo test -q --release -p daas-cluster --test parallel_equivalence -- --ignored --test-threads 1
 fi
 
-# ---- Throughput tracking: writes BENCH_snowball_parallel.json (see
-#      BENCH_OUT_DIR) with sequential/parallel, cold/warm numbers. ----
+# ---- Throughput tracking: writes BENCH_snowball_parallel.json and
+#      BENCH_cluster_parallel.json (see BENCH_OUT_DIR) with
+#      sequential/parallel numbers. ----
 cargo bench -p daas-bench --bench snowball_parallel
+cargo bench -p daas-bench --bench cluster_parallel

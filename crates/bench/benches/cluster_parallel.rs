@@ -1,0 +1,59 @@
+//! Criterion: sequential-oracle vs parallel family clustering and the
+//! per-family forensics fan-out. Tracks the §7.1 throughput claim:
+//! parallel extract → merge → fan-out must beat the oracle on
+//! multi-core hosts while producing byte-identical clusterings
+//! (`crates/daas-cluster/tests/parallel_equivalence.rs`).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use daas_cluster::{cluster_with, family_forensics, ClusterConfig};
+use daas_detector::{build_dataset, SnowballConfig};
+use daas_world::{collection_end, World, WorldConfig};
+
+fn bench_cluster_parallel(c: &mut Criterion) {
+    let world = World::build(&WorldConfig::small(7)).expect("world");
+    let dataset = build_dataset(&world.chain, &world.labels, &SnowballConfig::default());
+    let operators = dataset.operators.len() as u64;
+
+    let mut group = c.benchmark_group("cluster_parallel");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(operators));
+    group.bench_function("sequential", |b| {
+        b.iter(|| cluster_with(&world.chain, &world.labels, &dataset, &ClusterConfig::sequential()))
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| cluster_with(&world.chain, &world.labels, &dataset, &ClusterConfig::default()))
+    });
+
+    let clustering = cluster_with(&world.chain, &world.labels, &dataset, &ClusterConfig::default());
+    let as_of = collection_end();
+    group.bench_function("forensics_sequential", |b| {
+        b.iter(|| {
+            family_forensics(
+                &world.chain,
+                &dataset,
+                &clustering,
+                5,
+                30 * 86_400,
+                as_of,
+                &ClusterConfig::sequential(),
+            )
+        })
+    });
+    group.bench_function("forensics_parallel", |b| {
+        b.iter(|| {
+            family_forensics(
+                &world.chain,
+                &dataset,
+                &clustering,
+                5,
+                30 * 86_400,
+                as_of,
+                &ClusterConfig::default(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster_parallel);
+criterion_main!(benches);

@@ -21,6 +21,14 @@ pub fn snowball_config() -> daas_detector::SnowballConfig {
     daas_detector::SnowballConfig { threads, ..Default::default() }
 }
 
+/// The standard clustering configuration, honouring `DAAS_THREADS`
+/// like [`snowball_config`]. The clustering is byte-identical at every
+/// setting.
+pub fn cluster_config() -> daas_cluster::ClusterConfig {
+    let threads = std::env::var("DAAS_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(0);
+    daas_cluster::ClusterConfig { threads }
+}
+
 /// Builds the standard pipeline at the env-configured seed/scale.
 pub fn standard_pipeline() -> daas_cli::Pipeline {
     let (seed, scale) = env_config();

@@ -9,6 +9,7 @@ use crate::account::{AccountKind, ContractKind, ProfitSharingSpec};
 use crate::asset::{Asset, TokenKind, TokenMeta};
 use crate::block::{block_number_at, BlockHeader, Timestamp, GENESIS_TIMESTAMP};
 use crate::error::ChainError;
+use crate::shard::{ChainReader, ShardedHistories};
 use crate::tx::{Approval, CallInfo, Transaction, Transfer, TxId};
 
 /// Per-account ledger record.
@@ -55,7 +56,7 @@ pub struct Chain {
     nft_owners: HashMap<(Address, u64), Address>,
     #[serde(with = "entry_set")]
     nft_operators: HashSet<(Address, Address, Address)>,
-    history: HashMap<Address, Vec<TxId>>,
+    history: ShardedHistories,
 }
 
 /// Serialises a tuple-keyed map as a sorted `Vec<(K, V)>`.
@@ -298,7 +299,29 @@ impl Chain {
     /// "historical transactions of the account" the snowball sampler
     /// walks (§5.1).
     pub fn txs_of(&self, address: Address) -> &[TxId] {
-        self.history.get(&address).map(Vec::as_slice).unwrap_or(&[])
+        self.history.txs_of(address)
+    }
+
+    /// A copyable, `Sync` read-only view over the tx arena and the
+    /// sharded history index — the cheap handle worker threads take
+    /// instead of borrowing the whole chain.
+    pub fn reader(&self) -> ChainReader<'_> {
+        ChainReader::new(&self.txs, &self.history)
+    }
+
+    /// An owned (`Arc`-backed) snapshot of the sharded history index.
+    /// Cloning is one `Arc` bump per shard; later chain mutations are
+    /// invisible to the snapshot (copy-on-write).
+    pub fn history_view(&self) -> ShardedHistories {
+        self.history.clone()
+    }
+
+    /// Rebuilds the history index with a different (power-of-two) shard
+    /// count. Data — and the serialized artifact — are unchanged; only
+    /// the memory layout moves. Used by the shard-count equivalence
+    /// suite.
+    pub fn set_history_shards(&mut self, shards: usize) {
+        self.history = self.history.resharded(shards);
     }
 
     /// Looks up a transaction by id.
@@ -894,7 +917,7 @@ impl Chain {
             created,
         };
         for address in tx.touched_addresses() {
-            self.history.entry(address).or_default().push(id);
+            self.history.push(address, id);
         }
         self.txs.push(tx);
         id

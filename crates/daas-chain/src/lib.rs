@@ -32,6 +32,8 @@ mod block;
 mod chain;
 mod error;
 mod labels;
+mod memo;
+mod shard;
 mod tx;
 
 pub use account::{AccountKind, ContractKind, EntryStyle, ProfitSharingSpec};
@@ -43,4 +45,6 @@ pub use block::{
 pub use chain::{Chain, ChainStats};
 pub use error::ChainError;
 pub use labels::{Label, LabelCategory, LabelSource, LabelStore};
+pub use memo::{ShardKey, ShardedMemo};
+pub use shard::{shard_index, ChainReader, ShardedHistories, DEFAULT_SHARDS};
 pub use tx::{Approval, CallInfo, Transaction, Transfer, TxId};

@@ -1,0 +1,186 @@
+//! A sharded concurrent memo table for pure-function results.
+//!
+//! This is the pattern the detector's `ClassificationCache` established
+//! in PR 1, lifted into the chain crate so every downstream consumer
+//! (classification, per-account feature extraction, family forensics)
+//! shares one implementation and one shard-count constant
+//! ([`DEFAULT_SHARDS`](crate::shard::DEFAULT_SHARDS)) with the chain
+//! store itself.
+//!
+//! Correctness argument (same as PR 1): the memo only ever stores the
+//! result of a *pure* function of its key (plus immutable context), so
+//! the table's contents are independent of which worker computed an
+//! entry first or in what order — parallel fills can never change what
+//! any later read observes.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use eth_types::Address;
+use parking_lot::RwLock;
+
+use crate::shard::{shard_index, DEFAULT_SHARDS};
+use crate::tx::TxId;
+
+/// Keys that know which shard they live in. The mapping must be
+/// deterministic across runs (no `RandomState`).
+pub trait ShardKey {
+    /// Shard index for this key among `mask + 1` (power-of-two) shards.
+    fn shard(&self, mask: usize) -> usize;
+}
+
+impl ShardKey for TxId {
+    #[inline]
+    fn shard(&self, mask: usize) -> usize {
+        *self as usize & mask
+    }
+}
+
+impl ShardKey for Address {
+    #[inline]
+    fn shard(&self, mask: usize) -> usize {
+        shard_index(*self, mask)
+    }
+}
+
+/// A sharded `RwLock<HashMap>` memo. `Sync` whenever `K`/`V` are
+/// `Send + Sync`; readers on different shards never contend.
+#[derive(Debug)]
+pub struct ShardedMemo<K, V> {
+    mask: usize,
+    shards: Vec<RwLock<HashMap<K, V>>>,
+}
+
+impl<K: ShardKey + Hash + Eq, V: Clone> Default for ShardedMemo<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: ShardKey + Hash + Eq, V: Clone> ShardedMemo<K, V> {
+    /// An empty memo with [`DEFAULT_SHARDS`] shards.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// An empty memo with `shards` shards. Must be a power of two
+    /// (debug-asserted; release builds round down to one).
+    pub fn with_shards(shards: usize) -> Self {
+        debug_assert!(
+            shards.is_power_of_two(),
+            "shard count must be a power of two, got {shards}"
+        );
+        let n = if shards.is_power_of_two() { shards } else { 1 };
+        ShardedMemo {
+            mask: n - 1,
+            shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    #[inline]
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, V>> {
+        &self.shards[key.shard(self.mask)]
+    }
+
+    /// Returns the memoised value for `key`, computing and storing it
+    /// via `compute` on a miss. `compute` must be a pure function of
+    /// `key` (and immutable captured context).
+    pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        let shard = self.shard(&key);
+        if let Some(v) = shard.read().get(&key) {
+            return v.clone();
+        }
+        let v = compute();
+        // A racing worker may have filled the slot between our read and
+        // write; both computed the same pure function, so either value
+        // is correct — keep the first.
+        shard.write().entry(key).or_insert_with(|| v.clone());
+        v
+    }
+
+    /// Returns the memoised value without computing on a miss.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard(key).read().get(key).cloned()
+    }
+
+    /// Whether `key` has been memoised.
+    pub fn contains(&self, key: &K) -> bool {
+        self.shard(key).read().contains_key(key)
+    }
+
+    /// Total number of memoised entries.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether the memo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (keeps the shard layout).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memoises_and_counts() {
+        let memo: ShardedMemo<TxId, u64> = ShardedMemo::new();
+        let mut calls = 0u32;
+        let v = memo.get_or_compute(7, || {
+            calls += 1;
+            70
+        });
+        assert_eq!(v, 70);
+        let v = memo.get_or_compute(7, || {
+            calls += 1;
+            99
+        });
+        assert_eq!(v, 70, "second call must hit the memo");
+        assert_eq!(calls, 1);
+        assert_eq!(memo.len(), 1);
+        assert!(memo.contains(&7));
+        assert_eq!(memo.get(&7), Some(70));
+        memo.clear();
+        assert!(memo.is_empty());
+    }
+
+    #[test]
+    fn configurable_shard_count() {
+        for shards in [1, 2, 8, 64] {
+            let memo: ShardedMemo<TxId, ()> = ShardedMemo::with_shards(shards);
+            assert_eq!(memo.shard_count(), shards);
+            for id in 0..100 {
+                memo.get_or_compute(id, || ());
+            }
+            assert_eq!(memo.len(), 100);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    #[cfg(debug_assertions)]
+    fn non_power_of_two_asserts() {
+        let _: ShardedMemo<TxId, ()> = ShardedMemo::with_shards(6);
+    }
+
+    #[test]
+    fn address_keys_shard_deterministically() {
+        let memo: ShardedMemo<Address, u8> = ShardedMemo::with_shards(4);
+        let a = Address([9; 20]);
+        memo.get_or_compute(a, || 1);
+        assert_eq!(memo.get(&a), Some(1));
+    }
+}

@@ -1,0 +1,261 @@
+//! Sharded account-history index and the cheap read-only chain view.
+//!
+//! The snowball sampler, the family clusterer, and the measurement
+//! analytics are all read-mostly walks over two structures: the tx arena
+//! (`Vec<Transaction>`, indexed by [`TxId`]) and the per-account history
+//! index. A single flat `HashMap<Address, Vec<TxId>>` serves every worker
+//! from one allocation, so multi-socket hosts bottleneck on shared cache
+//! lines. [`ShardedHistories`] splits the index into N power-of-two
+//! shards keyed by a deterministic address hash; each shard lives behind
+//! its own `Arc`, so a clone of the whole index is N pointer bumps and
+//! workers can hold an owned, `Sync` view without borrowing the chain.
+//!
+//! Serialization is **byte-identical** to the old flat map: the serde
+//! shim emits `HashMap` entries sorted by serialized key, and addresses
+//! serialize as lowercase `0x…` hex (string order == byte order), so
+//! flattening the shards back into one map at serialize time reproduces
+//! the released chain artifact exactly. The shard count is a memory
+//! layout, not data — it is never serialized.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use eth_types::Address;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+use crate::tx::{Transaction, TxId};
+
+/// Default shard count for the account-history index *and* the sharded
+/// memo caches built on [`shard_index`] (e.g. the detector's
+/// classification cache). One constant so the chain store and the caches
+/// stay aligned; must be a power of two.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Deterministic shard index for `address` among `2^k = mask + 1` shards.
+///
+/// Uses the low 8 bytes of the address as a little-endian integer — the
+/// generator derives addresses from keccak, so the low bytes are already
+/// uniform. Crucially this is *not* `std::collections::hash_map`'s
+/// `RandomState`: shard placement must be reproducible across runs so
+/// that per-shard iteration order (and therefore any worker chunking
+/// keyed on it) is deterministic.
+#[inline]
+pub fn shard_index(address: Address, mask: usize) -> usize {
+    let b = address.as_bytes();
+    let mut lo = [0u8; 8];
+    lo.copy_from_slice(&b[12..20]);
+    (u64::from_le_bytes(lo) as usize) & mask
+}
+
+/// The account-history index, split into power-of-two `Arc`-backed
+/// shards. Cloning is cheap (one `Arc` bump per shard); mutation goes
+/// through copy-on-write (`Arc::make_mut`), so a clone taken by a worker
+/// pool is a stable snapshot.
+#[derive(Debug, Clone)]
+pub struct ShardedHistories {
+    mask: usize,
+    shards: Vec<Arc<HashMap<Address, Vec<TxId>>>>,
+}
+
+impl Default for ShardedHistories {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShardedHistories {
+    /// An empty index with [`DEFAULT_SHARDS`] shards.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// An empty index with `shards` shards. `shards` must be a power of
+    /// two (debug-asserted; release builds round down to one).
+    pub fn with_shards(shards: usize) -> Self {
+        debug_assert!(
+            shards.is_power_of_two(),
+            "shard count must be a power of two, got {shards}"
+        );
+        let n = if shards.is_power_of_two() { shards } else { 1 };
+        ShardedHistories {
+            mask: n - 1,
+            shards: (0..n).map(|_| Arc::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Transaction ids touching `address`, in chain order.
+    pub fn txs_of(&self, address: Address) -> &[TxId] {
+        self.shards[shard_index(address, self.mask)]
+            .get(&address)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Appends `id` to `address`'s history (copy-on-write if the shard is
+    /// shared with an outstanding clone).
+    pub fn push(&mut self, address: Address, id: TxId) {
+        let shard = &mut self.shards[shard_index(address, self.mask)];
+        Arc::make_mut(shard).entry(address).or_default().push(id);
+    }
+
+    /// Total number of accounts with at least one history entry.
+    pub fn accounts(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Iterates every `(address, history)` entry across all shards, in
+    /// shard order then shard-internal (unspecified) order. Callers that
+    /// need determinism must sort.
+    pub fn iter(&self) -> impl Iterator<Item = (&Address, &Vec<TxId>)> {
+        self.shards.iter().flat_map(|s| s.iter())
+    }
+
+    /// Rebuilds the same index with a different shard count. Data is
+    /// unchanged — only the memory layout moves.
+    pub fn resharded(&self, shards: usize) -> Self {
+        let mut out = Self::with_shards(shards);
+        for (&addr, ids) in self.iter() {
+            let shard = &mut out.shards[shard_index(addr, out.mask)];
+            Arc::make_mut(shard).insert(addr, ids.clone());
+        }
+        out
+    }
+
+    /// Flattens the shards into one map — the serialization (and
+    /// equality) representation.
+    fn flat(&self) -> HashMap<&Address, &Vec<TxId>> {
+        self.iter().collect()
+    }
+}
+
+impl PartialEq for ShardedHistories {
+    fn eq(&self, other: &Self) -> bool {
+        // Shard count is layout, not data.
+        self.flat() == other.flat()
+    }
+}
+
+impl Serialize for ShardedHistories {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // Delegate to the flat HashMap impl: the shim sorts entries by
+        // serialized key, so the artifact is identical to the pre-shard
+        // flat index.
+        self.flat().serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for ShardedHistories {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let flat = HashMap::<Address, Vec<TxId>>::deserialize(deserializer)?;
+        let mut out = Self::new();
+        for (addr, ids) in flat {
+            let shard = &mut out.shards[shard_index(addr, out.mask)];
+            Arc::make_mut(shard).insert(addr, ids);
+        }
+        Ok(out)
+    }
+}
+
+/// A copyable, `Sync` read-only view over the chain's two hot read
+/// paths: the tx arena and the sharded history index. Workers take a
+/// `ChainReader` by value instead of borrowing the whole [`Chain`],
+/// so the pool never contends on (or extends) the chain borrow.
+#[derive(Debug, Clone, Copy)]
+pub struct ChainReader<'a> {
+    txs: &'a [Transaction],
+    histories: &'a ShardedHistories,
+}
+
+impl<'a> ChainReader<'a> {
+    pub(crate) fn new(txs: &'a [Transaction], histories: &'a ShardedHistories) -> Self {
+        ChainReader { txs, histories }
+    }
+
+    /// Looks up a transaction by id.
+    pub fn tx(&self, id: TxId) -> &'a Transaction {
+        &self.txs[id as usize]
+    }
+
+    /// All transactions, in chain order.
+    pub fn transactions(&self) -> &'a [Transaction] {
+        self.txs
+    }
+
+    /// Transaction ids touching `address`, in chain order.
+    pub fn txs_of(&self, address: Address) -> &'a [TxId] {
+        self.histories.txs_of(address)
+    }
+
+    /// The underlying sharded history index.
+    pub fn histories(&self) -> &'a ShardedHistories {
+        self.histories
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(n: u8) -> Address {
+        Address([n; 20])
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let mut h = ShardedHistories::new();
+        h.push(addr(1), 10);
+        h.push(addr(1), 11);
+        h.push(addr(2), 12);
+        assert_eq!(h.txs_of(addr(1)), &[10, 11]);
+        assert_eq!(h.txs_of(addr(2)), &[12]);
+        assert_eq!(h.txs_of(addr(3)), &[] as &[TxId]);
+        assert_eq!(h.accounts(), 2);
+    }
+
+    #[test]
+    fn clone_is_snapshot() {
+        let mut h = ShardedHistories::new();
+        h.push(addr(1), 10);
+        let snap = h.clone();
+        h.push(addr(1), 11);
+        assert_eq!(snap.txs_of(addr(1)), &[10]);
+        assert_eq!(h.txs_of(addr(1)), &[10, 11]);
+    }
+
+    #[test]
+    fn reshard_preserves_data_and_eq() {
+        let mut h = ShardedHistories::new();
+        for n in 0..64u8 {
+            h.push(addr(n), n as TxId);
+            h.push(addr(n), 100 + n as TxId);
+        }
+        for shards in [1, 4, 16, 64] {
+            let r = h.resharded(shards);
+            assert_eq!(r.shard_count(), shards);
+            assert_eq!(r, h);
+            for n in 0..64u8 {
+                assert_eq!(r.txs_of(addr(n)), h.txs_of(addr(n)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    #[cfg(debug_assertions)]
+    fn non_power_of_two_asserts() {
+        let _ = ShardedHistories::with_shards(12);
+    }
+
+    #[test]
+    fn shard_index_in_range() {
+        for n in 0..255u8 {
+            assert!(shard_index(addr(n), DEFAULT_SHARDS - 1) < DEFAULT_SHARDS);
+            assert_eq!(shard_index(addr(n), 0), 0);
+        }
+    }
+}

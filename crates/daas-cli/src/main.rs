@@ -6,8 +6,10 @@
 //!
 //!   --seed N     RNG seed (default 42)
 //!   --scale F    world scale, 1.0 = paper scale (default 0.1)
-//!   --threads N  snowball worker threads, 0 = all cores (default 0);
-//!                the dataset is byte-identical at every setting
+//!   --threads N  worker threads for snowball sampling, family
+//!                clustering and the forensics fan-out, 0 = all cores
+//!                (default 0); the dataset and the clustering are
+//!                byte-identical at every setting
 //!   --exp NAME   one of: table1 table2 table3 table4 fig4 fig6 fig7
 //!                ratios scale lifecycles community validation all
 //!                (default: all)

@@ -2,7 +2,8 @@
 
 use std::time::{Duration, Instant};
 
-use daas_cluster::{cluster, Clustering};
+use daas_chain::Timestamp;
+use daas_cluster::{cluster_with, ClusterConfig, Clustering, FamilyForensics};
 use daas_detector::{build_dataset, Dataset, SnowballConfig};
 use daas_world::{World, WorldConfig};
 
@@ -14,6 +15,9 @@ pub struct Pipeline {
     pub dataset: Dataset,
     /// The family clustering.
     pub clustering: Clustering,
+    /// Worker threads the pipeline was built with (0 = all cores) —
+    /// renderers reuse it for the forensics fan-out.
+    pub threads: usize,
     /// Wall-clock cost of each stage: (world, snowball, clustering).
     pub timings: (Duration, Duration, Duration),
 }
@@ -23,21 +27,38 @@ impl Pipeline {
     pub fn measure(&self) -> daas_measure::MeasureCtx<'_> {
         daas_measure::MeasureCtx::new(&self.world.chain, &self.dataset, &self.world.oracle)
     }
+
+    /// Per-family profile + lifecycle rows, fanned across the worker
+    /// pool with the pipeline's thread setting.
+    pub fn forensics(&self, min_txs: usize, inactive_secs: u64, as_of: Timestamp) -> FamilyForensics {
+        daas_cluster::family_forensics(
+            &self.world.chain,
+            &self.dataset,
+            &self.clustering,
+            min_txs,
+            inactive_secs,
+            as_of,
+            &ClusterConfig { threads: self.threads },
+        )
+    }
 }
 
-/// Runs world generation, snowball sampling and clustering.
+/// Runs world generation, snowball sampling and clustering. The snowball
+/// `threads` knob drives the clustering worker pool too.
 pub fn run_pipeline(config: &WorldConfig, snowball: &SnowballConfig) -> Result<Pipeline, String> {
     let t0 = Instant::now();
     let world = World::build(config)?;
     let t1 = Instant::now();
     let dataset = build_dataset(&world.chain, &world.labels, snowball);
     let t2 = Instant::now();
-    let clustering = cluster(&world.chain, &world.labels, &dataset);
+    let cluster_cfg = ClusterConfig { threads: snowball.threads };
+    let clustering = cluster_with(&world.chain, &world.labels, &dataset, &cluster_cfg);
     let t3 = Instant::now();
     Ok(Pipeline {
         world,
         dataset,
         clustering,
+        threads: snowball.threads,
         timings: (t1 - t0, t2 - t1, t3 - t2),
     })
 }

@@ -2,7 +2,8 @@
 //! columns.
 
 use daas_chain::format_date;
-use daas_cluster::{contract_profile, primary_lifecycles};
+use daas_cluster::{contract_profile_with, FamilyForensics};
+use daas_detector::FeatureCache;
 use daas_measure::{dominant_share, family_table, ratio_histogram};
 use daas_world::collection_end;
 
@@ -181,14 +182,16 @@ pub fn render_table2(p: &Pipeline, scale: f64) -> String {
     )
 }
 
-/// Table 3: phishing functions of the dominant families.
+/// Table 3: phishing functions of the dominant families. One shared
+/// feature cache indexes the observations once for every family row.
 pub fn render_table3(p: &Pipeline) -> String {
+    let features = FeatureCache::new(&p.world.chain, &p.dataset);
     let mut t = Table::new(vec!["Family", "ETH entry (measured)", "ETH entry (paper)", "Tokens (both)"]);
     for (name, paper_eth, paper_tok) in paper::TABLE3 {
         let measured = p
             .clustering
             .by_name(name)
-            .map(|fam| contract_profile(&p.world.chain, &p.dataset, fam))
+            .map(|fam| contract_profile_with(&p.world.chain, fam, &features))
             .and_then(|prof| prof.eth_entry)
             .unwrap_or_else(|| "<family not found>".into());
         t.row(vec![name.to_owned(), measured, paper_eth.to_owned(), paper_tok.to_owned()]);
@@ -397,19 +400,13 @@ pub fn render_scale_stats(p: &Pipeline, scale: f64) -> String {
     format!("§6 — Scale of DaaS\n{}", t.render())
 }
 
-/// §7.2: primary-contract lifecycles.
+/// §7.2: primary-contract lifecycles, extracted for every family at
+/// once via the forensics fan-out.
 pub fn render_lifecycles(p: &Pipeline, min_txs: usize) -> String {
+    let forensics: FamilyForensics = p.forensics(min_txs, 30 * 86_400, collection_end());
     let mut t = Table::new(vec!["Family", "Primary contracts", "Mean lifecycle (measured)", "Paper"]);
     for (name, target) in paper::LIFECYCLES {
-        let Some(fam) = p.clustering.by_name(name) else { continue };
-        let stats = primary_lifecycles(
-            &p.world.chain,
-            &p.dataset,
-            fam,
-            min_txs,
-            30 * 86_400,
-            collection_end(),
-        );
+        let Some((_, stats)) = forensics.by_name(name) else { continue };
         t.row(vec![
             name.to_owned(),
             stats.contracts.len().to_string(),

@@ -12,14 +12,23 @@
 //! phishing-function style from observed call metadata (Table 3), and
 //! [`primary_lifecycles`] measures the rotation cadence of primary
 //! contracts (>100 transactions, retired for over a month).
+//! [`family_forensics`] extracts both for every family at once, fanned
+//! across the worker pool over a shared feature cache.
+//!
+//! Clustering runs extract → merge → fan-out phases on the sharded
+//! chain reader ([`cluster_with`], [`ClusterConfig`]); the output is
+//! byte-identical at any thread count and any chain shard count — see
+//! `tests/parallel_equivalence.rs`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod families;
+mod forensics;
 mod lifecycle;
 mod profile;
 
-pub use families::{cluster, Clustering, Family};
-pub use lifecycle::{primary_lifecycles, LifecycleStats};
-pub use profile::{contract_profile, ContractProfile};
+pub use families::{cluster, cluster_with, ClusterConfig, Clustering, Family};
+pub use forensics::{family_forensics, FamilyForensics};
+pub use lifecycle::{primary_lifecycles, primary_lifecycles_with, LifecycleStats};
+pub use profile::{contract_profile, contract_profile_with, ContractProfile};

@@ -2,7 +2,7 @@
 //! primary profit-sharing contracts.
 
 use daas_chain::{Chain, Timestamp};
-use daas_detector::Dataset;
+use daas_detector::{Dataset, FeatureCache};
 use eth_types::Address;
 use serde::{Deserialize, Serialize};
 
@@ -33,17 +33,24 @@ pub fn primary_lifecycles(
     inactive_secs: u64,
     as_of: Timestamp,
 ) -> LifecycleStats {
+    primary_lifecycles_with(family, min_txs, inactive_secs, as_of, &FeatureCache::new(chain, dataset))
+}
+
+/// [`primary_lifecycles`] over a shared [`FeatureCache`]: the
+/// per-contract observation span is an `O(1)` aggregate lookup instead
+/// of a filter over the whole observation list per contract.
+pub fn primary_lifecycles_with(
+    family: &Family,
+    min_txs: usize,
+    inactive_secs: u64,
+    as_of: Timestamp,
+    features: &FeatureCache<'_>,
+) -> LifecycleStats {
     let mut contracts = Vec::new();
     for &contract in &family.contracts {
-        let mut first: Option<Timestamp> = None;
-        let mut last: Option<Timestamp> = None;
-        let mut count = 0usize;
-        for obs in dataset.observations_of(contract) {
-            count += 1;
-            first = Some(first.map_or(obs.timestamp, |f: Timestamp| f.min(obs.timestamp)));
-            last = Some(last.map_or(obs.timestamp, |l: Timestamp| l.max(obs.timestamp)));
-        }
-        let (Some(first), Some(last)) = (first, last) else { continue };
+        let Some((count, first, last)) = features.contract_observation_span(contract) else {
+            continue;
+        };
         if count <= min_txs {
             continue;
         }
@@ -57,7 +64,6 @@ pub fn primary_lifecycles(
     } else {
         contracts.iter().map(|(_, d)| d).sum::<f64>() / contracts.len() as f64
     };
-    let _ = chain;
     LifecycleStats { family: family.name.clone(), contracts, mean_days }
 }
 

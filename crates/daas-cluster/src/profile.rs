@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 
 use daas_chain::{Asset, Chain};
-use daas_detector::Dataset;
+use daas_detector::{Dataset, FeatureCache};
 use serde::{Deserialize, Serialize};
 
 use crate::families::Family;
@@ -29,7 +29,21 @@ pub struct ContractProfile {
 }
 
 /// Builds the Table 3 row for one family from its observed transactions.
+/// Thin wrapper over [`contract_profile_with`] with a throwaway
+/// [`FeatureCache`]; batch callers (Table 3, the forensics fan-out)
+/// should share one cache across families instead.
 pub fn contract_profile(chain: &Chain, dataset: &Dataset, family: &Family) -> ContractProfile {
+    contract_profile_with(chain, family, &FeatureCache::new(chain, dataset))
+}
+
+/// Builds the Table 3 row for one family, resolving observations through
+/// the shared [`FeatureCache`] index (`O(1)` per transaction instead of
+/// a linear probe of the observation list).
+pub fn contract_profile_with(
+    chain: &Chain,
+    family: &Family,
+    features: &FeatureCache<'_>,
+) -> ContractProfile {
     // Majority vote over ETH-deposit transactions (value > 0): these are
     // the victim-facing payable entries. NFT liquidation payouts carry
     // no deposit and are excluded.
@@ -37,7 +51,7 @@ pub fn contract_profile(chain: &Chain, dataset: &Dataset, family: &Family) -> Co
     let mut saw_multicall = false;
     for &txid in &family.ps_txs {
         let tx = chain.tx(txid);
-        let Some(obs) = dataset.observations.iter().find(|o| o.tx == txid) else { continue };
+        let Some(obs) = features.observation(txid) else { continue };
         match obs.asset {
             Asset::Eth if !tx.value.is_zero() => {
                 *eth_names.entry(tx.call.function.clone()).or_default() += 1;

@@ -4,29 +4,26 @@
 //! classifier settings, yet batch snowball sampling, step-2
 //! re-qualification and the online detector all classify the same
 //! transactions repeatedly. [`ClassificationCache`] memoises the
-//! verdict — including negative verdicts — keyed by transaction id,
-//! sharded so parallel expansion workers do not serialise on a single
-//! lock.
+//! verdict — including negative verdicts — keyed by transaction id, on
+//! a [`ShardedMemo`] so parallel expansion workers do not serialise on
+//! a single lock. The shard count defaults to the chain store's
+//! [`DEFAULT_SHARDS`] and is configurable for workloads with many more
+//! (or fewer) workers.
 //!
 //! A cache is valid for exactly one [`ClassifierConfig`]; callers that
 //! sweep classifier settings (the ablation harness) must use a fresh
 //! cache per configuration.
 
-use std::collections::HashMap;
 use std::fmt;
 
-use daas_chain::{Chain, TxId};
+use daas_chain::{Chain, ShardedMemo, TxId};
 use eth_types::Address;
-use parking_lot::RwLock;
 
 use crate::classify::{classify_tx, ClassifierConfig, PsObservation};
 
-/// Shard count; a power of two so the shard index is a mask.
-const SHARDS: usize = 16;
-
 /// Concurrent memo table for [`classify_tx`] verdicts.
 pub struct ClassificationCache {
-    shards: Vec<RwLock<HashMap<TxId, Option<PsObservation>>>>,
+    memo: ShardedMemo<TxId, Option<PsObservation>>,
 }
 
 impl Default for ClassificationCache {
@@ -42,15 +39,20 @@ impl fmt::Debug for ClassificationCache {
 }
 
 impl ClassificationCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with [`daas_chain::DEFAULT_SHARDS`] shards.
     pub fn new() -> Self {
-        ClassificationCache {
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
-        }
+        ClassificationCache { memo: ShardedMemo::new() }
     }
 
-    fn shard(&self, txid: TxId) -> &RwLock<HashMap<TxId, Option<PsObservation>>> {
-        &self.shards[txid as usize & (SHARDS - 1)]
+    /// Creates an empty cache with `shards` shards. Must be a power of
+    /// two (debug-asserted).
+    pub fn with_shards(shards: usize) -> Self {
+        ClassificationCache { memo: ShardedMemo::with_shards(shards) }
+    }
+
+    /// Number of shards the cache is split into.
+    pub fn shard_count(&self) -> usize {
+        self.memo.shard_count()
     }
 
     /// Classifies `txid` through the cache: returns the memoised
@@ -61,36 +63,28 @@ impl ClassificationCache {
         txid: TxId,
         cfg: &ClassifierConfig,
     ) -> Option<PsObservation> {
-        let shard = self.shard(txid);
-        if let Some(hit) = shard.read().get(&txid) {
-            return hit.clone();
-        }
-        let verdict = classify_tx(chain.tx(txid), cfg);
-        shard.write().insert(txid, verdict.clone());
-        verdict
+        self.memo.get_or_compute(txid, || classify_tx(chain.tx(txid), cfg))
     }
 
     /// Whether a verdict for `txid` is already cached.
     pub fn contains(&self, txid: TxId) -> bool {
-        self.shard(txid).read().contains_key(&txid)
+        self.memo.contains(&txid)
     }
 
     /// Number of cached verdicts (positive and negative).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
+        self.memo.len()
     }
 
     /// Whether the cache holds no verdicts.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.memo.is_empty()
     }
 
     /// Drops every cached verdict (e.g. before reusing the allocation
     /// with a different [`ClassifierConfig`]).
     pub fn clear(&self) {
-        for shard in &self.shards {
-            shard.write().clear();
-        }
+        self.memo.clear();
     }
 
     /// Warms the cache with every transaction in the given accounts'
@@ -112,8 +106,9 @@ impl ClassificationCache {
         if threads <= 1 || accounts.is_empty() {
             return;
         }
+        let reader = chain.reader();
         let mut txids: Vec<TxId> =
-            accounts.iter().flat_map(|&a| chain.txs_of(a).iter().copied()).collect();
+            accounts.iter().flat_map(|&a| reader.txs_of(a).iter().copied()).collect();
         txids.sort_unstable();
         txids.dedup();
         txids.retain(|&id| !self.contains(id));
@@ -145,12 +140,14 @@ mod tests {
         assert!(cache.is_empty());
         assert_eq!(cache.len(), 0);
         assert!(!cache.contains(0));
+        assert_eq!(cache.shard_count(), daas_chain::DEFAULT_SHARDS);
     }
 
     #[test]
     fn clear_resets_shards() {
-        let cache = ClassificationCache::new();
-        cache.shard(3).write().insert(3, None);
+        let cache = ClassificationCache::with_shards(4);
+        assert_eq!(cache.shard_count(), 4);
+        cache.memo.get_or_compute(3, || None);
         assert_eq!(cache.len(), 1);
         assert!(cache.contains(3));
         cache.clear();

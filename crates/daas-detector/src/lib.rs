@@ -25,11 +25,13 @@ mod cache;
 mod classify;
 mod dataset;
 mod evaluate;
+mod features;
 pub mod online;
 mod snowball;
 
 pub use cache::ClassificationCache;
 pub use classify::{classify_tx, ClassifierConfig, PsObservation, DEFAULT_RATIOS_BPS};
+pub use features::{AccountFeatures, FeatureCache};
 pub use dataset::{Dataset, DatasetCounts};
 pub use evaluate::{evaluate, validation_sample, ClassScores, Evaluation, ValidationSample};
 pub use online::{Admission, DetectorEvent, OnlineDetector};

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use daas_chain::{Asset, Chain, Timestamp, TxId};
-use daas_detector::Dataset;
+use daas_detector::{Dataset, FeatureCache};
 use daas_pricing::Oracle;
 use eth_types::Address;
 use serde::{Deserialize, Serialize};
@@ -44,6 +44,7 @@ pub struct MeasureCtx<'a> {
     /// The price oracle.
     pub oracle: &'a Oracle,
     incidents: Vec<MeasuredIncident>,
+    features: FeatureCache<'a>,
 }
 
 impl<'a> MeasureCtx<'a> {
@@ -78,12 +79,29 @@ impl<'a> MeasureCtx<'a> {
                 affiliate_usd,
             });
         }
-        MeasureCtx { chain, dataset, oracle, incidents }
+        MeasureCtx { chain, dataset, oracle, incidents, features: FeatureCache::new(chain, dataset) }
     }
 
     /// The attributed incidents, in dataset order.
     pub fn incidents(&self) -> &[MeasuredIncident] {
         &self.incidents
+    }
+
+    /// The shared per-account feature extractor (memoised, `Sync`).
+    pub fn features(&self) -> &FeatureCache<'a> {
+        &self.features
+    }
+
+    /// Warms the feature memo for every victim and operator across
+    /// `threads` workers (no-op when `threads <= 1`) — the reports then
+    /// read memoised features instead of walking histories inline.
+    pub fn prewarm_features(&self, threads: usize) {
+        if threads <= 1 {
+            return;
+        }
+        let mut accounts = self.victims();
+        accounts.extend(self.dataset.operators.iter().copied());
+        self.features.prewarm(&accounts, threads);
     }
 
     /// Distinct victim accounts.

@@ -82,13 +82,11 @@ impl<'a> MeasureCtx<'a> {
     pub fn operator_lifecycles(&self, inactive_secs: u64, as_of: Timestamp) -> OperatorLifecycles {
         let mut lifecycle_days = Vec::new();
         for &op in self.dataset.operators.iter() {
-            let history = self.chain.txs_of(op);
-            let (Some(&first), Some(&last)) = (history.first(), history.last()) else { continue };
-            let last_ts = self.chain.tx(last).timestamp;
+            let f = self.features().features(op);
+            let (Some(first_ts), Some(last_ts)) = (f.first_tx_ts, f.last_tx_ts) else { continue };
             if as_of.saturating_sub(last_ts) <= inactive_secs {
                 continue; // still active
             }
-            let first_ts = self.chain.tx(first).timestamp;
             lifecycle_days.push(days_between(first_ts, last_ts) as f64);
         }
         lifecycle_days.sort_by(|a, b| a.partial_cmp(b).expect("finite"));

@@ -1,6 +1,6 @@
 //! Victim-side measurements: Figure 6 and the §6.1 findings.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use daas_chain::days_between;
 use eth_types::Address;
@@ -89,11 +89,13 @@ impl<'a> MeasureCtx<'a> {
 
         // (b) unrevoked approvals: the victim still has an active
         // ERC-20 allowance or NFT operator approval toward a dataset
-        // contract at the end of the observation window.
-        let contracts: HashSet<Address> = self.dataset.contracts.iter().copied().collect();
+        // contract at the end of the observation window. The feature
+        // cache memoises the approval-history replay per victim.
         let unrevoked = repeats
             .iter()
-            .filter(|(victim, _)| self.has_live_approval(**victim, &contracts))
+            .filter(|(victim, _)| {
+                !self.features().features(**victim).live_approval_spenders.is_empty()
+            })
             .count();
 
         RepeatVictimReport {
@@ -103,28 +105,6 @@ impl<'a> MeasureCtx<'a> {
         }
     }
 
-    /// Does the victim still hold a live approval toward any dataset
-    /// contract? Checked from the victim's approval history replayed
-    /// against current chain state.
-    fn has_live_approval(&self, victim: Address, contracts: &HashSet<Address>) -> bool {
-        for &txid in self.chain.txs_of(victim) {
-            let tx = self.chain.tx(txid);
-            for appr in &tx.approvals {
-                if appr.owner != victim || !contracts.contains(&appr.spender) {
-                    continue;
-                }
-                // ERC-20 allowance still live?
-                if !self.chain.erc20_allowance(appr.token, victim, appr.spender).is_zero() {
-                    return true;
-                }
-                // NFT operator approval still live?
-                if self.chain.nft_approved_for_all(appr.token, victim, appr.spender) {
-                    return true;
-                }
-            }
-        }
-        false
-    }
 }
 
 /// The §6.1 repeat-victim findings.

@@ -6,7 +6,7 @@
 //! cargo run --release --example family_forensics
 //! ```
 
-use daas_lab::cluster::{cluster, contract_profile, primary_lifecycles};
+use daas_lab::cluster::{cluster, family_forensics, ClusterConfig};
 use daas_lab::detector::{build_dataset, SnowballConfig};
 use daas_lab::measure::{dominant_share, family_table, MeasureCtx};
 use daas_lab::world::{collection_end, World, WorldConfig};
@@ -36,11 +36,21 @@ fn main() {
     }
     println!("\ndominant three hold {:.1}% of profits (paper: 93.9%)", dominant_share(&rows, 3));
 
-    // Table 3: how each dominant family's contracts take ETH and tokens.
+    // Table 3 + §7.2 in one pass: profiles and lifecycles for every
+    // family, fanned across the worker pool over a shared feature cache.
+    let forensics = family_forensics(
+        &world.chain,
+        &dataset,
+        &clustering,
+        5,
+        30 * 86_400,
+        collection_end(),
+        &ClusterConfig::default(),
+    );
+
     println!("\ncontract implementation (recovered from call metadata):");
     for name in ["Angel Drainer", "Inferno Drainer", "Pink Drainer"] {
-        let Some(family) = clustering.by_name(name) else { continue };
-        let profile = contract_profile(&world.chain, &dataset, family);
+        let Some((profile, _)) = forensics.by_name(name) else { continue };
         println!(
             "  {:<17} ETH via {:<42} tokens via {}",
             name,
@@ -52,9 +62,7 @@ fn main() {
     // §7.2: rotation cadence of the primary contracts.
     println!("\nprimary-contract lifecycles (>5 txs at this scale, retired a month):");
     for name in ["Angel Drainer", "Inferno Drainer", "Pink Drainer"] {
-        let Some(family) = clustering.by_name(name) else { continue };
-        let stats =
-            primary_lifecycles(&world.chain, &dataset, family, 5, 30 * 86_400, collection_end());
+        let Some((_, stats)) = forensics.by_name(name) else { continue };
         println!(
             "  {:<17} {} primaries, mean {:.1} days",
             name,
