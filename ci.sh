@@ -11,9 +11,11 @@ cargo build --release
 cargo test -q
 
 # ---- Sequential-oracle equivalence suites. ----
+cargo test -q -p daas-world --test parallel_equivalence -- --test-threads 4
 cargo test -q -p daas-detector --test parallel_equivalence -- --test-threads 4
 cargo test -q -p daas-detector --test snowball_props -- --test-threads 4
 cargo test -q -p daas-cluster --test parallel_equivalence -- --test-threads 4
+cargo test -q -p daas-measure --test parallel_equivalence -- --test-threads 4
 cargo test -q --test determinism -- --test-threads 4
 
 # ---- Everything else. ----
@@ -22,12 +24,15 @@ cargo test -q --workspace
 # ---- Slow full-scale equivalence (paper-scale world, opt-out with
 #      CI_FULL_SCALE=0). ----
 if [[ "${CI_FULL_SCALE:-1}" == "1" ]]; then
+  cargo test -q --release -p daas-world --test parallel_equivalence -- --ignored --test-threads 1
   cargo test -q --release -p daas-detector --test parallel_equivalence -- --ignored --test-threads 1
   cargo test -q --release -p daas-cluster --test parallel_equivalence -- --ignored --test-threads 1
+  cargo test -q --release -p daas-measure --test parallel_equivalence -- --ignored --test-threads 1
 fi
 
-# ---- Throughput tracking: writes BENCH_snowball_parallel.json and
-#      BENCH_cluster_parallel.json (see BENCH_OUT_DIR) with
-#      sequential/parallel numbers. ----
+# ---- Throughput tracking: writes BENCH_<group>.json (see BENCH_OUT_DIR)
+#      with sequential/parallel numbers for each parallelized stage. ----
+cargo bench -p daas-bench --bench world_build
 cargo bench -p daas-bench --bench snowball_parallel
 cargo bench -p daas-bench --bench cluster_parallel
+cargo bench -p daas-bench --bench measure_reports

@@ -1,0 +1,53 @@
+//! Criterion: sequential-oracle vs parallel §6 report bundle. Cold
+//! variants rebuild the measurement context per iteration (the feature
+//! memo starts empty); warm variants reuse one context whose memo is
+//! already filled, isolating pure report computation. The bundle is
+//! byte-identical at every thread count
+//! (`crates/daas-measure/tests/parallel_equivalence.rs`).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use daas_detector::build_dataset;
+use daas_measure::{MeasureConfig, MeasureCtx};
+use daas_world::{collection_end, World, WorldConfig};
+
+const INACTIVE_SECS: u64 = 30 * 86_400;
+
+fn bench_measure_reports(c: &mut Criterion) {
+    let world = World::build(&WorldConfig::small(7)).expect("world builds");
+    let dataset = build_dataset(&world.chain, &world.labels, &daas_bench::snowball_config());
+    let observations = dataset.observations.len() as u64;
+    let as_of = collection_end();
+    let seq = MeasureConfig::sequential();
+    let par = MeasureConfig::default();
+
+    let mut group = c.benchmark_group("measure_reports");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(observations));
+    group.bench_function("cold_sequential", |b| {
+        b.iter(|| {
+            let ctx = MeasureCtx::new(&world.chain, &dataset, &world.oracle);
+            ctx.reports(&world.labels, INACTIVE_SECS, as_of, &seq)
+        })
+    });
+    group.bench_function("cold_parallel", |b| {
+        b.iter(|| {
+            let ctx = MeasureCtx::new(&world.chain, &dataset, &world.oracle);
+            ctx.reports(&world.labels, INACTIVE_SECS, as_of, &par)
+        })
+    });
+
+    let warm = MeasureCtx::new(&world.chain, &dataset, &world.oracle);
+    // One throwaway bundle fills the feature memo through the same path
+    // the timed iterations use.
+    warm.reports(&world.labels, INACTIVE_SECS, as_of, &par);
+    group.bench_function("warm_sequential", |b| {
+        b.iter(|| warm.reports(&world.labels, INACTIVE_SECS, as_of, &seq))
+    });
+    group.bench_function("warm_parallel", |b| {
+        b.iter(|| warm.reports(&world.labels, INACTIVE_SECS, as_of, &par))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_measure_reports);
+criterion_main!(benches);

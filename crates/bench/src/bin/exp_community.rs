@@ -5,5 +5,6 @@ fn main() {
     let (_, scale) = daas_bench::env_config();
     let p = daas_bench::standard_pipeline();
     let web = daas_cli::run_website_pipeline(&p.world, 0.8);
-    println!("{}", daas_cli::render_community(&p, &web, scale));
+    let m = p.measured(&daas_bench::measure_config());
+    println!("{}", daas_cli::render_community(&p, &m, &web, scale));
 }

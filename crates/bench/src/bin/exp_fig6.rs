@@ -2,5 +2,6 @@
 
 fn main() {
     let p = daas_bench::standard_pipeline();
-    println!("{}", daas_cli::render_fig6(&p));
+    let m = p.measured(&daas_bench::measure_config());
+    println!("{}", daas_cli::render_fig6(&m));
 }

@@ -3,5 +3,6 @@
 fn main() {
     let (_, scale) = daas_bench::env_config();
     let p = daas_bench::standard_pipeline();
-    println!("{}", daas_cli::render_scale_stats(&p, scale));
+    let m = p.measured(&daas_bench::measure_config());
+    println!("{}", daas_cli::render_scale_stats(&m, scale));
 }

@@ -1,14 +1,16 @@
 //! The ledger: state, execution engine, and explorer-style query API.
 
-use std::collections::{HashMap, HashSet};
-
 use eth_types::{keccak256, Address, U256};
 use serde::{Deserialize, Serialize};
 
 use crate::account::{AccountKind, ContractKind, ProfitSharingSpec};
 use crate::asset::{Asset, TokenKind, TokenMeta};
-use crate::block::{block_number_at, BlockHeader, Timestamp, GENESIS_TIMESTAMP};
+use crate::assets::{ShardedMap, ShardedSet};
+use crate::block::{
+    block_number_at, BlockHeader, Timestamp, GENESIS_TIMESTAMP, SECONDS_PER_BLOCK,
+};
 use crate::error::ChainError;
+use crate::hash::DetMap;
 use crate::shard::{ChainReader, ShardedHistories};
 use crate::tx::{Approval, CallInfo, Transaction, Transfer, TxId};
 
@@ -43,70 +45,17 @@ pub struct Chain {
     now: Timestamp,
     blocks: Vec<BlockHeader>,
     txs: Vec<Transaction>,
-    accounts: HashMap<Address, AccountInfo>,
-    tokens: HashMap<Address, TokenMeta>,
-    // Tuple-keyed state serialises as sorted entry lists: JSON requires
-    // string map keys, and sorting keeps the released artifact
-    // deterministic.
-    #[serde(with = "entry_list")]
-    erc20_balances: HashMap<(Address, Address), U256>,
-    #[serde(with = "entry_list")]
-    erc20_allowances: HashMap<(Address, Address, Address), U256>,
-    #[serde(with = "entry_list")]
-    nft_owners: HashMap<(Address, u64), Address>,
-    #[serde(with = "entry_set")]
-    nft_operators: HashSet<(Address, Address, Address)>,
+    accounts: DetMap<Address, AccountInfo>,
+    tokens: DetMap<Address, TokenMeta>,
+    // Tuple-keyed asset state lives in sharded maps (see `assets`):
+    // power-of-two Arc-backed shards, copy-on-write. Their serde impls
+    // emit the same sorted entry lists as the pre-shard flat maps, so
+    // the released artifact is unchanged.
+    erc20_balances: ShardedMap<(Address, Address), U256>,
+    erc20_allowances: ShardedMap<(Address, Address, Address), U256>,
+    nft_owners: ShardedMap<(Address, u64), Address>,
+    nft_operators: ShardedSet<(Address, Address, Address)>,
     history: ShardedHistories,
-}
-
-/// Serialises a tuple-keyed map as a sorted `Vec<(K, V)>`.
-mod entry_list {
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-    use std::collections::HashMap;
-
-    pub fn serialize<K, V, S>(map: &HashMap<K, V>, serializer: S) -> Result<S::Ok, S::Error>
-    where
-        K: Serialize + Ord,
-        V: Serialize,
-        S: Serializer,
-    {
-        let mut entries: Vec<(&K, &V)> = map.iter().collect();
-        entries.sort_by(|a, b| a.0.cmp(b.0));
-        entries.serialize(serializer)
-    }
-
-    pub fn deserialize<'de, K, V, D>(deserializer: D) -> Result<HashMap<K, V>, D::Error>
-    where
-        K: Deserialize<'de> + std::hash::Hash + Eq,
-        V: Deserialize<'de>,
-        D: Deserializer<'de>,
-    {
-        Ok(Vec::<(K, V)>::deserialize(deserializer)?.into_iter().collect())
-    }
-}
-
-/// Serialises a tuple set as a sorted `Vec<T>`.
-mod entry_set {
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-    use std::collections::HashSet;
-
-    pub fn serialize<T, S>(set: &HashSet<T>, serializer: S) -> Result<S::Ok, S::Error>
-    where
-        T: Serialize + Ord,
-        S: Serializer,
-    {
-        let mut entries: Vec<&T> = set.iter().collect();
-        entries.sort();
-        entries.serialize(serializer)
-    }
-
-    pub fn deserialize<'de, T, D>(deserializer: D) -> Result<HashSet<T>, D::Error>
-    where
-        T: Deserialize<'de> + std::hash::Hash + Eq,
-        D: Deserializer<'de>,
-    {
-        Ok(Vec::<T>::deserialize(deserializer)?.into_iter().collect())
-    }
 }
 
 impl Chain {
@@ -173,7 +122,7 @@ impl Chain {
     ) -> Result<(), ChainError> {
         self.expect_token(token, TokenKind::Erc20)?;
         self.expect_account(to)?;
-        let entry = self.erc20_balances.entry((token, to)).or_insert(U256::ZERO);
+        let entry = self.erc20_balances.get_mut_or_insert((token, to), U256::ZERO);
         *entry = entry.saturating_add(amount);
         Ok(())
     }
@@ -322,6 +271,19 @@ impl Chain {
     /// suite.
     pub fn set_history_shards(&mut self, shards: usize) {
         self.history = self.history.resharded(shards);
+    }
+
+    /// Rebuilds *every* sharded structure — the history index and the
+    /// four asset-state maps — with the same (power-of-two) shard count.
+    /// This is the single knob `daas-cli --shards` / `DAAS_SHARDS`
+    /// expose; like [`Chain::set_history_shards`], it changes memory
+    /// layout only, never data or the serialized artifact.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.history = self.history.resharded(shards);
+        self.erc20_balances = self.erc20_balances.resharded(shards);
+        self.erc20_allowances = self.erc20_allowances.resharded(shards);
+        self.nft_owners = self.nft_owners.resharded(shards);
+        self.nft_operators = self.nft_operators.resharded(shards);
     }
 
     /// Looks up a transaction by id.
@@ -835,8 +797,8 @@ impl Chain {
                 need: amount,
             });
         }
-        *self.erc20_balances.entry((token, from)).or_insert(U256::ZERO) = have - amount;
-        let dst = self.erc20_balances.entry((token, to)).or_insert(U256::ZERO);
+        *self.erc20_balances.get_mut_or_insert((token, from), U256::ZERO) = have - amount;
+        let dst = self.erc20_balances.get_mut_or_insert((token, to), U256::ZERO);
         *dst = dst.saturating_add(amount);
         Ok(())
     }
@@ -872,17 +834,23 @@ impl Chain {
         created: Option<Address>,
     ) -> TxId {
         let id = self.txs.len() as TxId;
-        let block = block_number_at(self.now);
-        // Deterministic hash over the identifying fields.
-        let mut preimage = Vec::with_capacity(64);
-        preimage.extend_from_slice(&id.to_be_bytes());
-        preimage.extend_from_slice(from.as_bytes());
+        // Deterministic hash over the identifying fields. The preimage is
+        // at most 4 + 20 + 20 + 32 + 8 = 84 bytes — a fixed stack buffer
+        // instead of a heap allocation per transaction.
+        let mut preimage = [0u8; 84];
+        let mut len = 0usize;
+        let mut put = |bytes: &[u8]| {
+            preimage[len..len + bytes.len()].copy_from_slice(bytes);
+            len += bytes.len();
+        };
+        put(&id.to_be_bytes());
+        put(from.as_bytes());
         if let Some(to) = to {
-            preimage.extend_from_slice(to.as_bytes());
+            put(to.as_bytes());
         }
-        preimage.extend_from_slice(&value.to_be_bytes());
-        preimage.extend_from_slice(&self.now.to_be_bytes());
-        let hash = keccak256(&preimage);
+        put(&value.to_be_bytes());
+        put(&self.now.to_be_bytes());
+        let hash = keccak256(&preimage[..len]);
 
         // Bump the sender's nonce (contract creations bumped it already
         // when deriving the address).
@@ -892,16 +860,28 @@ impl Chain {
             }
         }
 
-        // Seal or extend the current block.
-        match self.blocks.last_mut() {
-            Some(header) if header.number == block => header.tx_count += 1,
-            _ => self.blocks.push(BlockHeader {
-                number: block,
-                timestamp: self.now,
-                first_tx: id,
-                tx_count: 1,
-            }),
-        }
+        // Batched block sealing: transactions append to the open block
+        // while `now` stays inside its 12-second slot (one compare —
+        // time never goes backwards); a new header is sealed only on
+        // slot rollover, which is the only place the slot division runs.
+        let block = match self.blocks.last_mut() {
+            Some(header)
+                if self.now < GENESIS_TIMESTAMP + (header.number + 1) * SECONDS_PER_BLOCK =>
+            {
+                header.tx_count += 1;
+                header.number
+            }
+            _ => {
+                let number = block_number_at(self.now);
+                self.blocks.push(BlockHeader {
+                    number,
+                    timestamp: self.now,
+                    first_tx: id,
+                    tx_count: 1,
+                });
+                number
+            }
+        };
 
         let tx = Transaction {
             id,

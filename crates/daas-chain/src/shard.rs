@@ -23,6 +23,7 @@ use std::sync::Arc;
 use eth_types::Address;
 use serde::{Deserialize, Deserializer, Serialize, Serializer};
 
+use crate::hash::FxHashMap;
 use crate::tx::{Transaction, TxId};
 
 /// Default shard count for the account-history index *and* the sharded
@@ -54,7 +55,11 @@ pub fn shard_index(address: Address, mask: usize) -> usize {
 #[derive(Debug, Clone)]
 pub struct ShardedHistories {
     mask: usize,
-    shards: Vec<Arc<HashMap<Address, Vec<TxId>>>>,
+    // Shard interiors use the deterministic Fx hash (`crate::hash`):
+    // `push` runs for every address a transaction touches, and the keys
+    // are keccak-derived, so SipHash buys nothing. Serialization still
+    // flattens into a default-hasher map, so the artifact is unchanged.
+    shards: Vec<Arc<FxHashMap<Address, Vec<TxId>>>>,
 }
 
 impl Default for ShardedHistories {
@@ -79,7 +84,7 @@ impl ShardedHistories {
         let n = if shards.is_power_of_two() { shards } else { 1 };
         ShardedHistories {
             mask: n - 1,
-            shards: (0..n).map(|_| Arc::new(HashMap::new())).collect(),
+            shards: (0..n).map(|_| Arc::new(FxHashMap::default())).collect(),
         }
     }
 

@@ -50,6 +50,69 @@ fn json_roundtrip_preserves_everything() {
     }
 }
 
+/// The asset maps moved from flat `HashMap`s serialized via
+/// `entry_list`/`entry_set` (a `Vec` of entries sorted by key) into
+/// sharded maps. Prove at the type level that the sharded encoding is
+/// byte-identical to the legacy flat one.
+#[test]
+fn sharded_maps_serialize_like_preshard_flat_maps() {
+    use daas_chain::{ShardedMap, ShardedSet};
+    use eth_types::Address;
+    use std::collections::{HashMap, HashSet};
+
+    let addr = |n: u8| Address([n; 20]);
+
+    let mut sharded: ShardedMap<(Address, Address), U256> = ShardedMap::with_shards(16);
+    let mut legacy: HashMap<(Address, Address), U256> = HashMap::new();
+    for n in (0..48u8).rev() {
+        sharded.insert((addr(n), addr(n.wrapping_mul(7))), U256::from_u64(n as u64));
+        legacy.insert((addr(n), addr(n.wrapping_mul(7))), U256::from_u64(n as u64));
+    }
+    // The legacy `entry_list` encoding: entries sorted by key.
+    let mut entries: Vec<(&(Address, Address), &U256)> = legacy.iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(b.0));
+    assert_eq!(
+        serde_json::to_string(&sharded).unwrap(),
+        serde_json::to_string(&entries).unwrap(),
+        "ShardedMap must serialize exactly like the pre-shard entry list"
+    );
+
+    let mut sharded_set: ShardedSet<(Address, Address, Address)> = ShardedSet::with_shards(16);
+    let mut legacy_set: HashSet<(Address, Address, Address)> = HashSet::new();
+    for n in (0..48u8).rev() {
+        sharded_set.insert((addr(n), addr(n.wrapping_add(1)), addr(n.wrapping_add(2))));
+        legacy_set.insert((addr(n), addr(n.wrapping_add(1)), addr(n.wrapping_add(2))));
+    }
+    // The legacy `entry_set` encoding: members sorted.
+    let mut members: Vec<&(Address, Address, Address)> = legacy_set.iter().collect();
+    members.sort();
+    assert_eq!(
+        serde_json::to_string(&sharded_set).unwrap(),
+        serde_json::to_string(&members).unwrap(),
+        "ShardedSet must serialize exactly like the pre-shard entry set"
+    );
+}
+
+/// Shard counts are memory layout, never data: the chain artifact must
+/// not change by a byte when everything is resharded.
+#[test]
+fn chain_json_is_byte_identical_across_shard_counts() {
+    let chain = build_chain();
+    let reference = serde_json::to_string(&chain).unwrap();
+    for shards in [1usize, 4, 16, 64] {
+        let mut resharded = chain.clone();
+        resharded.set_shards(shards);
+        assert_eq!(
+            serde_json::to_string(&resharded).unwrap(),
+            reference,
+            "chain JSON changed at {shards} shards"
+        );
+    }
+    // And a serialize → deserialize → serialize cycle is stable.
+    let back: Chain = serde_json::from_str(&reference).unwrap();
+    assert_eq!(serde_json::to_string(&back).unwrap(), reference);
+}
+
 #[test]
 fn deserialised_chain_keeps_working() {
     let chain = build_chain();

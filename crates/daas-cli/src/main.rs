@@ -6,23 +6,31 @@
 //!
 //!   --seed N     RNG seed (default 42)
 //!   --scale F    world scale, 1.0 = paper scale (default 0.1)
-//!   --threads N  worker threads for snowball sampling, family
-//!                clustering and the forensics fan-out, 0 = all cores
-//!                (default 0); the dataset and the clustering are
-//!                byte-identical at every setting
+//!   --threads N  worker threads for world planning, snowball sampling,
+//!                family clustering, the §6 measurement reports and the
+//!                forensics fan-out, 0 = all cores (default 0); every
+//!                artifact is byte-identical at every setting
+//!   --shards N   shard count (power of two) for the chain's history
+//!                and asset-state maps and the detector's classification
+//!                memo, 0 = the default; shards are memory layout,
+//!                never data
+//!   --timings    print the per-stage wall-clock breakdown
+//!                (world | snowball | clustering | measure | render)
 //!   --exp NAME   one of: table1 table2 table3 table4 fig4 fig6 fig7
 //!                ratios scale lifecycles community validation all
 //!                (default: all)
 //! ```
 
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 use daas_cli::{
     render_community, render_fig4, render_fig6, render_fig7, render_lifecycles, render_ratios,
     render_scale_stats, render_table1, render_table2, render_table3, render_table4,
-    render_timeline, render_validation, run_pipeline, run_website_pipeline,
+    render_timeline, render_validation, run_pipeline_sharded, run_website_pipeline,
 };
 use daas_detector::SnowballConfig;
+use daas_measure::MeasureConfig;
 use daas_world::WorldConfig;
 
 const ALL_EXPERIMENTS: [&str; 13] = [
@@ -34,6 +42,8 @@ fn main() -> ExitCode {
     let mut seed = 42u64;
     let mut scale = 0.1f64;
     let mut threads = 0usize;
+    let mut shards = 0usize;
+    let mut timings = false;
     let mut experiments: Vec<String> = Vec::new();
     let mut export: Option<String> = None;
     let mut config_path: Option<String> = None;
@@ -62,6 +72,11 @@ fn main() -> ExitCode {
                 Some(v) => threads = v,
                 None => return usage("--threads needs an integer (0 = all cores)"),
             },
+            "--shards" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) if v == 0 || v.is_power_of_two() => shards = v,
+                _ => return usage("--shards needs a power of two (0 = default)"),
+            },
+            "--timings" => timings = true,
             "--config" => match args.next() {
                 Some(path) => config_path = Some(path),
                 None => return usage("--config needs a file path"),
@@ -141,7 +156,7 @@ fn main() -> ExitCode {
     let (seed, scale) = (config.seed, config.scale);
     eprintln!("building world (seed {seed}, scale {scale}) …");
     let snowball = SnowballConfig { threads, ..Default::default() };
-    let pipeline = match run_pipeline(&config, &snowball) {
+    let pipeline = match run_pipeline_sharded(&config, &snowball, shards) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("pipeline failed: {e}");
@@ -176,30 +191,57 @@ fn main() -> ExitCode {
     let needs_web = experiments.iter().any(|e| e == "table4" || e == "community");
     let web = needs_web.then(|| run_website_pipeline(&pipeline.world, 0.8));
 
+    // The §6 measurement bundle is built once (and timed as its own
+    // stage) for every renderer that consumes it.
+    const MEASURED_EXPS: [&str; 8] =
+        ["table2", "fig4", "fig6", "fig7", "ratios", "scale", "community", "timeline"];
+    let needs_measure = experiments.iter().any(|e| MEASURED_EXPS.contains(&e.as_str()));
+    let tm0 = Instant::now();
+    let measured = needs_measure.then(|| pipeline.measured(&MeasureConfig { threads }));
+    let measure_time = tm0.elapsed();
+    let m = || measured.as_ref().expect("measurement bundle built");
+
     // The primary-contract threshold scales with the world (paper: 100
     // transactions at full scale).
     let lifecycle_min_txs = ((100.0 * scale) as usize).max(5);
 
+    let tr0 = Instant::now();
     for exp in &experiments {
         let out = match exp.as_str() {
             "table1" => render_table1(&pipeline, scale),
-            "table2" => render_table2(&pipeline, scale),
+            "table2" => render_table2(&pipeline, m(), scale),
             "table3" => render_table3(&pipeline),
             "table4" => render_table4(web.as_ref().expect("web pipeline ran")),
-            "fig4" => render_fig4(&pipeline),
-            "fig6" => render_fig6(&pipeline),
-            "fig7" => render_fig7(&pipeline),
-            "ratios" => render_ratios(&pipeline),
-            "scale" => render_scale_stats(&pipeline, scale),
+            "fig4" => render_fig4(&pipeline, m()),
+            "fig6" => render_fig6(m()),
+            "fig7" => render_fig7(m()),
+            "ratios" => render_ratios(m()),
+            "scale" => render_scale_stats(m(), scale),
             "lifecycles" => render_lifecycles(&pipeline, lifecycle_min_txs),
-            "community" => render_community(&pipeline, web.as_ref().expect("web pipeline ran"), scale),
+            "community" => render_community(&pipeline, m(), web.as_ref().expect("web pipeline ran"), scale),
             "validation" => render_validation(&pipeline, scale),
-            "timeline" => render_timeline(&pipeline),
+            "timeline" => render_timeline(m()),
             _ => unreachable!("validated above"),
         };
         println!("{out}");
     }
+    let render_time = tr0.elapsed();
+    if timings {
+        let (tw, ts, tc) = pipeline.timings;
+        eprintln!(
+            "timings: world {} | snowball {} | clustering {} | measure {} | render {}",
+            fmt_stage(tw),
+            fmt_stage(ts),
+            fmt_stage(tc),
+            fmt_stage(measure_time),
+            fmt_stage(render_time),
+        );
+    }
     ExitCode::SUCCESS
+}
+
+fn fmt_stage(d: Duration) -> String {
+    format!("{:.2?}", d)
 }
 
 fn usage(error: &str) -> ExitCode {

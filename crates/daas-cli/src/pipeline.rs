@@ -1,11 +1,13 @@
-//! One-call pipeline: world → snowball → clustering.
+//! One-call pipeline: world → snowball → clustering, plus the §6
+//! measurement bundle built once for every renderer.
 
 use std::time::{Duration, Instant};
 
 use daas_chain::Timestamp;
 use daas_cluster::{cluster_with, ClusterConfig, Clustering, FamilyForensics};
-use daas_detector::{build_dataset, Dataset, SnowballConfig};
-use daas_world::{World, WorldConfig};
+use daas_detector::{build_dataset_with_cache, ClassificationCache, Dataset, SnowballConfig};
+use daas_measure::{MeasureConfig, MeasureCtx, MeasureReports};
+use daas_world::{collection_end, World, WorldConfig};
 
 /// Everything downstream experiments need, built once.
 pub struct Pipeline {
@@ -16,16 +18,34 @@ pub struct Pipeline {
     /// The family clustering.
     pub clustering: Clustering,
     /// Worker threads the pipeline was built with (0 = all cores) —
-    /// renderers reuse it for the forensics fan-out.
+    /// renderers reuse it for the measurement and forensics fan-outs.
     pub threads: usize,
     /// Wall-clock cost of each stage: (world, snowball, clustering).
     pub timings: (Duration, Duration, Duration),
 }
 
+/// The measurement context and the full §6 report bundle, computed once
+/// and shared by every renderer that needs them.
+pub struct Measured<'a> {
+    /// The incident-attribution context (feature cache, USD valuation).
+    pub ctx: MeasureCtx<'a>,
+    /// Every independent §6 report.
+    pub reports: MeasureReports,
+}
+
 impl Pipeline {
     /// Measurement context over the pipeline's outputs.
-    pub fn measure(&self) -> daas_measure::MeasureCtx<'_> {
-        daas_measure::MeasureCtx::new(&self.world.chain, &self.dataset, &self.world.oracle)
+    pub fn measure(&self) -> MeasureCtx<'_> {
+        MeasureCtx::new(&self.world.chain, &self.dataset, &self.world.oracle)
+    }
+
+    /// Builds the measurement context and the full §6 report bundle once
+    /// (the paper's parameters: one-month inactivity threshold, census at
+    /// collection end), fanning the reports across `cfg.threads`.
+    pub fn measured(&self, cfg: &MeasureConfig) -> Measured<'_> {
+        let ctx = self.measure();
+        let reports = ctx.reports(&self.world.labels, 30 * 86_400, collection_end(), cfg);
+        Measured { ctx, reports }
     }
 
     /// Per-family profile + lifecycle rows, fanned across the worker
@@ -44,12 +64,28 @@ impl Pipeline {
 }
 
 /// Runs world generation, snowball sampling and clustering. The snowball
-/// `threads` knob drives the clustering worker pool too.
+/// `threads` knob drives the world planner and the clustering worker
+/// pool too.
 pub fn run_pipeline(config: &WorldConfig, snowball: &SnowballConfig) -> Result<Pipeline, String> {
+    run_pipeline_sharded(config, snowball, 0)
+}
+
+/// [`run_pipeline`] with an explicit shard count (`0` = the default,
+/// otherwise a power of two) applied consistently to the chain's history
+/// and asset-state maps *and* the detector's classification memo. Shards
+/// are memory layout, never data: every artifact is byte-identical at
+/// every setting.
+pub fn run_pipeline_sharded(
+    config: &WorldConfig,
+    snowball: &SnowballConfig,
+    shards: usize,
+) -> Result<Pipeline, String> {
     let t0 = Instant::now();
-    let world = World::build(config)?;
+    let world = World::build_opts(config, snowball.threads, shards)?;
     let t1 = Instant::now();
-    let dataset = build_dataset(&world.chain, &world.labels, snowball);
+    let cache =
+        if shards == 0 { ClassificationCache::new() } else { ClassificationCache::with_shards(shards) };
+    let dataset = build_dataset_with_cache(&world.chain, &world.labels, snowball, &cache);
     let t2 = Instant::now();
     let cluster_cfg = ClusterConfig { threads: snowball.threads };
     let clustering = cluster_with(&world.chain, &world.labels, &dataset, &cluster_cfg);

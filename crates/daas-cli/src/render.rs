@@ -4,11 +4,11 @@
 use daas_chain::format_date;
 use daas_cluster::{contract_profile_with, FamilyForensics};
 use daas_detector::FeatureCache;
-use daas_measure::{dominant_share, family_table, ratio_histogram};
+use daas_measure::{dominant_share, family_table};
 use daas_world::collection_end;
 
 use crate::paper;
-use crate::pipeline::Pipeline;
+use crate::pipeline::{Measured, Pipeline};
 use crate::websites::WebsitePipelineResult;
 
 /// Minimal aligned-column table.
@@ -134,9 +134,8 @@ pub fn render_table1(p: &Pipeline, scale: f64) -> String {
 }
 
 /// Table 2: family overview.
-pub fn render_table2(p: &Pipeline, scale: f64) -> String {
-    let ctx = p.measure();
-    let rows = family_table(&ctx, &p.clustering, collection_end());
+pub fn render_table2(p: &Pipeline, m: &Measured<'_>, scale: f64) -> String {
+    let rows = family_table(&m.ctx, &p.clustering, collection_end());
     let mut t = Table::new(vec![
         "DaaS Family",
         "Contracts",
@@ -219,11 +218,11 @@ pub fn render_table4(w: &WebsitePipelineResult) -> String {
 }
 
 /// Figure 4: a worked example of one profit-sharing transaction.
-pub fn render_fig4(p: &Pipeline) -> String {
+pub fn render_fig4(p: &Pipeline, m: &Measured<'_>) -> String {
     // Pick the highest-value ETH observation for drama, like the paper's
     // 27.1 ETH example.
-    let ctx = p.measure();
-    let Some(inc) = ctx
+    let Some(inc) = m
+        .ctx
         .incidents()
         .iter()
         .filter(|i| matches!(p.world.chain.tx(i.tx).transfers.first().map(|t| t.asset), Some(daas_chain::Asset::Eth)))
@@ -260,8 +259,8 @@ pub fn render_fig4(p: &Pipeline) -> String {
 }
 
 /// Figure 6: victim loss distribution.
-pub fn render_fig6(p: &Pipeline) -> String {
-    let report = p.measure().victim_report();
+pub fn render_fig6(m: &Measured<'_>) -> String {
+    let report = &m.reports.victims;
     let mut t = Table::new(vec!["Loss bucket", "Victims", "% (measured)", "% (paper)"]);
     for (i, (label, count, pct)) in report.loss_buckets.iter().enumerate() {
         t.row(vec![
@@ -283,8 +282,8 @@ pub fn render_fig6(p: &Pipeline) -> String {
 }
 
 /// Figure 7: affiliate profit distribution.
-pub fn render_fig7(p: &Pipeline) -> String {
-    let report = p.measure().affiliate_report();
+pub fn render_fig7(m: &Measured<'_>) -> String {
+    let report = &m.reports.affiliates;
     let mut t = Table::new(vec!["Profit bucket", "Affiliates", "% (measured)"]);
     for (label, count, pct) in &report.profit_buckets {
         t.row(vec![label.clone(), count.to_string(), format!("{pct:.1}")]);
@@ -302,11 +301,9 @@ pub fn render_fig7(p: &Pipeline) -> String {
 }
 
 /// §4.3: the profit-sharing ratio histogram.
-pub fn render_ratios(p: &Pipeline) -> String {
-    let ctx = p.measure();
-    let rows = ratio_histogram(&ctx);
+pub fn render_ratios(m: &Measured<'_>) -> String {
     let mut t = Table::new(vec!["Operator share", "Transactions", "% (measured)", "% (paper)"]);
-    for r in &rows {
+    for r in &m.reports.ratios {
         let paper_pct = paper::RATIOS_TOP3
             .iter()
             .find(|(bps, _)| *bps == r.bps)
@@ -323,13 +320,12 @@ pub fn render_ratios(p: &Pipeline) -> String {
 }
 
 /// §6: the scale statistics block.
-pub fn render_scale_stats(p: &Pipeline, scale: f64) -> String {
-    let ctx = p.measure();
-    let victims = ctx.victim_report();
-    let repeats = ctx.repeat_victim_report();
-    let ops = ctx.operator_report();
-    let op_lc = ctx.operator_lifecycles(30 * 86_400, collection_end());
-    let affs = ctx.affiliate_report();
+pub fn render_scale_stats(m: &Measured<'_>, scale: f64) -> String {
+    let victims = &m.reports.victims;
+    let repeats = &m.reports.repeat_victims;
+    let ops = &m.reports.operators;
+    let op_lc = &m.reports.operator_lifecycles;
+    let affs = &m.reports.affiliates;
 
     let mut t = Table::new(vec!["Statistic", "Measured", "Paper"]);
     t.row(vec![
@@ -418,7 +414,7 @@ pub fn render_lifecycles(p: &Pipeline, min_txs: usize) -> String {
 }
 
 /// §8: community contribution stats.
-pub fn render_community(p: &Pipeline, w: &WebsitePipelineResult, scale: f64) -> String {
+pub fn render_community(p: &Pipeline, m: &Measured<'_>, w: &WebsitePipelineResult, scale: f64) -> String {
     let cov = daas_reporting::coverage(&p.world.labels, &p.dataset);
     let mut t = Table::new(vec!["Statistic", "Measured", "Paper"]);
     t.row(vec![
@@ -449,8 +445,7 @@ pub fn render_community(p: &Pipeline, w: &WebsitePipelineResult, scale: f64) -> 
     ]);
     t.row(vec!["Unreachable".into(), w.report.unreachable.to_string(), "-".into()]);
     // §8.1: reported accounts launder through mixers instead of CEXs.
-    let ctx = p.measure();
-    let laundering = ctx.laundering_report(&p.world.labels);
+    let laundering = &m.reports.laundering;
     t.row(vec![
         "Operator outflows via mixers".into(),
         format!(
@@ -530,12 +525,11 @@ pub fn render_validation(p: &Pipeline, scale: f64) -> String {
 
 /// Monthly activity timeline (victims / incidents / USD per month) with
 /// a text sparkline of the USD series.
-pub fn render_timeline(p: &Pipeline) -> String {
-    let ctx = p.measure();
-    let series = ctx.monthly_series();
+pub fn render_timeline(m: &Measured<'_>) -> String {
+    let series = &m.reports.timeline;
     let max_usd = series.iter().map(|r| r.usd).fold(0.0f64, f64::max).max(1.0);
     let mut t = Table::new(vec!["Month", "Victims", "PS txs", "Stolen", "USD volume"]);
-    for row in &series {
+    for row in series {
         let bars = ((row.usd / max_usd) * 30.0).round() as usize;
         t.row(vec![
             row.month.clone(),
@@ -545,7 +539,7 @@ pub fn render_timeline(p: &Pipeline) -> String {
             "█".repeat(bars.max(1)),
         ]);
     }
-    let peak = ctx.peak_month();
+    let peak = m.ctx.peak_month();
     format!(
         "Timeline — Monthly DaaS activity
 {}

@@ -6,9 +6,11 @@ use std::sync::OnceLock;
 use daas_cli::{
     render_community, render_fig4, render_fig6, render_fig7, render_lifecycles, render_ratios,
     render_scale_stats, render_table1, render_table2, render_table3, render_table4,
-    render_validation, run_pipeline, run_website_pipeline, Pipeline, WebsitePipelineResult,
+    render_validation, run_pipeline, run_website_pipeline, Measured, Pipeline,
+    WebsitePipelineResult,
 };
 use daas_detector::SnowballConfig;
+use daas_measure::MeasureConfig;
 use daas_world::WorldConfig;
 
 struct Fix {
@@ -26,22 +28,27 @@ fn fix() -> &'static Fix {
     })
 }
 
+fn measured() -> Measured<'static> {
+    fix().pipeline.measured(&MeasureConfig::sequential())
+}
+
 #[test]
 fn every_renderer_produces_output() {
     let f = fix();
     let scale = 0.01;
+    let m = measured();
     let outputs = [
         render_table1(&f.pipeline, scale),
-        render_table2(&f.pipeline, scale),
+        render_table2(&f.pipeline, &m, scale),
         render_table3(&f.pipeline),
         render_table4(&f.web),
-        render_fig4(&f.pipeline),
-        render_fig6(&f.pipeline),
-        render_fig7(&f.pipeline),
-        render_ratios(&f.pipeline),
-        render_scale_stats(&f.pipeline, scale),
+        render_fig4(&f.pipeline, &m),
+        render_fig6(&m),
+        render_fig7(&m),
+        render_ratios(&m),
+        render_scale_stats(&m, scale),
         render_lifecycles(&f.pipeline, 5),
-        render_community(&f.pipeline, &f.web, scale),
+        render_community(&f.pipeline, &m, &f.web, scale),
         render_validation(&f.pipeline, scale),
     ];
     for (i, out) in outputs.iter().enumerate() {
@@ -70,8 +77,7 @@ fn table3_matches_paper_wording_even_at_tiny_scale() {
 
 #[test]
 fn fig6_percentages_are_sane() {
-    let f = fix();
-    let out = render_fig6(&f.pipeline);
+    let out = render_fig6(&measured());
     assert!(out.contains("less than $100"));
     assert!(out.contains("(paper: 83.5%)"));
 }

@@ -1,6 +1,6 @@
 //! Victim attribution and USD valuation of profit-sharing transactions.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use daas_chain::{Asset, Chain, Timestamp, TxId};
 use daas_detector::{Dataset, FeatureCache};
@@ -112,27 +112,31 @@ impl<'a> MeasureCtx<'a> {
         v
     }
 
-    /// Total USD loss per victim.
-    pub fn loss_per_victim(&self) -> HashMap<Address, f64> {
-        let mut m = HashMap::new();
+    /// Total USD loss per victim. A `BTreeMap` so every consumer
+    /// iterates (and float-accumulates) in address order — byte-stable
+    /// across runs, which the parallel-equivalence suite relies on.
+    pub fn loss_per_victim(&self) -> BTreeMap<Address, f64> {
+        let mut m = BTreeMap::new();
         for inc in &self.incidents {
             *m.entry(inc.victim).or_insert(0.0) += inc.usd;
         }
         m
     }
 
-    /// Total USD profit per operator account.
-    pub fn profit_per_operator(&self) -> HashMap<Address, f64> {
-        let mut m = HashMap::new();
+    /// Total USD profit per operator account, in address order (see
+    /// [`MeasureCtx::loss_per_victim`]).
+    pub fn profit_per_operator(&self) -> BTreeMap<Address, f64> {
+        let mut m = BTreeMap::new();
         for inc in &self.incidents {
             *m.entry(inc.operator).or_insert(0.0) += inc.operator_usd;
         }
         m
     }
 
-    /// Total USD profit per affiliate account.
-    pub fn profit_per_affiliate(&self) -> HashMap<Address, f64> {
-        let mut m = HashMap::new();
+    /// Total USD profit per affiliate account, in address order (see
+    /// [`MeasureCtx::loss_per_victim`]).
+    pub fn profit_per_affiliate(&self) -> BTreeMap<Address, f64> {
+        let mut m = BTreeMap::new();
         for inc in &self.incidents {
             *m.entry(inc.affiliate).or_insert(0.0) += inc.affiliate_usd;
         }

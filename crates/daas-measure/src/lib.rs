@@ -18,6 +18,7 @@ mod management;
 mod timeline;
 mod operators;
 mod ratios;
+mod reports;
 mod stats;
 mod victims;
 
@@ -29,5 +30,6 @@ pub use management::{RewardReport, TierCensus};
 pub use timeline::MonthRow;
 pub use operators::{OperatorLifecycles, OperatorReport};
 pub use ratios::{ratio_histogram, RatioRow};
+pub use reports::{MeasureConfig, MeasureReports};
 pub use stats::{top_share, Concentration};
 pub use victims::{RepeatVictimReport, VictimReport, VICTIM_LOSS_BUCKETS};

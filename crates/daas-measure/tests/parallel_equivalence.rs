@@ -1,0 +1,107 @@
+//! The sequential-oracle contract for the §6 report bundle:
+//! [`MeasureCtx::reports`] must produce byte-identical serialized
+//! reports at every thread count, and the bundle must equal the reports
+//! computed one-by-one through the original per-report entry points.
+
+use daas_detector::{build_dataset, SnowballConfig};
+use daas_measure::{ratio_histogram, MeasureConfig, MeasureCtx, MeasureReports};
+use daas_world::{collection_end, World, WorldConfig};
+
+const INACTIVE_SECS: u64 = 30 * 86_400;
+
+struct Fix {
+    world: World,
+}
+
+fn fix(seed: u64) -> Fix {
+    let world = World::build(&WorldConfig::tiny(seed)).expect("world builds");
+    Fix { world }
+}
+
+fn json(reports: &MeasureReports) -> String {
+    serde_json::to_string(reports).expect("reports serialise")
+}
+
+fn bundle(f: &Fix, threads: usize) -> String {
+    let dataset = build_dataset(&f.world.chain, &f.world.labels, &SnowballConfig::default());
+    let ctx = MeasureCtx::new(&f.world.chain, &dataset, &f.world.oracle);
+    let cfg = MeasureConfig { threads };
+    json(&ctx.reports(&f.world.labels, INACTIVE_SECS, collection_end(), &cfg))
+}
+
+#[test]
+fn thread_counts_agree_on_tiny_worlds() {
+    for seed in [7u64, 31, 99] {
+        let f = fix(seed);
+        let oracle = bundle(&f, 1);
+        for threads in [2usize, 3, 4, 8, 0] {
+            assert_eq!(
+                bundle(&f, threads),
+                oracle,
+                "seed {seed}: report bundle diverged from the sequential oracle at threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn repeat_parallel_runs_are_stable() {
+    let f = fix(13);
+    let first = bundle(&f, 0);
+    for _ in 0..2 {
+        assert_eq!(bundle(&f, 0), first, "parallel report bundle drifted across runs");
+    }
+}
+
+#[test]
+fn bundle_matches_per_report_entry_points() {
+    // The fan-out is a scheduler, not a reimplementation: every slot of
+    // the bundle must serialise exactly like the standalone report call
+    // it wraps.
+    let f = fix(7);
+    let dataset = build_dataset(&f.world.chain, &f.world.labels, &SnowballConfig::default());
+    let ctx = MeasureCtx::new(&f.world.chain, &dataset, &f.world.oracle);
+    let reports =
+        ctx.reports(&f.world.labels, INACTIVE_SECS, collection_end(), &MeasureConfig { threads: 0 });
+
+    fn j<T: serde::Serialize>(v: &T) -> String {
+        serde_json::to_string(v).expect("report serialises")
+    }
+    assert_eq!(j(&reports.victims), j(&ctx.victim_report()), "victim report diverged");
+    assert_eq!(
+        j(&reports.repeat_victims),
+        j(&ctx.repeat_victim_report()),
+        "repeat-victim report diverged"
+    );
+    assert_eq!(j(&reports.operators), j(&ctx.operator_report()), "operator report diverged");
+    assert_eq!(
+        j(&reports.operator_lifecycles),
+        j(&ctx.operator_lifecycles(INACTIVE_SECS, collection_end())),
+        "operator lifecycles diverged"
+    );
+    assert_eq!(j(&reports.affiliates), j(&ctx.affiliate_report()), "affiliate report diverged");
+    let operators: Vec<_> = ctx.dataset.operators.iter().copied().collect();
+    let affiliates: Vec<_> = ctx.dataset.affiliates.iter().copied().collect();
+    assert_eq!(
+        j(&reports.associations),
+        j(&ctx.reward_transfers(&operators, &affiliates)),
+        "associations diverged"
+    );
+    assert_eq!(j(&reports.ratios), j(&ratio_histogram(&ctx)), "ratio histogram diverged");
+    assert_eq!(j(&reports.timeline), j(&ctx.monthly_series()), "timeline diverged");
+    assert_eq!(
+        j(&reports.laundering),
+        j(&ctx.laundering_report(&f.world.labels)),
+        "laundering report diverged"
+    );
+}
+
+/// Full paper-scale equivalence — minutes of CPU, so opt-in:
+/// `cargo test -p daas-measure --test parallel_equivalence --release -- --ignored`.
+#[test]
+#[ignore = "paper-scale world; run via ci.sh or -- --ignored"]
+fn thread_counts_agree_at_paper_scale() {
+    let f = Fix { world: World::build(&WorldConfig::paper_scale(42)).expect("world builds") };
+    let oracle = bundle(&f, 1);
+    assert_eq!(bundle(&f, 0), oracle, "parallel report bundle diverged at paper scale");
+}

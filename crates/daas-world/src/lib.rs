@@ -67,6 +67,21 @@ impl World {
         gen::build(config)
     }
 
+    /// [`World::build`] with an explicit planner thread count (`0` = all
+    /// cores, `1` = the sequential oracle). The thread count is a
+    /// schedule, never data: the world is byte-identical at every
+    /// setting.
+    pub fn build_with(config: &WorldConfig, threads: usize) -> Result<World, String> {
+        gen::build_with(config, threads)
+    }
+
+    /// [`World::build_with`] plus an explicit chain shard count (`0` =
+    /// the default, otherwise a power of two). Shards are memory layout,
+    /// never data.
+    pub fn build_opts(config: &WorldConfig, threads: usize, shards: usize) -> Result<World, String> {
+        gen::build_opts(config, threads, shards)
+    }
+
     /// A crawler over this world's website population (the urlscan.io
     /// stand-in), honouring taken-down sites.
     pub fn crawler(&self) -> WorldCrawler<'_> {

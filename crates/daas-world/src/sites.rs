@@ -277,6 +277,26 @@ pub fn generate_sites(
         cfg.families.iter().map(|f| f.victims as f64).collect();
     let family_picker = Weighted::new(&victim_weights);
     let n_sites = cfg.scaled(cfg.drainer_sites) as usize;
+    // Toolkit build digests repeat across every site serving the same
+    // family × version; hash each distinct build once up front instead
+    // of re-running keccak per deployed site. Same for the shared CDN
+    // library, which is identical everywhere.
+    let toolkit_hashes: Vec<Vec<Vec<u64>>> = cfg
+        .families
+        .iter()
+        .map(|fam_cfg| {
+            (0..fam_cfg.toolkit_versions.max(1))
+                .map(|version| {
+                    fam_cfg
+                        .toolkit_files
+                        .iter()
+                        .map(|file| build_hash(&fam_cfg.slug, file, version))
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    let ethers_hash = build_hash("shared", "ethers.umd.min.js", 0);
     for _ in 0..n_sites {
         let fi = family_picker.sample(rng);
         let fam_cfg = &cfg.families[fi];
@@ -303,10 +323,10 @@ pub fn generate_sites(
             // The CDN library from Listing 2 — identical everywhere, and
             // deliberately NOT a usable fingerprint (benign sites may
             // serve it too).
-            SiteFile::new("ethers.umd.min.js", build_hash("shared", "ethers.umd.min.js", 0)),
+            SiteFile::new("ethers.umd.min.js", ethers_hash),
         ];
-        for file in &fam_cfg.toolkit_files {
-            files.push(SiteFile::new(file, build_hash(&fam_cfg.slug, file, version)));
+        for (k, file) in fam_cfg.toolkit_files.iter().enumerate() {
+            files.push(SiteFile::new(file, toolkit_hashes[fi][version as usize][k]));
         }
         // The per-affiliate config blob with a unique random name
         // (Listing 2's `8839a83b-….js`): unique name AND content, so it

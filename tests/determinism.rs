@@ -46,6 +46,34 @@ fn pipeline_fingerprint(world: &World, threads: usize) -> u64 {
     hash
 }
 
+/// One number summarising a generated world: FNV-1a over the serialized
+/// chain artifact.
+fn world_fingerprint(threads: usize, shards: usize) -> u64 {
+    let world = World::build_opts(&WorldConfig::tiny(7), threads, shards).expect("world");
+    let mut hash = 0xcbf29ce484222325u64;
+    for byte in serde_json::to_string(&world.chain).expect("chain serialises").bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+#[test]
+fn world_hash_stable_across_thread_and_shard_counts() {
+    // Planner threads are a schedule and chain shards are a memory
+    // layout — the generated world never changes with either.
+    let reference = world_fingerprint(1, 1);
+    for threads in [1usize, 2, 4, 0] {
+        for shards in [1usize, 4, 16] {
+            assert_eq!(
+                world_fingerprint(threads, shards),
+                reference,
+                "world hash drifted at threads={threads} shards={shards}"
+            );
+        }
+    }
+}
+
 #[test]
 fn pipeline_hash_stable_across_thread_counts() {
     let world = World::build(&WorldConfig::tiny(7)).expect("world");
