@@ -18,6 +18,13 @@ cargo test -q -p daas-cluster --test parallel_equivalence -- --test-threads 4
 cargo test -q -p daas-measure --test parallel_equivalence -- --test-threads 4
 cargo test -q --test determinism -- --test-threads 4
 
+# ---- Streaming (live) equivalence suites: online detector →
+#      incremental clusterer → live measurement vs the batch oracle. ----
+cargo test -q -p daas-detector --test online_equivalence -- --test-threads 4
+cargo test -q -p daas-cluster --test live_equivalence -- --test-threads 4
+cargo test -q -p daas-measure --test live_equivalence -- --test-threads 4
+cargo test -q --test live_equivalence -- --test-threads 4
+
 # ---- Everything else. ----
 cargo test -q --workspace
 
@@ -28,6 +35,9 @@ if [[ "${CI_FULL_SCALE:-1}" == "1" ]]; then
   cargo test -q --release -p daas-detector --test parallel_equivalence -- --ignored --test-threads 1
   cargo test -q --release -p daas-cluster --test parallel_equivalence -- --ignored --test-threads 1
   cargo test -q --release -p daas-measure --test parallel_equivalence -- --ignored --test-threads 1
+  cargo test -q --release -p daas-cluster --test live_equivalence -- --ignored --test-threads 1
+  cargo test -q --release -p daas-measure --test live_equivalence -- --ignored --test-threads 1
+  cargo test -q --release --test live_equivalence -- --ignored --test-threads 1
 fi
 
 # ---- Throughput tracking: writes BENCH_<group>.json (see BENCH_OUT_DIR)
@@ -36,3 +46,4 @@ cargo bench -p daas-bench --bench world_build
 cargo bench -p daas-bench --bench snowball_parallel
 cargo bench -p daas-bench --bench cluster_parallel
 cargo bench -p daas-bench --bench measure_reports
+cargo bench -p daas-bench --bench live_pipeline

@@ -16,9 +16,15 @@
 //!                never data
 //!   --timings    print the per-stage wall-clock breakdown
 //!                (world | snowball | clustering | measure | render)
+//!   --live       replay the world in block windows through the
+//!                streaming stack (online detector → incremental
+//!                clusterer → live measurement), then re-verify against
+//!                the one-shot batch pipeline; a mismatch fails the run
+//!   --window N   sealed blocks per live window (default 7200, one
+//!                day's worth of 12-second slots)
 //!   --exp NAME   one of: table1 table2 table3 table4 fig4 fig6 fig7
 //!                ratios scale lifecycles community validation all
-//!                (default: all)
+//!                (default: all; ignored with --live)
 //! ```
 
 use std::process::ExitCode;
@@ -44,6 +50,8 @@ fn main() -> ExitCode {
     let mut threads = 0usize;
     let mut shards = 0usize;
     let mut timings = false;
+    let mut live = false;
+    let mut window_blocks = 7_200u64;
     let mut experiments: Vec<String> = Vec::new();
     let mut export: Option<String> = None;
     let mut config_path: Option<String> = None;
@@ -77,6 +85,11 @@ fn main() -> ExitCode {
                 _ => return usage("--shards needs a power of two (0 = default)"),
             },
             "--timings" => timings = true,
+            "--live" => live = true,
+            "--window" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => window_blocks = v,
+                _ => return usage("--window needs a positive block count"),
+            },
             "--config" => match args.next() {
                 Some(path) => config_path = Some(path),
                 None => return usage("--config needs a file path"),
@@ -156,6 +169,9 @@ fn main() -> ExitCode {
     let (seed, scale) = (config.seed, config.scale);
     eprintln!("building world (seed {seed}, scale {scale}) …");
     let snowball = SnowballConfig { threads, ..Default::default() };
+    if live {
+        return run_live(&config, &snowball, shards, window_blocks, threads, timings);
+    }
     let pipeline = match run_pipeline_sharded(&config, &snowball, shards) {
         Ok(p) => p,
         Err(e) => {
@@ -240,6 +256,95 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The `--live` mode: stream the world in block windows, print each
+/// window's deltas, then report the batch re-verification verdict.
+fn run_live(
+    config: &WorldConfig,
+    snowball: &SnowballConfig,
+    shards: usize,
+    window_blocks: u64,
+    threads: usize,
+    timings: bool,
+) -> ExitCode {
+    let measure_cfg = MeasureConfig { threads };
+    let run = match daas_cli::Pipeline::live(
+        config,
+        snowball,
+        shards,
+        window_blocks,
+        &measure_cfg,
+        |w| {
+            if w.new_ps_txs > 0 || w.new_contracts > 0 {
+                eprintln!(
+                    "window {:>4} | blocks {:>7}-{:<7} | +{} contracts +{} operators \
+                     +{} affiliates +{} txs | {} families | ${:.0} | \
+                     detect {:.2?} cluster {:.2?} measure {:.2?}",
+                    w.index,
+                    w.first_block,
+                    w.last_block,
+                    w.new_contracts,
+                    w.new_operators,
+                    w.new_affiliates,
+                    w.new_ps_txs,
+                    w.families,
+                    w.usd_delta,
+                    w.detect_time,
+                    w.cluster_time,
+                    w.measure_time,
+                );
+            }
+        },
+    ) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("live pipeline failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let counts = run.dataset.counts();
+    let stats = &run.clusterer_stats;
+    println!(
+        "live replay: {} windows of {} blocks | {} contracts, {} operators, {} affiliates, {} profit-sharing txs",
+        run.windows.len(),
+        window_blocks,
+        counts.contracts,
+        counts.operators,
+        counts.affiliates,
+        counts.ps_txs,
+    );
+    println!(
+        "clustering: {} families | {} union edges, {} merges, {} rebuilds | {} assemblies, {} cache reuses",
+        run.clustering.families.len(),
+        stats.edges,
+        stats.merges,
+        stats.rebuilds,
+        stats.families_assembled,
+        stats.families_reused,
+    );
+    println!(
+        "measurement: {} victims, ${:.0} stolen",
+        run.reports.victims.victims, run.reports.victims.total_usd,
+    );
+    if timings {
+        let (tw, tr, tm, tv) = run.live_timings;
+        eprintln!(
+            "timings: world {} | replay {} | reports {} | batch verify {}",
+            fmt_stage(tw),
+            fmt_stage(tr),
+            fmt_stage(tm),
+            fmt_stage(tv),
+        );
+    }
+    if run.batch_matches {
+        println!("batch equivalence: OK (dataset, clustering and reports byte-identical)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("batch equivalence: MISMATCH — streaming diverged from the batch pipeline");
+        ExitCode::FAILURE
+    }
+}
+
 fn fmt_stage(d: Duration) -> String {
     format!("{:.2?}", d)
 }
@@ -249,7 +354,7 @@ fn usage(error: &str) -> ExitCode {
         eprintln!("error: {error}\n");
     }
     eprintln!(
-        "usage: daas-lab [--seed N] [--scale F] [--threads N] [--config FILE] [--dump-config FILE] [--export FILE] [--exp NAME]...\n       experiments: {} all",
+        "usage: daas-lab [--seed N] [--scale F] [--threads N] [--config FILE] [--dump-config FILE] [--export FILE] [--live] [--window N] [--exp NAME]...\n       experiments: {} all",
         ALL_EXPERIMENTS.join(" ")
     );
     if error.is_empty() {

@@ -117,17 +117,23 @@ struct EdgeBatch {
 
 /// Scans one chunk of operators for union candidates — a pure function
 /// of the (immutable) chain, labels and dataset, so batches are
-/// identical whichever worker produces them.
+/// identical whichever worker produces them. Only transactions below
+/// `watermark` participate (histories are ascending, so the scan stops
+/// early); the full-chain case passes `TxId::MAX`.
 fn extract_edges(
     reader: ChainReader<'_>,
     ops: &[Address],
     op_set: &HashSet<Address>,
     labels: &LabelStore,
     dataset: &Dataset,
+    watermark: TxId,
 ) -> EdgeBatch {
     let mut batch = EdgeBatch::default();
     for &op in ops {
         for &txid in reader.txs_of(op) {
+            if txid >= watermark {
+                break;
+            }
             let tx = reader.tx(txid);
             for party in tx.touched_addresses() {
                 if party == op {
@@ -159,6 +165,21 @@ pub fn cluster_with(
     dataset: &Dataset,
     cfg: &ClusterConfig,
 ) -> Clustering {
+    cluster_prefix(chain, labels, dataset, TxId::MAX, cfg)
+}
+
+/// Clusters the dataset against the chain prefix `[0, watermark)` —
+/// the batch oracle the streaming [`crate::OnlineClusterer`] is proven
+/// against at every poll boundary. The dataset must itself be
+/// watermark-consistent (e.g. `OnlineDetector::dataset()` after
+/// `poll_until(watermark)`); [`cluster_with`] is the full-chain case.
+pub fn cluster_prefix(
+    chain: &Chain,
+    labels: &LabelStore,
+    dataset: &Dataset,
+    watermark: TxId,
+    cfg: &ClusterConfig,
+) -> Clustering {
     let operators: Vec<Address> = dataset.operators.iter().copied().collect();
     let op_set: HashSet<Address> = operators.iter().copied().collect();
     let threads = cfg.effective_threads();
@@ -166,7 +187,7 @@ pub fn cluster_with(
     // ---- Step 1, extract phase: union candidates per operator chunk. ----
     let reader = chain.reader();
     let batches: Vec<EdgeBatch> = if threads <= 1 || operators.len() < 2 {
-        vec![extract_edges(reader, &operators, &op_set, labels, dataset)]
+        vec![extract_edges(reader, &operators, &op_set, labels, dataset, watermark)]
     } else {
         let workers = threads.min(operators.len());
         let chunk = operators.len().div_ceil(workers);
@@ -175,7 +196,8 @@ pub fn cluster_with(
             let handles: Vec<_> = operators
                 .chunks(chunk)
                 .map(|part| {
-                    scope.spawn(move |_| extract_edges(reader, part, op_set, labels, dataset))
+                    scope
+                        .spawn(move |_| extract_edges(reader, part, op_set, labels, dataset, watermark))
                 })
                 .collect();
             // Joining in spawn order keeps the batch sequence — and the
@@ -223,17 +245,7 @@ pub fn cluster_with(
         }
     }
 
-    // Majority vote across associated operators (ties go to the smaller
-    // component index for determinism).
-    let vote = |ops: &[Address]| -> Option<usize> {
-        let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
-        for op in ops {
-            if let Some(&c) = op_component.get(op) {
-                *counts.entry(c).or_default() += 1;
-            }
-        }
-        counts.into_iter().max_by_key(|&(c, n)| (n, usize::MAX - c)).map(|(c, _)| c)
-    };
+    let vote = |ops: &[Address]| vote_component(ops, &op_component);
 
     let mut fam_contracts: Vec<BTreeSet<Address>> = vec![BTreeSet::new(); components.len()];
     let mut fam_affiliates: Vec<BTreeSet<Address>> = vec![BTreeSet::new(); components.len()];
@@ -307,7 +319,24 @@ pub fn cluster_with(
     Clustering { families }
 }
 
-fn is_labeled_phishing(labels: &LabelStore, address: Address) -> bool {
+/// Majority vote across a member's associated operators (ties go to the
+/// smaller component index for determinism). Shared by the batch
+/// assembly above and the streaming [`crate::OnlineClusterer`] so the
+/// assignment rule is never forked.
+pub(crate) fn vote_component(
+    ops: &[Address],
+    op_component: &HashMap<Address, usize>,
+) -> Option<usize> {
+    let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+    for op in ops {
+        if let Some(&c) = op_component.get(op) {
+            *counts.entry(c).or_default() += 1;
+        }
+    }
+    counts.into_iter().max_by_key(|&(c, n)| (n, usize::MAX - c)).map(|(c, _)| c)
+}
+
+pub(crate) fn is_labeled_phishing(labels: &LabelStore, address: Address) -> bool {
     labels
         .labels_of(address)
         .iter()
@@ -316,7 +345,7 @@ fn is_labeled_phishing(labels: &LabelStore, address: Address) -> bool {
 
 /// The paper's naming rule: an explorer family label on any member wins;
 /// otherwise the first six hex digits of the lead operator.
-fn family_name(labels: &LabelStore, operators: &[Address], contracts: &[Address]) -> String {
+pub(crate) fn family_name(labels: &LabelStore, operators: &[Address], contracts: &[Address]) -> String {
     for &member in operators.iter().chain(contracts) {
         if let Some(name) = labels.family_name(member) {
             return name.to_owned();

@@ -19,6 +19,11 @@
 //! chain reader ([`cluster_with`], [`ClusterConfig`]); the output is
 //! byte-identical at any thread count and any chain shard count — see
 //! `tests/parallel_equivalence.rs`.
+//!
+//! Streaming ([`OnlineClusterer`]): families maintained incrementally
+//! from the online detector's event feed, byte-identical to the batch
+//! oracle [`cluster_prefix`] at every poll boundary — see
+//! `tests/live_equivalence.rs` and DESIGN.md §10.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,9 +31,11 @@
 mod families;
 mod forensics;
 mod lifecycle;
+mod online;
 mod profile;
 
-pub use families::{cluster, cluster_with, ClusterConfig, Clustering, Family};
+pub use families::{cluster, cluster_prefix, cluster_with, ClusterConfig, Clustering, Family};
+pub use online::{OnlineClusterer, OnlineClustererStats};
 pub use forensics::{family_forensics, FamilyForensics};
 pub use lifecycle::{primary_lifecycles, primary_lifecycles_with, LifecycleStats};
 pub use profile::{contract_profile, contract_profile_with, ContractProfile};

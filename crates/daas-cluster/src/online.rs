@@ -1,0 +1,572 @@
+//! Streaming §7.1 clustering: families maintained per poll.
+//!
+//! [`OnlineClusterer`] consumes the [`DetectorEvent`] feed of
+//! [`daas_detector::OnlineDetector`] and keeps the operator union-find
+//! and family membership incremental, so a deployed observatory updates
+//! families per block window instead of re-clustering the chain from
+//! scratch (DESIGN.md §10). At every poll boundary
+//! [`OnlineClusterer::clustering`] is byte-identical to the batch
+//! oracle [`crate::cluster_prefix`] run at the same watermark.
+//!
+//! ## Merge semantics
+//!
+//! The incremental state mirrors the batch phases:
+//!
+//! * **Edges.** A new operator's confirmed history is scanned once on
+//!   admission; subsequent windows scan only their own transactions.
+//!   Direct operator↔operator touches and (labeled-phish account,
+//!   operator) touches land in retained edge sets and feed the
+//!   union-find as they arrive ([`txgraph::UnionFind::union`] reports
+//!   whether components actually merged). Both scans test membership
+//!   against the post-poll dataset, matching the batch-at-watermark
+//!   semantics; double-scanned transactions are harmless because edges
+//!   are sets.
+//! * **Revocation.** A phish-touch chain becomes invalid the moment the
+//!   touched account itself joins the dataset (the batch rule excludes
+//!   dataset members). A union-find cannot split, so the clusterer
+//!   rebuilds it from the retained edge sets on that (rare) event —
+//!   everything else stays incremental.
+//! * **Family cache.** Assembled families are cached per component
+//!   (keyed by the component's smallest member). A snapshot recomputes
+//!   the cheap integer vote assignment and reuses every cached family
+//!   whose inputs — members, assigned contracts/affiliates, transaction
+//!   sets — are unchanged; merges therefore rebuild only the affected
+//!   families.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
+
+use daas_chain::{Chain, LabelStore, TxId};
+use daas_detector::{ClassificationCache, ClassifierConfig, Dataset, DetectorEvent};
+use eth_types::Address;
+use txgraph::UnionFind;
+
+use crate::families::{family_name, is_labeled_phishing, vote_component, Clustering, Family};
+
+/// Counters describing how much incremental work the clusterer did —
+/// the observable evidence that snapshots reuse prior state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OnlineClustererStats {
+    /// Union-find merges (edges that actually joined two components).
+    pub merges: usize,
+    /// Distinct edges retained (direct + phish-touch).
+    pub edges: usize,
+    /// Full union-find rebuilds forced by phish-touch revocations.
+    pub rebuilds: usize,
+    /// Families served from the assembly cache across all snapshots.
+    pub families_reused: usize,
+    /// Families (re-)assembled across all snapshots.
+    pub families_assembled: usize,
+}
+
+/// One cached family assembly and the exact inputs it was built from.
+#[derive(Debug, Clone)]
+struct CachedFamily {
+    operators: Vec<Address>,
+    contracts: Vec<Address>,
+    affiliates: Vec<Address>,
+    family: Family,
+}
+
+/// Incremental §7.1 clusterer. See the module docs for the invariants.
+#[derive(Debug, Clone)]
+pub struct OnlineClusterer {
+    classifier: ClassifierConfig,
+    cache: Arc<ClassificationCache>,
+    watermark: TxId,
+    uf: UnionFind,
+    operators: HashSet<Address>,
+    /// Normalized (min, max) direct operator↔operator edges.
+    direct_edges: BTreeSet<(Address, Address)>,
+    /// Labeled-phish account → operators that touched it. Entries are
+    /// revoked (and the union-find rebuilt) when the account joins the
+    /// dataset.
+    phish_touch: BTreeMap<Address, BTreeSet<Address>>,
+    /// Vote multisets, one entry per observation (batch step 2).
+    contract_ops: HashMap<Address, Vec<Address>>,
+    affiliate_ops: HashMap<Address, Vec<Address>>,
+    /// Profit-sharing transactions per contract.
+    contract_txs: HashMap<Address, BTreeSet<TxId>>,
+    /// Contracts whose transaction set grew since the last snapshot.
+    txs_dirty: HashSet<Address>,
+    /// Family assembly cache, keyed by the component's smallest member.
+    assembled: HashMap<Address, CachedFamily>,
+    stats: OnlineClustererStats,
+}
+
+impl OnlineClusterer {
+    /// Creates a clusterer with its own classification cache.
+    pub fn new(classifier: ClassifierConfig) -> Self {
+        Self::with_cache(classifier, Arc::new(ClassificationCache::new()))
+    }
+
+    /// Creates a clusterer sharing a classification cache — in live mode
+    /// the same [`Arc`] backs the detector, the clusterer and the final
+    /// batch re-verification, so no transaction is classified twice. The
+    /// cache must match `classifier`.
+    pub fn with_cache(classifier: ClassifierConfig, cache: Arc<ClassificationCache>) -> Self {
+        OnlineClusterer {
+            classifier,
+            cache,
+            watermark: 0,
+            uf: UnionFind::new(),
+            operators: HashSet::new(),
+            direct_edges: BTreeSet::new(),
+            phish_touch: BTreeMap::new(),
+            contract_ops: HashMap::new(),
+            affiliate_ops: HashMap::new(),
+            contract_txs: HashMap::new(),
+            txs_dirty: HashSet::new(),
+            assembled: HashMap::new(),
+            stats: OnlineClustererStats::default(),
+        }
+    }
+
+    /// Transactions ingested so far (exclusive upper bound).
+    pub fn watermark(&self) -> TxId {
+        self.watermark
+    }
+
+    /// Incremental-work counters.
+    pub fn stats(&self) -> OnlineClustererStats {
+        self.stats
+    }
+
+    /// Ingests one poll: the detector's events plus the transaction
+    /// window `[previous watermark, watermark)`. `dataset` must be the
+    /// detector's dataset *after* the poll that produced `events`, and
+    /// `watermark` the detector's cursor — membership checks follow the
+    /// batch-at-watermark semantics.
+    pub fn ingest(
+        &mut self,
+        chain: &Chain,
+        labels: &LabelStore,
+        dataset: &Dataset,
+        events: &[DetectorEvent],
+        watermark: TxId,
+    ) {
+        let lo = self.watermark;
+        let hi = watermark.min(chain.transactions().len() as TxId).max(lo);
+        self.watermark = hi;
+
+        let mut needs_rebuild = false;
+        for event in events {
+            match event {
+                DetectorEvent::ContractAdmitted { contract, .. } => {
+                    needs_rebuild |= self.revoke(*contract);
+                }
+                DetectorEvent::PsTransaction { tx, contract } => {
+                    let obs = self
+                        .cache
+                        .classify(chain, *tx, &self.classifier)
+                        .expect("a PsTransaction event classifies positively");
+                    self.contract_ops.entry(*contract).or_default().push(obs.operator);
+                    self.affiliate_ops.entry(obs.affiliate).or_default().push(obs.operator);
+                    if self.contract_txs.entry(*contract).or_default().insert(*tx) {
+                        self.txs_dirty.insert(*contract);
+                    }
+                }
+                DetectorEvent::OperatorObserved(op) => {
+                    needs_rebuild |= self.revoke(*op);
+                    self.admit_operator(chain, labels, dataset, *op);
+                }
+                DetectorEvent::AffiliateObserved(aff) => {
+                    needs_rebuild |= self.revoke(*aff);
+                }
+            }
+        }
+
+        // Window scan: only the new transactions. An operator admitted
+        // mid-poll already scanned its full history above, so together
+        // the two scans cover exactly what the batch extract sees at
+        // this watermark.
+        for txid in lo..hi {
+            let tx = chain.tx(txid);
+            let touched = tx.touched_addresses();
+            let mut ops_in: Vec<Address> =
+                touched.iter().copied().filter(|a| self.operators.contains(a)).collect();
+            ops_in.sort_unstable();
+            ops_in.dedup();
+            for (i, &a) in ops_in.iter().enumerate() {
+                for &b in &ops_in[i + 1..] {
+                    self.add_edge(a, b);
+                }
+            }
+            if !ops_in.is_empty() {
+                for &party in &touched {
+                    if !self.operators.contains(&party)
+                        && is_labeled_phishing(labels, party)
+                        && !dataset.contains(party)
+                    {
+                        for i in 0..ops_in.len() {
+                            self.add_phish_touch(party, ops_in[i]);
+                        }
+                    }
+                }
+            }
+        }
+
+        if needs_rebuild {
+            self.rebuild();
+        }
+    }
+
+    /// Admits a new operator: interns it and scans its full confirmed
+    /// history (the streaming equivalent of the batch per-operator
+    /// extract).
+    fn admit_operator(&mut self, chain: &Chain, labels: &LabelStore, dataset: &Dataset, op: Address) {
+        if !self.operators.insert(op) {
+            return;
+        }
+        self.uf.insert(op);
+        for &txid in chain.txs_of(op) {
+            if txid >= self.watermark {
+                break;
+            }
+            let tx = chain.tx(txid);
+            for party in tx.touched_addresses() {
+                if party == op {
+                    continue;
+                }
+                if self.operators.contains(&party) {
+                    self.add_edge(op, party);
+                } else if is_labeled_phishing(labels, party) && !dataset.contains(party) {
+                    self.add_phish_touch(party, op);
+                }
+            }
+        }
+    }
+
+    fn add_edge(&mut self, a: Address, b: Address) {
+        let key = if a < b { (a, b) } else { (b, a) };
+        if self.direct_edges.insert(key) {
+            self.stats.edges += 1;
+            self.stats.merges += self.uf.union(a, b) as usize;
+        }
+    }
+
+    fn add_phish_touch(&mut self, party: Address, op: Address) {
+        let set = self.phish_touch.entry(party).or_default();
+        if set.insert(op) {
+            self.stats.edges += 1;
+            // Chain the newcomer to any existing member: transitively
+            // identical to the batch `windows(2)` sweep over the set.
+            if let Some(&other) = set.iter().find(|&&x| x != op) {
+                self.stats.merges += self.uf.union(op, other) as usize;
+            }
+        }
+    }
+
+    /// Drops a phish-touch entry when the account joins the dataset.
+    /// Returns `true` if anything was revoked (forcing a rebuild — a
+    /// union-find cannot split).
+    fn revoke(&mut self, address: Address) -> bool {
+        self.phish_touch.remove(&address).is_some()
+    }
+
+    /// Rebuilds the union-find from the retained edge sets after a
+    /// revocation, and drops every cached family (memberships may have
+    /// split).
+    fn rebuild(&mut self) {
+        let mut uf = UnionFind::new();
+        let mut ops: Vec<Address> = self.operators.iter().copied().collect();
+        ops.sort_unstable();
+        for &op in &ops {
+            uf.insert(op);
+        }
+        for &(a, b) in &self.direct_edges {
+            uf.union(a, b);
+        }
+        for members in self.phish_touch.values() {
+            let chain: Vec<Address> = members.iter().copied().collect();
+            for pair in chain.windows(2) {
+                uf.union(pair[0], pair[1]);
+            }
+        }
+        self.uf = uf;
+        self.assembled.clear();
+        self.stats.rebuilds += 1;
+    }
+
+    /// The current clustering — byte-identical to
+    /// [`crate::cluster_prefix`] run at [`Self::watermark`] with the
+    /// same dataset. Cheap relative to the batch path: the vote
+    /// assignment is an integer pass over retained multisets (no chain
+    /// access), and family assembly is served from the cache for every
+    /// component whose inputs did not change. `labels` must be the same
+    /// (immutable) store every ingest saw — cached names assume it.
+    pub fn clustering(&mut self, labels: &LabelStore) -> Clustering {
+        let components = self.uf.components();
+        let mut op_component: HashMap<Address, usize> = HashMap::new();
+        for (ci, comp) in components.iter().enumerate() {
+            for &op in comp {
+                op_component.insert(op, ci);
+            }
+        }
+
+        let mut fam_contracts: Vec<BTreeSet<Address>> = vec![BTreeSet::new(); components.len()];
+        let mut fam_affiliates: Vec<BTreeSet<Address>> = vec![BTreeSet::new(); components.len()];
+        for (&contract, ops) in &self.contract_ops {
+            if let Some(c) = vote_component(ops, &op_component) {
+                fam_contracts[c].insert(contract);
+            }
+        }
+        for (&aff, ops) in &self.affiliate_ops {
+            if let Some(c) = vote_component(ops, &op_component) {
+                fam_affiliates[c].insert(aff);
+            }
+        }
+
+        let mut families: Vec<Family> = Vec::with_capacity(components.len());
+        for (ci, comp) in components.iter().enumerate() {
+            let key = comp[0];
+            let contracts: Vec<Address> = fam_contracts[ci].iter().copied().collect();
+            let affiliates: Vec<Address> = fam_affiliates[ci].iter().copied().collect();
+            let cached_ok = self.assembled.get(&key).is_some_and(|c| {
+                c.operators == *comp
+                    && c.contracts == contracts
+                    && c.affiliates == affiliates
+                    && contracts.iter().all(|ct| !self.txs_dirty.contains(ct))
+            });
+            if cached_ok {
+                self.stats.families_reused += 1;
+                families.push(self.assembled[&key].family.clone());
+                continue;
+            }
+            let mut ps_txs: BTreeSet<TxId> = BTreeSet::new();
+            for ct in &contracts {
+                if let Some(txs) = self.contract_txs.get(ct) {
+                    ps_txs.extend(txs.iter().copied());
+                }
+            }
+            let family = Family {
+                id: 0, // assigned after sorting, as in the batch path
+                name: family_name(labels, comp, &contracts),
+                operators: comp.clone(),
+                contracts: contracts.clone(),
+                affiliates: affiliates.clone(),
+                ps_txs: ps_txs.into_iter().collect(),
+            };
+            self.stats.families_assembled += 1;
+            self.assembled.insert(
+                key,
+                CachedFamily {
+                    operators: comp.clone(),
+                    contracts,
+                    affiliates,
+                    family: family.clone(),
+                },
+            );
+            families.push(family);
+        }
+        self.txs_dirty.clear();
+
+        families
+            .sort_by(|a, b| b.ps_txs.len().cmp(&a.ps_txs.len()).then_with(|| a.name.cmp(&b.name)));
+        for (i, f) in families.iter_mut().enumerate() {
+            f.id = i;
+        }
+        Clustering { families }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::cluster_with;
+    use crate::ClusterConfig;
+    use daas_chain::{ContractKind, EntryStyle, Label, LabelCategory, LabelSource, ProfitSharingSpec};
+    use daas_detector::Admission;
+    use eth_types::units::ether;
+
+    /// The `families.rs` fixture: three operators with one contract /
+    /// affiliate / profit-sharing tx each, operators A and B linked by a
+    /// direct transfer, operator A labeled as a drainer family.
+    fn setup() -> (Chain, LabelStore, Dataset, [Address; 3]) {
+        let mut chain = Chain::new();
+        let mut labels = LabelStore::new();
+        let op_a = chain.create_eoa_funded(b"opA", ether(10)).unwrap();
+        let op_b = chain.create_eoa_funded(b"opB", ether(10)).unwrap();
+        let op_c = chain.create_eoa_funded(b"opC", ether(10)).unwrap();
+
+        let mut dataset = Dataset::default();
+        for (op, seed) in [(op_a, b"aff-a".as_slice()), (op_b, b"aff-b"), (op_c, b"aff-c")] {
+            let aff = chain.create_eoa(seed).unwrap();
+            let contract = chain
+                .deploy_contract(
+                    op,
+                    ContractKind::ProfitSharing(ProfitSharingSpec {
+                        operator: op,
+                        operator_bps: 2000,
+                        entry: EntryStyle::PayableFallback,
+                    }),
+                )
+                .unwrap();
+            let victim = chain
+                .create_eoa_funded(format!("v-{contract}").as_bytes(), ether(50))
+                .unwrap();
+            chain.advance(12);
+            let tx = chain.claim_eth(victim, contract, ether(10), aff).unwrap();
+            let obs = daas_detector::classify_tx(chain.tx(tx), &Default::default()).unwrap();
+            dataset.absorb(obs);
+        }
+        dataset.operators.extend([op_a, op_b, op_c]);
+
+        chain.advance(12);
+        chain.transfer_eth(op_a, op_b, ether(1)).unwrap();
+
+        labels.add(Label {
+            address: op_a,
+            source: LabelSource::Etherscan,
+            category: LabelCategory::DrainerFamily,
+            text: "Angel Drainer".into(),
+        });
+        (chain, labels, dataset, [op_a, op_b, op_c])
+    }
+
+    /// Synthesizes the event feed the detector would have produced for
+    /// this dataset (one admission + tx + role pair per observation).
+    fn events_for(dataset: &Dataset) -> Vec<DetectorEvent> {
+        let mut events = Vec::new();
+        let mut seen_ops: HashSet<Address> = HashSet::new();
+        let mut seen_affs: HashSet<Address> = HashSet::new();
+        let mut seen_contracts: HashSet<Address> = HashSet::new();
+        for obs in &dataset.observations {
+            if seen_contracts.insert(obs.contract) {
+                events.push(DetectorEvent::ContractAdmitted {
+                    contract: obs.contract,
+                    via: Admission::SeedLabel,
+                });
+            }
+            events.push(DetectorEvent::PsTransaction { tx: obs.tx, contract: obs.contract });
+            if seen_ops.insert(obs.operator) {
+                events.push(DetectorEvent::OperatorObserved(obs.operator));
+            }
+            if seen_affs.insert(obs.affiliate) {
+                events.push(DetectorEvent::AffiliateObserved(obs.affiliate));
+            }
+        }
+        events
+    }
+
+    fn json(c: &Clustering) -> String {
+        serde_json::to_string(c).expect("clustering serializes")
+    }
+
+    #[test]
+    fn single_poll_matches_batch() {
+        let (chain, labels, dataset, _) = setup();
+        let mut online = OnlineClusterer::new(ClassifierConfig::default());
+        let watermark = chain.transactions().len() as TxId;
+        online.ingest(&chain, &labels, &dataset, &events_for(&dataset), watermark);
+        let live = online.clustering(&labels);
+        let batch = cluster_with(&chain, &labels, &dataset, &ClusterConfig::sequential());
+        assert_eq!(json(&live), json(&batch));
+        assert_eq!(live.families.len(), 2, "A+B merged, C alone");
+        assert!(online.stats().merges >= 1);
+        assert_eq!(online.stats().rebuilds, 0);
+    }
+
+    #[test]
+    fn repeated_snapshots_reuse_every_family() {
+        let (chain, labels, dataset, _) = setup();
+        let mut online = OnlineClusterer::new(ClassifierConfig::default());
+        let watermark = chain.transactions().len() as TxId;
+        online.ingest(&chain, &labels, &dataset, &events_for(&dataset), watermark);
+        let first = json(&online.clustering(&labels));
+        assert_eq!(online.stats().families_reused, 0);
+        let again = json(&online.clustering(&labels));
+        assert_eq!(first, again, "idle snapshot is identical");
+        assert_eq!(online.stats().families_reused, 2, "both families served from cache");
+    }
+
+    /// A new profit-sharing transaction on one family must not rebuild
+    /// the other family's assembly.
+    #[test]
+    fn untouched_families_are_cached_across_polls() {
+        let (mut chain, labels, mut dataset, [op_a, ..]) = setup();
+        let mut online = OnlineClusterer::new(ClassifierConfig::default());
+        let watermark = chain.transactions().len() as TxId;
+        online.ingest(&chain, &labels, &dataset, &events_for(&dataset), watermark);
+        online.clustering(&labels);
+
+        // Second poll: one more claim through A's contract.
+        let contract_a = dataset
+            .observations
+            .iter()
+            .find(|o| o.operator == op_a)
+            .map(|o| o.contract)
+            .unwrap();
+        let victim = chain.create_eoa_funded(b"v-late", ether(50)).unwrap();
+        let aff = dataset.observations[0].affiliate;
+        chain.advance(12);
+        let tx = chain.claim_eth(victim, contract_a, ether(5), aff).unwrap();
+        let obs = daas_detector::classify_tx(chain.tx(tx), &Default::default()).unwrap();
+        dataset.absorb(obs);
+        let events = [DetectorEvent::PsTransaction { tx, contract: contract_a }];
+        online.ingest(&chain, &labels, &dataset, &events, chain.transactions().len() as TxId);
+
+        let reused_before = online.stats().families_reused;
+        let live = online.clustering(&labels);
+        assert_eq!(
+            online.stats().families_reused,
+            reused_before + 1,
+            "the family without new activity is reused"
+        );
+        let batch = cluster_with(&chain, &labels, &dataset, &ClusterConfig::sequential());
+        assert_eq!(json(&live), json(&batch));
+    }
+
+    /// A phish-touch chain is revoked — and the union-find rebuilt —
+    /// when the shared account itself joins the dataset.
+    #[test]
+    fn phish_revocation_splits_the_family() {
+        let (mut chain, mut labels, mut dataset, [op_a, _, op_c]) = setup();
+        // op_a and op_c both touch an old labeled phishing EOA.
+        let phish = chain.create_eoa(b"old-phish").unwrap();
+        labels.add_phishing(phish, LabelSource::Etherscan, "Fake_Phishing123");
+        chain.advance(12);
+        chain.transfer_eth(op_a, phish, ether(1)).unwrap();
+        chain.transfer_eth(op_c, phish, ether(1)).unwrap();
+
+        let mut online = OnlineClusterer::new(ClassifierConfig::default());
+        let watermark = chain.transactions().len() as TxId;
+        online.ingest(&chain, &labels, &dataset, &events_for(&dataset), watermark);
+        let merged = online.clustering(&labels);
+        assert_eq!(merged.families.len(), 1, "shared phish account merges everything");
+        assert_eq!(
+            json(&merged),
+            json(&cluster_with(&chain, &labels, &dataset, &ClusterConfig::sequential()))
+        );
+
+        // The phish account now joins the dataset as an affiliate: the
+        // batch rule no longer counts its touches, so the live state
+        // must split back apart.
+        dataset.affiliates.insert(phish);
+        online.ingest(
+            &chain,
+            &labels,
+            &dataset,
+            &[DetectorEvent::AffiliateObserved(phish)],
+            watermark,
+        );
+        assert_eq!(online.stats().rebuilds, 1);
+        let split = online.clustering(&labels);
+        assert_eq!(split.families.len(), 2, "A+B stay merged, C splits off");
+        assert_eq!(
+            json(&split),
+            json(&cluster_with(&chain, &labels, &dataset, &ClusterConfig::sequential()))
+        );
+    }
+
+    #[test]
+    fn empty_feed_clusters_to_nothing() {
+        let chain = Chain::new();
+        let labels = LabelStore::new();
+        let mut online = OnlineClusterer::new(ClassifierConfig::default());
+        online.ingest(&chain, &labels, &Dataset::default(), &[], 0);
+        assert!(online.clustering(&labels).families.is_empty());
+        assert_eq!(online.watermark(), 0);
+    }
+}
+

@@ -60,6 +60,27 @@ fn chunked_polling_matches_batch() {
     assert_eq!(txs, online.dataset().ps_txs);
 }
 
+/// Regression: a watermark past the end of the chain must clamp to the
+/// chain length — the cursor never runs ahead of the transactions that
+/// exist, and the result equals an unbounded poll.
+#[test]
+fn over_large_watermark_clamps_to_chain_length() {
+    let world = World::build(&WorldConfig::tiny(36)).expect("world");
+    let batch = build_dataset(&world.chain, &world.labels, &SnowballConfig::default());
+
+    let mut online = OnlineDetector::new(SnowballConfig::default());
+    let events = online.poll_until(&world.chain, &world.labels, u32::MAX);
+    assert_equivalent(&batch, online.dataset());
+    assert!(!events.is_empty());
+    assert_eq!(
+        online.cursor() as usize,
+        world.chain.transactions().len(),
+        "cursor must clamp to the chain length, not the requested watermark"
+    );
+    // A follow-up poll sees nothing new.
+    assert!(online.poll(&world.chain, &world.labels).is_empty());
+}
+
 #[test]
 fn events_fire_exactly_once() {
     let world = World::build(&WorldConfig::tiny(33)).expect("world");

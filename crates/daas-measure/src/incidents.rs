@@ -52,37 +52,40 @@ impl<'a> MeasureCtx<'a> {
     /// valuing it in USD. Observations whose token has no quote are kept
     /// with `usd = 0` (the paper similarly cannot price long-tail
     /// tokens).
+    ///
+    /// Incidents are canonicalised to transaction order so every float
+    /// rollup accumulates in the same order regardless of how the
+    /// dataset's observation vector was assembled (batch snowball rounds
+    /// and the streaming detector discover the same set in different
+    /// orders).
     pub fn new(chain: &'a Chain, dataset: &'a Dataset, oracle: &'a Oracle) -> Self {
-        let mut incidents = Vec::with_capacity(dataset.observations.len());
-        for obs in &dataset.observations {
-            let tx = chain.tx(obs.tx);
-            let victim = attribute_victim(chain, obs);
-            let value_usd = |amount| match obs.asset {
-                Asset::Eth => oracle.wei_to_usd(amount, obs.timestamp),
-                Asset::Erc20(token) => {
-                    oracle.token_to_usd(token, amount, obs.timestamp).unwrap_or(0.0)
-                }
-                Asset::Erc721 { .. } => 0.0,
-            };
-            let operator_usd = value_usd(obs.operator_amount);
-            let affiliate_usd = value_usd(obs.affiliate_amount);
-            incidents.push(MeasuredIncident {
-                tx: obs.tx,
-                timestamp: tx.timestamp,
-                victim,
-                contract: obs.contract,
-                operator: obs.operator,
-                affiliate: obs.affiliate,
-                ratio_bps: obs.ratio_bps,
-                usd: operator_usd + affiliate_usd,
-                operator_usd,
-                affiliate_usd,
-            });
-        }
+        let mut observations: Vec<&daas_detector::PsObservation> =
+            dataset.observations.iter().collect();
+        observations.sort_unstable_by_key(|o| o.tx);
+        let incidents =
+            observations.into_iter().map(|obs| measure_observation(chain, oracle, obs)).collect();
+        Self::from_incidents(chain, dataset, oracle, incidents)
+    }
+
+    /// Builds the context around incidents that were already attributed
+    /// and valued (the streaming path: `LiveMeasure` re-uses its running
+    /// incident set instead of re-walking the chain). `incidents` must be
+    /// in transaction order — the canonical order [`MeasureCtx::new`]
+    /// produces.
+    pub fn from_incidents(
+        chain: &'a Chain,
+        dataset: &'a Dataset,
+        oracle: &'a Oracle,
+        incidents: Vec<MeasuredIncident>,
+    ) -> Self {
+        debug_assert!(
+            incidents.windows(2).all(|w| w[0].tx < w[1].tx),
+            "incidents must be unique and in transaction order"
+        );
         MeasureCtx { chain, dataset, oracle, incidents, features: FeatureCache::new(chain, dataset) }
     }
 
-    /// The attributed incidents, in dataset order.
+    /// The attributed incidents, in transaction order.
     pub fn incidents(&self) -> &[MeasuredIncident] {
         &self.incidents
     }
@@ -141,6 +144,37 @@ impl<'a> MeasureCtx<'a> {
             *m.entry(inc.affiliate).or_insert(0.0) += inc.affiliate_usd;
         }
         m
+    }
+}
+
+/// Attributes and values a single profit-sharing observation — the unit
+/// of work behind both [`MeasureCtx::new`] and the streaming
+/// accumulator's per-event ingestion.
+pub(crate) fn measure_observation(
+    chain: &Chain,
+    oracle: &Oracle,
+    obs: &daas_detector::PsObservation,
+) -> MeasuredIncident {
+    let tx = chain.tx(obs.tx);
+    let victim = attribute_victim(chain, obs);
+    let value_usd = |amount| match obs.asset {
+        Asset::Eth => oracle.wei_to_usd(amount, obs.timestamp),
+        Asset::Erc20(token) => oracle.token_to_usd(token, amount, obs.timestamp).unwrap_or(0.0),
+        Asset::Erc721 { .. } => 0.0,
+    };
+    let operator_usd = value_usd(obs.operator_amount);
+    let affiliate_usd = value_usd(obs.affiliate_amount);
+    MeasuredIncident {
+        tx: obs.tx,
+        timestamp: tx.timestamp,
+        victim,
+        contract: obs.contract,
+        operator: obs.operator,
+        affiliate: obs.affiliate,
+        ratio_bps: obs.ratio_bps,
+        usd: operator_usd + affiliate_usd,
+        operator_usd,
+        affiliate_usd,
     }
 }
 

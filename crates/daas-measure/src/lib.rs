@@ -6,6 +6,12 @@
 //! from generator ground truth. The entry point is [`MeasureCtx`], which
 //! attributes each profit-sharing transaction to a victim and a USD
 //! value once ([`MeasuredIncident`]); all reports derive from that.
+//!
+//! Streaming ([`LiveMeasure`]): the same measurements maintained
+//! incrementally from the online detector's event feed — cheap running
+//! views per poll, and a canonical [`LiveMeasure::reports`] that routes
+//! through the identical batch bundle (byte-identical output; see
+//! `tests/live_equivalence.rs` and DESIGN.md §10).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -14,6 +20,7 @@ mod affiliates;
 mod family_table;
 mod incidents;
 mod laundering;
+mod live;
 mod management;
 mod timeline;
 mod operators;
@@ -26,6 +33,7 @@ pub use affiliates::{AffiliateReport, AFFILIATE_PROFIT_BUCKETS};
 pub use family_table::{dominant_share, family_table, FamilyRow};
 pub use incidents::{MeasureCtx, MeasuredIncident};
 pub use laundering::{LaunderingReport, SinkKind};
+pub use live::{LiveDelta, LiveMeasure};
 pub use management::{RewardReport, TierCensus};
 pub use timeline::MonthRow;
 pub use operators::{OperatorLifecycles, OperatorReport};

@@ -23,10 +23,17 @@ pub fn ratio_histogram(ctx: &MeasureCtx<'_>) -> Vec<RatioRow> {
     for inc in ctx.incidents() {
         *counts.entry(inc.ratio_bps).or_default() += 1;
     }
+    ratio_rows(&counts)
+}
+
+/// Builds the histogram rows from per-ratio counts — shared by the batch
+/// path above and the streaming accumulator's running counters (counts
+/// are integral, so both paths are exactly identical).
+pub(crate) fn ratio_rows(counts: &std::collections::BTreeMap<u32, usize>) -> Vec<RatioRow> {
     let total: usize = counts.values().sum();
     let mut rows: Vec<RatioRow> = counts
-        .into_iter()
-        .map(|(bps, count)| RatioRow {
+        .iter()
+        .map(|(&bps, &count)| RatioRow {
             bps,
             count,
             share_pct: 100.0 * count as f64 / total.max(1) as f64,

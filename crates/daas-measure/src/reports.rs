@@ -9,6 +9,11 @@
 //! pool; each task is a pure function of the context, so the bundle is
 //! byte-identical for every thread count (`threads == 1` is the
 //! sequential oracle the equivalence suite diffs against).
+//!
+//! This bundle is the *single* implementation of every report: the
+//! streaming path (`LiveMeasure::reports`) materialises a context from
+//! its running incident set and calls the same nine tasks, so batch and
+//! live never fork per-report logic.
 
 use daas_chain::{LabelStore, Timestamp};
 use eth_types::Address;

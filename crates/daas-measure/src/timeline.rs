@@ -23,11 +23,28 @@ pub struct MonthRow {
     pub usd: f64,
 }
 
+/// Per-month accumulator: distinct victims, incident count, USD total.
+pub(crate) type MonthAccum = BTreeMap<String, (HashSet<Address>, usize, f64)>;
+
+/// Flattens the per-month accumulator into rows — shared by the batch
+/// context and the streaming accumulator's running month map.
+pub(crate) fn month_rows(by_month: &MonthAccum) -> Vec<MonthRow> {
+    by_month
+        .iter()
+        .map(|(month, (victims, incidents, usd))| MonthRow {
+            month: month.clone(),
+            victims: victims.len(),
+            incidents: *incidents,
+            usd: *usd,
+        })
+        .collect()
+}
+
 impl<'a> MeasureCtx<'a> {
     /// Builds the monthly series, sorted chronologically. Months with no
     /// activity inside the observed span are included with zeros.
     pub fn monthly_series(&self) -> Vec<MonthRow> {
-        let mut by_month: BTreeMap<String, (HashSet<Address>, usize, f64)> = BTreeMap::new();
+        let mut by_month = MonthAccum::new();
         for inc in self.incidents() {
             let month = format_year_month(inc.timestamp);
             let entry = by_month.entry(month).or_default();
@@ -35,15 +52,7 @@ impl<'a> MeasureCtx<'a> {
             entry.1 += 1;
             entry.2 += inc.usd;
         }
-        by_month
-            .into_iter()
-            .map(|(month, (victims, incidents, usd))| MonthRow {
-                month,
-                victims: victims.len(),
-                incidents,
-                usd,
-            })
-            .collect()
+        month_rows(&by_month)
     }
 
     /// The busiest month by USD stolen, if any activity exists.

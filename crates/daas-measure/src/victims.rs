@@ -32,39 +32,55 @@ pub struct VictimReport {
     pub total_usd: f64,
 }
 
+/// Builds the Figure 6 / §6.1 report from per-victim losses and the
+/// observed span — shared by the batch context and the streaming
+/// accumulator's running loss map.
+pub(crate) fn victim_report_from(
+    losses: &std::collections::BTreeMap<Address, f64>,
+    span_days: u64,
+) -> VictimReport {
+    let victims = losses.len();
+    let mut counts = [0usize; 4];
+    for &usd in losses.values() {
+        let idx = VICTIM_LOSS_BUCKETS
+            .iter()
+            .position(|(_, lo, hi)| usd >= *lo && usd < *hi)
+            .unwrap_or(3);
+        counts[idx] += 1;
+    }
+    let pct = |n: usize| 100.0 * n as f64 / victims.max(1) as f64;
+    let loss_buckets = VICTIM_LOSS_BUCKETS
+        .iter()
+        .zip(counts)
+        .map(|((label, _, _), n)| ((*label).to_owned(), n, pct(n)))
+        .collect();
+    VictimReport {
+        victims,
+        loss_buckets,
+        below_1k_pct: pct(counts[0] + counts[1]),
+        victims_per_day: victims as f64 / span_days.max(1) as f64,
+        total_usd: losses.values().sum(),
+    }
+}
+
+/// The observed span in days for a `(first, last)` timestamp fold
+/// (`u64::MAX` first means "no incidents"; empty spans count as one day).
+pub(crate) fn span_days(first: u64, last: u64) -> u64 {
+    if first == u64::MAX {
+        1
+    } else {
+        days_between(first, last).max(1)
+    }
+}
+
 impl<'a> MeasureCtx<'a> {
     /// Builds the Figure 6 / §6.1 victim report.
     pub fn victim_report(&self) -> VictimReport {
-        let losses = self.loss_per_victim();
-        let victims = losses.len();
-        let mut counts = [0usize; 4];
-        for &usd in losses.values() {
-            let idx = VICTIM_LOSS_BUCKETS
-                .iter()
-                .position(|(_, lo, hi)| usd >= *lo && usd < *hi)
-                .unwrap_or(3);
-            counts[idx] += 1;
-        }
-        let pct = |n: usize| 100.0 * n as f64 / victims.max(1) as f64;
-        let loss_buckets = VICTIM_LOSS_BUCKETS
-            .iter()
-            .zip(counts)
-            .map(|((label, _, _), n)| ((*label).to_owned(), n, pct(n)))
-            .collect();
-
         let (first, last) = self
             .incidents()
             .iter()
             .fold((u64::MAX, 0u64), |(lo, hi), i| (lo.min(i.timestamp), hi.max(i.timestamp)));
-        let span_days = if first == u64::MAX { 1 } else { days_between(first, last).max(1) };
-
-        VictimReport {
-            victims,
-            loss_buckets,
-            below_1k_pct: pct(counts[0] + counts[1]),
-            victims_per_day: victims as f64 / span_days as f64,
-            total_usd: losses.values().sum(),
-        }
+        victim_report_from(&self.loss_per_victim(), span_days(first, last))
     }
 
     /// The §6.1 repeat-victim study.

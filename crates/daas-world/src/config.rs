@@ -224,6 +224,14 @@ impl WorldConfig {
         WorldConfig { scale: 0.01, ..Self::paper_scale(seed) }
     }
 
+    /// The smallest useful world (~0.5% of paper scale): every family
+    /// degenerates to a handful of accounts. Used by the live-pipeline
+    /// equivalence suites, where each window boundary runs a full batch
+    /// oracle.
+    pub fn micro(seed: u64) -> Self {
+        WorldConfig { scale: 0.005, ..Self::paper_scale(seed) }
+    }
+
     /// Applies the configured scale to a population count (at least 1).
     pub fn scaled(&self, n: u32) -> u32 {
         ((n as f64 * self.scale).round() as u32).max(1)

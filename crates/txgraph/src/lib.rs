@@ -24,9 +24,19 @@ use eth_types::Address;
 
 /// Disjoint-set forest over addresses, with path compression and union by
 /// rank. Addresses are interned on first use.
+///
+/// The structure is incremental: [`UnionFind::union`] reports whether two
+/// components actually merged, and [`UnionFind::find`] exposes the current
+/// representative, so a live consumer (the streaming clusterer) can react
+/// to merges as edges arrive instead of re-partitioning from scratch. The
+/// final partition depends only on the edge *set*, never the order edges
+/// were applied, and [`UnionFind::components`] returns address-sorted
+/// output — so batch and incremental feeds of the same edges are
+/// indistinguishable.
 #[derive(Debug, Clone, Default)]
 pub struct UnionFind {
     index: HashMap<Address, usize>,
+    addrs: Vec<Address>,
     parent: Vec<usize>,
     rank: Vec<u8>,
 }
@@ -44,6 +54,7 @@ impl UnionFind {
         }
         let i = self.parent.len();
         self.index.insert(a, i);
+        self.addrs.push(a);
         self.parent.push(i);
         self.rank.push(0);
         i
@@ -57,12 +68,14 @@ impl UnionFind {
         i
     }
 
-    /// Unions the sets containing `a` and `b`.
-    pub fn union(&mut self, a: Address, b: Address) {
+    /// Unions the sets containing `a` and `b`. Returns `true` when two
+    /// distinct components merged, `false` when the pair was already
+    /// connected (the incremental-feed signal).
+    pub fn union(&mut self, a: Address, b: Address) -> bool {
         let (ia, ib) = (self.insert(a), self.insert(b));
         let (ra, rb) = (self.find_idx(ia), self.find_idx(ib));
         if ra == rb {
-            return;
+            return false;
         }
         match self.rank[ra].cmp(&self.rank[rb]) {
             std::cmp::Ordering::Less => self.parent[ra] = rb,
@@ -72,6 +85,17 @@ impl UnionFind {
                 self.rank[ra] += 1;
             }
         }
+        true
+    }
+
+    /// Current representative of `a`'s component, or `None` if the
+    /// address was never interned. Only component *identity* is stable
+    /// (two addresses share a representative iff connected); which
+    /// member represents may change across unions.
+    pub fn find(&mut self, a: Address) -> Option<Address> {
+        let i = *self.index.get(&a)?;
+        let r = self.find_idx(i);
+        Some(self.addrs[r])
     }
 
     /// `true` if `a` and `b` are in the same set. Unknown addresses are
@@ -261,6 +285,56 @@ mod tests {
         uf.union(addr(1), addr(2));
         uf.union(addr(2), addr(1));
         assert_eq!(uf.components().len(), 1);
+    }
+
+    #[test]
+    fn union_reports_merges() {
+        let mut uf = UnionFind::new();
+        assert!(uf.union(addr(1), addr(2)), "first union merges");
+        assert!(!uf.union(addr(1), addr(2)), "repeat is a no-op");
+        assert!(!uf.union(addr(2), addr(1)), "orientation is irrelevant");
+        assert!(uf.union(addr(3), addr(4)));
+        assert!(uf.union(addr(2), addr(3)), "bridging two components merges");
+        assert!(!uf.union(addr(1), addr(4)), "already transitively connected");
+        assert!(!uf.union(addr(5), addr(5)), "self-union never merges");
+    }
+
+    #[test]
+    fn find_tracks_representatives() {
+        let mut uf = UnionFind::new();
+        assert_eq!(uf.find(addr(1)), None, "unknown address has no component");
+        uf.insert(addr(1));
+        assert_eq!(uf.find(addr(1)), Some(addr(1)), "singleton represents itself");
+        uf.union(addr(1), addr(2));
+        uf.union(addr(3), addr(4));
+        assert_eq!(uf.find(addr(1)), uf.find(addr(2)));
+        assert_ne!(uf.find(addr(1)), uf.find(addr(3)));
+        uf.union(addr(2), addr(4));
+        let rep = uf.find(addr(1));
+        for n in 1..=4 {
+            assert_eq!(uf.find(addr(n)), rep, "all members share one representative");
+        }
+    }
+
+    /// Feeding edges one at a time (the streaming clusterer's shape)
+    /// yields the same partition as a batch feed — `components()` is a
+    /// pure function of the edge set.
+    #[test]
+    fn incremental_feed_matches_batch() {
+        let edges = [(1u8, 2u8), (5, 6), (2, 6), (7, 8), (3, 3), (8, 7)];
+        let mut batch = UnionFind::new();
+        for &(a, b) in &edges {
+            batch.union(addr(a), addr(b));
+        }
+        let mut inc = UnionFind::new();
+        let mut merges = 0;
+        for &(a, b) in edges.iter().rev() {
+            merges += inc.union(addr(a), addr(b)) as usize;
+        }
+        assert_eq!(inc.components(), batch.components());
+        // n nodes split into k components need exactly n - k merges.
+        let nodes = inc.len();
+        assert_eq!(merges, nodes - inc.components().len());
     }
 
     #[test]
