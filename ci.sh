@@ -25,6 +25,17 @@ cargo test -q -p daas-cluster --test live_equivalence -- --test-threads 4
 cargo test -q -p daas-measure --test live_equivalence -- --test-threads 4
 cargo test -q --test live_equivalence -- --test-threads 4
 
+# ---- Observability: recorder-on runs must not change artifacts, and
+#      the --metrics-out summary must conform to the checked-in schema. ----
+cargo test -q --test obs_equivalence -- --test-threads 4
+cargo test -q -p daas-detector --test cache_hit_rate -- --test-threads 4
+OBS_TMP="$(mktemp -d)"
+cargo run -q --release -p daas-cli --bin daas-lab -- --scale 0.05 --exp table1 \
+  --metrics-out "$OBS_TMP/metrics.json" --trace-out "$OBS_TMP/trace.jsonl" > /dev/null
+cargo run -q --release -p daas-obs --bin obs_validate -- \
+  schemas/metrics_summary.schema.json "$OBS_TMP/metrics.json"
+rm -rf "$OBS_TMP"
+
 # ---- Everything else. ----
 cargo test -q --workspace
 
@@ -47,3 +58,4 @@ cargo bench -p daas-bench --bench snowball_parallel
 cargo bench -p daas-bench --bench cluster_parallel
 cargo bench -p daas-bench --bench measure_reports
 cargo bench -p daas-bench --bench live_pipeline
+cargo bench -p daas-bench --bench obs_overhead

@@ -11,6 +11,7 @@ use daas_detector::{build_dataset, evaluate, ClassifierConfig, SnowballConfig};
 use daas_world::{World, WorldConfig};
 
 fn main() {
+    let _obs = daas_bench::obs_from_env();
     let seed = std::env::var("DAAS_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42);
     let scale = std::env::var("DAAS_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0);
     let base = daas_bench::snowball_config();

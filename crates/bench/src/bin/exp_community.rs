@@ -2,6 +2,7 @@
 //! website detection counts, fingerprint growth.
 
 fn main() {
+    let _obs = daas_bench::obs_from_env();
     let (_, scale) = daas_bench::env_config();
     let p = daas_bench::standard_pipeline();
     let web = daas_cli::run_website_pipeline(&p.world, 0.8);

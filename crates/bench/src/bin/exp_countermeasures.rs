@@ -17,6 +17,7 @@ use eth_types::units::ether;
 use wallet_guard::{SignRequest, SimulationVerdict, WalletGuard};
 
 fn main() {
+    let _obs = daas_bench::obs_from_env();
     let p = daas_bench::standard_pipeline();
     let ctx = MeasureCtx::new(&p.world.chain, &p.dataset, &p.world.oracle);
 

@@ -15,6 +15,7 @@ const DRIFTED_FAMILY: usize = 6; // Medusa
 const NOVEL_BPS: u32 = 2_200; // 22% — off the known table
 
 fn main() {
+    let _obs = daas_bench::obs_from_env();
     let seed = std::env::var("DAAS_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42);
     let scale = std::env::var("DAAS_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.2);
     eprintln!("[exp_drift] seed {seed}, scale {scale}");

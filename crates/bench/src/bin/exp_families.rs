@@ -8,6 +8,7 @@ use daas_measure::MeasureCtx;
 use daas_world::collection_end;
 
 fn main() {
+    let _obs = daas_bench::obs_from_env();
     let (_, scale) = daas_bench::env_config();
     let p = daas_bench::standard_pipeline();
     let ctx = MeasureCtx::new(&p.world.chain, &p.dataset, &p.world.oracle);

@@ -2,6 +2,7 @@
 //! with its two fixed-proportion transfers.
 
 fn main() {
+    let _obs = daas_bench::obs_from_env();
     let p = daas_bench::standard_pipeline();
     let m = p.measured(&daas_bench::measure_config());
     println!("{}", daas_cli::render_fig4(&p, &m));

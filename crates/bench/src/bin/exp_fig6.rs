@@ -1,6 +1,7 @@
 //! Regenerates Figure 6: the victim-loss distribution.
 
 fn main() {
+    let _obs = daas_bench::obs_from_env();
     let p = daas_bench::standard_pipeline();
     let m = p.measured(&daas_bench::measure_config());
     println!("{}", daas_cli::render_fig6(&m));

@@ -1,6 +1,7 @@
 //! Regenerates the §7.2 primary-contract lifecycle comparison.
 
 fn main() {
+    let _obs = daas_bench::obs_from_env();
     let (_, scale) = daas_bench::env_config();
     let p = daas_bench::standard_pipeline();
     let min_txs = ((100.0 * scale) as usize).max(5);

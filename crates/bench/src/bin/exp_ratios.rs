@@ -1,6 +1,7 @@
 //! Regenerates the §4.3 profit-sharing ratio histogram.
 
 fn main() {
+    let _obs = daas_bench::obs_from_env();
     let p = daas_bench::standard_pipeline();
     let m = p.measured(&daas_bench::measure_config());
     println!("{}", daas_cli::render_ratios(&m));

@@ -1,6 +1,7 @@
 //! Regenerates the §6 scale statistics (victims, operators, affiliates).
 
 fn main() {
+    let _obs = daas_bench::obs_from_env();
     let (_, scale) = daas_bench::env_config();
     let p = daas_bench::standard_pipeline();
     let m = p.measured(&daas_bench::measure_config());

@@ -1,6 +1,7 @@
 //! Regenerates Table 1: dataset collection results (seed vs expanded).
 
 fn main() {
+    let _obs = daas_bench::obs_from_env();
     let (_, scale) = daas_bench::env_config();
     let p = daas_bench::standard_pipeline();
     println!("{}", daas_cli::render_table1(&p, scale));

@@ -1,6 +1,7 @@
 //! Regenerates Table 3: phishing functions of the dominant families.
 
 fn main() {
+    let _obs = daas_bench::obs_from_env();
     let p = daas_bench::standard_pipeline();
     println!("{}", daas_cli::render_table3(&p));
 }

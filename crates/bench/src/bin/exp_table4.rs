@@ -1,6 +1,7 @@
 //! Regenerates Table 4: top-10 TLDs among detected phishing domains.
 
 fn main() {
+    let _obs = daas_bench::obs_from_env();
     let p = daas_bench::standard_pipeline();
     let web = daas_cli::run_website_pipeline(&p.world, 0.8);
     println!("{}", daas_cli::render_table4(&web));

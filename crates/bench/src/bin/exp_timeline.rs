@@ -2,6 +2,7 @@
 //! transactions / USD stolen per calendar month).
 
 fn main() {
+    let _obs = daas_bench::obs_from_env();
     let p = daas_bench::standard_pipeline();
     let m = p.measured(&daas_bench::measure_config());
     println!("{}", daas_cli::render_timeline(&m));

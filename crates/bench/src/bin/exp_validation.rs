@@ -2,6 +2,7 @@
 //! truth plus the manual-review sampling plan.
 
 fn main() {
+    let _obs = daas_bench::obs_from_env();
     let (_, scale) = daas_bench::env_config();
     let p = daas_bench::standard_pipeline();
     println!("{}", daas_cli::render_validation(&p, scale));

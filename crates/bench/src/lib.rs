@@ -5,6 +5,59 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Observability plumbing for the experiment harnesses, mirroring the
+/// CLI's `--trace-out` / `--metrics-out` flags as environment knobs:
+/// `DAAS_TRACE=FILE` writes the JSONL span trace, `DAAS_METRICS=FILE`
+/// writes the JSON metrics summary plus a Prometheus exposition at
+/// `FILE.prom`. Hold the guard for the whole run — the sinks are
+/// written when it drops. With neither variable set the recorder stays
+/// off and the guard is inert.
+pub struct ObsGuard {
+    trace: Option<String>,
+    metrics: Option<String>,
+}
+
+/// Arms [`ObsGuard`] from `DAAS_TRACE` / `DAAS_METRICS`; call first in
+/// `main` so every pipeline stage is recorded.
+pub fn obs_from_env() -> ObsGuard {
+    let trace = std::env::var("DAAS_TRACE").ok().filter(|p| !p.is_empty());
+    let metrics = std::env::var("DAAS_METRICS").ok().filter(|p| !p.is_empty());
+    if trace.is_some() || metrics.is_some() {
+        daas_obs::set_enabled(true);
+    }
+    ObsGuard { trace, metrics }
+}
+
+impl Drop for ObsGuard {
+    fn drop(&mut self) {
+        if self.trace.is_none() && self.metrics.is_none() {
+            return;
+        }
+        let report = daas_obs::drain();
+        if let Some(path) = &self.trace {
+            let sink = std::fs::File::create(path).map(std::io::BufWriter::new);
+            let written = sink.and_then(|mut out| {
+                daas_obs::write_trace_jsonl(&report, &mut out)?;
+                std::io::Write::flush(&mut out)
+            });
+            match written {
+                Ok(()) => eprintln!("[obs] trace written to {path} ({} spans)", report.spans.len()),
+                Err(e) => eprintln!("[obs] trace sink {path} failed: {e}"),
+            }
+        }
+        if let Some(path) = &self.metrics {
+            let prom_path = format!("{path}.prom");
+            let written = std::fs::write(path, daas_obs::summary_json(&report)).and_then(|()| {
+                std::fs::write(&prom_path, daas_obs::prometheus_text(&report.metrics))
+            });
+            match written {
+                Ok(()) => eprintln!("[obs] metrics written to {path} (+ {prom_path})"),
+                Err(e) => eprintln!("[obs] metrics sink {path} failed: {e}"),
+            }
+        }
+    }
+}
+
 /// Reads `DAAS_SEED` (default 42) and `DAAS_SCALE` (default 1.0 — the
 /// paper's scale) from the environment.
 pub fn env_config() -> (u64, f64) {

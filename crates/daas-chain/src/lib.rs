@@ -49,6 +49,6 @@ pub use chain::{Chain, ChainStats};
 pub use error::ChainError;
 pub use hash::{DetMap, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use labels::{Label, LabelCategory, LabelSource, LabelStore};
-pub use memo::{ShardKey, ShardedMemo};
+pub use memo::{MemoStats, ShardKey, ShardedMemo};
 pub use shard::{shard_index, ChainReader, ShardedHistories, DEFAULT_SHARDS};
 pub use tx::{Approval, CallInfo, Transaction, Transfer, TxId};

@@ -12,9 +12,17 @@
 //! the table's contents are independent of which worker computed an
 //! entry first or in what order — parallel fills can never change what
 //! any later read observes.
+//!
+//! Every shard keeps always-on hit/miss counters (relaxed atomics,
+//! bumped while the shard lock is already held, so they are noise next
+//! to the lock acquisition). [`ShardedMemo::stats`] aggregates them
+//! with per-shard occupancy — the raw numbers behind the
+//! `cache.*.hit`/`cache.*.miss` observability counters and the
+//! `stats()` accessors of the classification and feature caches.
 
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use eth_types::Address;
 use parking_lot::RwLock;
@@ -43,17 +51,60 @@ impl ShardKey for Address {
     }
 }
 
+/// Aggregated memo counters — see [`ShardedMemo::stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Lookups served from the table (`get_or_compute` and `get`).
+    pub hits: u64,
+    /// Lookups that found nothing (a `get_or_compute` miss computes and
+    /// stores; a `get` miss just returns `None`).
+    pub misses: u64,
+    /// Memoised entries.
+    pub entries: usize,
+    /// Entries per shard, in shard order (the occupancy-balance view).
+    pub per_shard: Vec<usize>,
+}
+
+impl MemoStats {
+    /// Hits as a fraction of all lookups (0.0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Shard<K, V> {
+    map: RwLock<HashMap<K, V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K, V> Default for Shard<K, V> {
+    fn default() -> Self {
+        Shard { map: RwLock::new(HashMap::new()), hits: AtomicU64::new(0), misses: AtomicU64::new(0) }
+    }
+}
+
 /// A sharded `RwLock<HashMap>` memo. `Sync` whenever `K`/`V` are
 /// `Send + Sync`; readers on different shards never contend.
-#[derive(Debug)]
 pub struct ShardedMemo<K, V> {
     mask: usize,
-    shards: Vec<RwLock<HashMap<K, V>>>,
+    shards: Vec<Shard<K, V>>,
 }
 
 impl<K: ShardKey + Hash + Eq, V: Clone> Default for ShardedMemo<K, V> {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl<K, V> std::fmt::Debug for ShardedMemo<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedMemo").field("shards", &self.shards.len()).finish()
     }
 }
 
@@ -73,7 +124,7 @@ impl<K: ShardKey + Hash + Eq, V: Clone> ShardedMemo<K, V> {
         let n = if shards.is_power_of_two() { shards } else { 1 };
         ShardedMemo {
             mask: n - 1,
-            shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..n).map(|_| Shard::default()).collect(),
         }
     }
 
@@ -83,7 +134,7 @@ impl<K: ShardKey + Hash + Eq, V: Clone> ShardedMemo<K, V> {
     }
 
     #[inline]
-    fn shard(&self, key: &K) -> &RwLock<HashMap<K, V>> {
+    fn shard(&self, key: &K) -> &Shard<K, V> {
         &self.shards[key.shard(self.mask)]
     }
 
@@ -92,30 +143,40 @@ impl<K: ShardKey + Hash + Eq, V: Clone> ShardedMemo<K, V> {
     /// `key` (and immutable captured context).
     pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> V {
         let shard = self.shard(&key);
-        if let Some(v) = shard.read().get(&key) {
+        if let Some(v) = shard.map.read().get(&key) {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
             return v.clone();
         }
+        shard.misses.fetch_add(1, Ordering::Relaxed);
         let v = compute();
         // A racing worker may have filled the slot between our read and
         // write; both computed the same pure function, so either value
         // is correct — keep the first.
-        shard.write().entry(key).or_insert_with(|| v.clone());
+        shard.map.write().entry(key).or_insert_with(|| v.clone());
         v
     }
 
     /// Returns the memoised value without computing on a miss.
     pub fn get(&self, key: &K) -> Option<V> {
-        self.shard(key).read().get(key).cloned()
+        let shard = self.shard(key);
+        let value = shard.map.read().get(key).cloned();
+        match value {
+            Some(_) => shard.hits.fetch_add(1, Ordering::Relaxed),
+            None => shard.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        value
     }
 
-    /// Whether `key` has been memoised.
+    /// Whether `key` has been memoised. Not counted as a hit or miss —
+    /// the prewarm paths probe with `contains` before computing, and a
+    /// probe-then-fill must count once, not twice.
     pub fn contains(&self, key: &K) -> bool {
-        self.shard(key).read().contains_key(key)
+        self.shard(key).map.read().contains_key(key)
     }
 
     /// Total number of memoised entries.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
+        self.shards.iter().map(|s| s.map.read().len()).sum()
     }
 
     /// Whether the memo is empty.
@@ -123,10 +184,26 @@ impl<K: ShardKey + Hash + Eq, V: Clone> ShardedMemo<K, V> {
         self.len() == 0
     }
 
-    /// Drops every entry (keeps the shard layout).
+    /// Aggregated hit/miss counters and per-shard occupancy.
+    pub fn stats(&self) -> MemoStats {
+        let mut stats = MemoStats::default();
+        for shard in &self.shards {
+            stats.hits += shard.hits.load(Ordering::Relaxed);
+            stats.misses += shard.misses.load(Ordering::Relaxed);
+            let len = shard.map.read().len();
+            stats.entries += len;
+            stats.per_shard.push(len);
+        }
+        stats
+    }
+
+    /// Drops every entry and resets the counters (keeps the shard
+    /// layout).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.write().clear();
+            shard.map.write().clear();
+            shard.hits.store(0, Ordering::Relaxed);
+            shard.misses.store(0, Ordering::Relaxed);
         }
     }
 }
@@ -182,5 +259,28 @@ mod tests {
         let a = Address([9; 20]);
         memo.get_or_compute(a, || 1);
         assert_eq!(memo.get(&a), Some(1));
+    }
+
+    #[test]
+    fn stats_track_hits_misses_and_occupancy() {
+        let memo: ShardedMemo<TxId, u64> = ShardedMemo::with_shards(4);
+        assert_eq!(memo.stats(), MemoStats { per_shard: vec![0; 4], ..Default::default() });
+
+        memo.get_or_compute(0, || 1); // miss
+        memo.get_or_compute(0, || 1); // hit
+        memo.get_or_compute(1, || 2); // miss (shard 1)
+        assert!(memo.contains(&0), "contains is not counted");
+        assert_eq!(memo.get(&5), None); // miss
+        let stats = memo.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.per_shard, vec![1, 1, 0, 0]);
+        assert!((stats.hit_rate() - 0.25).abs() < 1e-12);
+
+        memo.clear();
+        let stats = memo.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+        assert_eq!(stats.hit_rate(), 0.0);
     }
 }

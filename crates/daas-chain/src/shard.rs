@@ -113,6 +113,12 @@ impl ShardedHistories {
         self.shards.iter().map(|s| s.len()).sum()
     }
 
+    /// Accounts per shard, in shard order — the occupancy-balance view
+    /// the observability layer exports as `shard.histories.len{shard}`.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.len()).collect()
+    }
+
     /// Iterates every `(address, history)` entry across all shards, in
     /// shard order then shard-internal (unspecified) order. Callers that
     /// need determinism must sort.

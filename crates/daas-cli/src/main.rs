@@ -14,8 +14,15 @@
 //!                and asset-state maps and the detector's classification
 //!                memo, 0 = the default; shards are memory layout,
 //!                never data
-//!   --timings    print the per-stage wall-clock breakdown
-//!                (world | snowball | clustering | measure | render)
+//!   --timings    enable the observability recorder and print the
+//!                per-stage wall-clock breakdown (read back from the
+//!                metrics registry) plus the recorder's human summary,
+//!                all on stderr
+//!   --trace-out FILE    enable the recorder and write the span log as
+//!                JSONL (one object per span, plus a meta line)
+//!   --metrics-out FILE  enable the recorder and write the metrics run
+//!                summary as JSON, plus a Prometheus text exposition at
+//!                FILE.prom
 //!   --live       replay the world in block windows through the
 //!                streaming stack (online detector → incremental
 //!                clusterer → live measurement), then re-verify against
@@ -50,6 +57,8 @@ fn main() -> ExitCode {
     let mut threads = 0usize;
     let mut shards = 0usize;
     let mut timings = false;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut live = false;
     let mut window_blocks = 7_200u64;
     let mut experiments: Vec<String> = Vec::new();
@@ -85,6 +94,14 @@ fn main() -> ExitCode {
                 _ => return usage("--shards needs a power of two (0 = default)"),
             },
             "--timings" => timings = true,
+            "--trace-out" => match args.next() {
+                Some(path) => trace_out = Some(path),
+                None => return usage("--trace-out needs a file path"),
+            },
+            "--metrics-out" => match args.next() {
+                Some(path) => metrics_out = Some(path),
+                None => return usage("--metrics-out needs a file path"),
+            },
             "--live" => live = true,
             "--window" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(v) if v > 0 => window_blocks = v,
@@ -167,10 +184,24 @@ fn main() -> ExitCode {
         experiments.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string()));
     }
     let (seed, scale) = (config.seed, config.scale);
+    // One switch turns the recorder on for the whole process; every
+    // instrumentation site below it costs a single relaxed load while
+    // it stays off.
+    let obs_on = timings || trace_out.is_some() || metrics_out.is_some();
+    if obs_on {
+        daas_obs::set_enabled(true);
+    }
     eprintln!("building world (seed {seed}, scale {scale}) …");
     let snowball = SnowballConfig { threads, ..Default::default() };
     if live {
-        return run_live(&config, &snowball, shards, window_blocks, threads, timings);
+        let code = run_live(&config, &snowball, shards, window_blocks, threads);
+        return match finish_obs(obs_on, timings, trace_out.as_deref(), metrics_out.as_deref()) {
+            Ok(()) => code,
+            Err(e) => {
+                eprintln!("observability sink failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     let pipeline = match run_pipeline_sharded(&config, &snowball, shards) {
         Ok(p) => p,
@@ -214,7 +245,7 @@ fn main() -> ExitCode {
     let needs_measure = experiments.iter().any(|e| MEASURED_EXPS.contains(&e.as_str()));
     let tm0 = Instant::now();
     let measured = needs_measure.then(|| pipeline.measured(&MeasureConfig { threads }));
-    let measure_time = tm0.elapsed();
+    daas_obs::gauge_l("pipeline.stage_ms", "stage", "measure", ms(tm0.elapsed()));
     let m = || measured.as_ref().expect("measurement bundle built");
 
     // The primary-contract threshold scales with the world (paper: 100
@@ -241,19 +272,71 @@ fn main() -> ExitCode {
         };
         println!("{out}");
     }
-    let render_time = tr0.elapsed();
-    if timings {
-        let (tw, ts, tc) = pipeline.timings;
-        eprintln!(
-            "timings: world {} | snowball {} | clustering {} | measure {} | render {}",
-            fmt_stage(tw),
-            fmt_stage(ts),
-            fmt_stage(tc),
-            fmt_stage(measure_time),
-            fmt_stage(render_time),
-        );
+    daas_obs::gauge_l("pipeline.stage_ms", "stage", "render", ms(tr0.elapsed()));
+    match finish_obs(obs_on, timings, trace_out.as_deref(), metrics_out.as_deref()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("observability sink failed: {e}");
+            ExitCode::FAILURE
+        }
     }
-    ExitCode::SUCCESS
+}
+
+/// Drains the recorder once and fans the report to every requested
+/// sink: the JSONL span trace, the JSON metrics summary (plus a
+/// Prometheus text exposition at `<path>.prom`), and — with
+/// `--timings` — the human digest and the per-stage line sourced from
+/// the `pipeline.stage_ms` gauges. Everything goes to stderr or to the
+/// named files; stdout stays reserved for artifacts.
+fn finish_obs(
+    obs_on: bool,
+    timings: bool,
+    trace_out: Option<&str>,
+    metrics_out: Option<&str>,
+) -> Result<(), String> {
+    if !obs_on {
+        return Ok(());
+    }
+    let report = daas_obs::drain();
+    if let Some(path) = trace_out {
+        let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        let mut out = std::io::BufWriter::new(file);
+        daas_obs::write_trace_jsonl(&report, &mut out).map_err(|e| format!("{path}: {e}"))?;
+        std::io::Write::flush(&mut out).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("trace written to {path} ({} spans)", report.spans.len());
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(path, daas_obs::summary_json(&report)).map_err(|e| format!("{path}: {e}"))?;
+        let prom_path = format!("{path}.prom");
+        std::fs::write(&prom_path, daas_obs::prometheus_text(&report.metrics))
+            .map_err(|e| format!("{prom_path}: {e}"))?;
+        eprintln!("metrics written to {path} (+ {prom_path})");
+    }
+    if timings {
+        eprint!("{}", daas_obs::human_summary(&report));
+        eprintln!("{}", timings_line(&report.metrics));
+    }
+    Ok(())
+}
+
+/// The `--timings` per-stage line, read back from the
+/// `pipeline.stage_ms{stage=…}` gauges the pipeline recorded (batch
+/// stages first, then the live-replay stages — whichever ran).
+fn timings_line(metrics: &daas_obs::MetricsSnapshot) -> String {
+    const STAGES: [&str; 8] =
+        ["world", "snowball", "clustering", "measure", "render", "replay", "reports", "verify"];
+    let mut parts = Vec::new();
+    for stage in STAGES {
+        if let Some(v) = metrics.gauge(&format!("pipeline.stage_ms{{stage={stage}}}")) {
+            parts.push(format!("{stage} {}", fmt_stage(Duration::from_secs_f64(v / 1e3))));
+        }
+    }
+    format!("timings: {}", parts.join(" | "))
+}
+
+/// Duration → milliseconds, for the stage gauges.
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
 }
 
 /// The `--live` mode: stream the world in block windows, print each
@@ -264,7 +347,6 @@ fn run_live(
     shards: usize,
     window_blocks: u64,
     threads: usize,
-    timings: bool,
 ) -> ExitCode {
     let measure_cfg = MeasureConfig { threads };
     let run = match daas_cli::Pipeline::live(
@@ -326,16 +408,6 @@ fn run_live(
         "measurement: {} victims, ${:.0} stolen",
         run.reports.victims.victims, run.reports.victims.total_usd,
     );
-    if timings {
-        let (tw, tr, tm, tv) = run.live_timings;
-        eprintln!(
-            "timings: world {} | replay {} | reports {} | batch verify {}",
-            fmt_stage(tw),
-            fmt_stage(tr),
-            fmt_stage(tm),
-            fmt_stage(tv),
-        );
-    }
     if run.batch_matches {
         println!("batch equivalence: OK (dataset, clustering and reports byte-identical)");
         ExitCode::SUCCESS
@@ -354,7 +426,7 @@ fn usage(error: &str) -> ExitCode {
         eprintln!("error: {error}\n");
     }
     eprintln!(
-        "usage: daas-lab [--seed N] [--scale F] [--threads N] [--config FILE] [--dump-config FILE] [--export FILE] [--live] [--window N] [--exp NAME]...\n       experiments: {} all",
+        "usage: daas-lab [--seed N] [--scale F] [--threads N] [--config FILE] [--dump-config FILE] [--export FILE] [--live] [--window N] [--timings] [--trace-out FILE] [--metrics-out FILE] [--exp NAME]...\n       experiments: {} all",
         ALL_EXPERIMENTS.join(" ")
     );
     if error.is_empty() {

@@ -13,7 +13,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use daas_chain::{Timestamp, TxId};
+use daas_chain::{Chain, Timestamp, TxId};
 use daas_cluster::{
     cluster_with, ClusterConfig, Clustering, FamilyForensics, OnlineClusterer,
     OnlineClustererStats,
@@ -177,6 +177,8 @@ impl Pipeline {
             let end = (start + window_blocks as usize).min(blocks.len());
             let last = &blocks[end - 1];
             let watermark = last.first_tx + last.tx_count;
+            let _window_span =
+                daas_obs::span!("live.window", index = windows.len(), watermark = watermark);
 
             let before = detector.dataset().counts();
             let td = Instant::now();
@@ -192,6 +194,14 @@ impl Pipeline {
             let tm = Instant::now();
             let delta = measure.ingest(&world.chain, &world.oracle, &events);
             let measure_time = tm.elapsed();
+
+            if daas_obs::enabled() {
+                daas_obs::inc("live.windows");
+                let ms = |d: Duration| d.as_secs_f64() * 1e3;
+                daas_obs::observe_ms_l("live.window.update_ms", "stage", "detect", ms(detect_time));
+                daas_obs::observe_ms_l("live.window.update_ms", "stage", "cluster", ms(cluster_time));
+                daas_obs::observe_ms_l("live.window.update_ms", "stage", "measure", ms(measure_time));
+            }
 
             let stats = LiveWindowStats {
                 index: windows.len(),
@@ -254,6 +264,10 @@ impl Pipeline {
             && to_json(&clustering)? == to_json(&batch_clustering)?
             && to_json(&reports)? == to_json(&batch_reports)?;
         let t4 = Instant::now();
+        record_stage_obs(
+            &world.chain,
+            &[("world", t1 - t0), ("replay", t2 - t1), ("reports", t3 - t2), ("verify", t4 - t3)],
+        );
 
         Ok(LiveRun {
             world,
@@ -270,6 +284,22 @@ impl Pipeline {
 
 fn to_json<T: serde::Serialize>(value: &T) -> Result<String, String> {
     serde_json::to_string(value).map_err(|e| e.to_string())
+}
+
+/// Publishes the per-stage wall clocks (`pipeline.stage_ms{stage=…}`)
+/// and the chain's history-shard occupancy (`shard.histories.len{shard}`)
+/// into the obs registry. The `--timings` line and the `--metrics-out`
+/// summary read these gauges instead of keeping their own books.
+fn record_stage_obs(chain: &Chain, stages: &[(&str, Duration)]) {
+    if !daas_obs::enabled() {
+        return;
+    }
+    for (stage, took) in stages {
+        daas_obs::gauge_l("pipeline.stage_ms", "stage", stage, took.as_secs_f64() * 1e3);
+    }
+    for (i, len) in chain.reader().histories().shard_sizes().into_iter().enumerate() {
+        daas_obs::gauge_l("shard.histories.len", "shard", &i.to_string(), len as f64);
+    }
 }
 
 /// Runs world generation, snowball sampling and clustering. The snowball
@@ -299,6 +329,10 @@ pub fn run_pipeline_sharded(
     let cluster_cfg = ClusterConfig { threads: snowball.threads };
     let clustering = cluster_with(&world.chain, &world.labels, &dataset, &cluster_cfg);
     let t3 = Instant::now();
+    record_stage_obs(
+        &world.chain,
+        &[("world", t1 - t0), ("snowball", t2 - t1), ("clustering", t3 - t2)],
+    );
     Ok(Pipeline {
         world,
         dataset,

@@ -183,9 +183,12 @@ pub fn cluster_prefix(
     let operators: Vec<Address> = dataset.operators.iter().copied().collect();
     let op_set: HashSet<Address> = operators.iter().copied().collect();
     let threads = cfg.effective_threads();
+    let _cluster_span =
+        daas_obs::span!("cluster.batch", operators = operators.len(), threads = threads);
 
     // ---- Step 1, extract phase: union candidates per operator chunk. ----
     let reader = chain.reader();
+    let extract_span = daas_obs::span!("cluster.extract");
     let batches: Vec<EdgeBatch> = if threads <= 1 || operators.len() < 2 {
         vec![extract_edges(reader, &operators, &op_set, labels, dataset, watermark)]
     } else {
@@ -207,7 +210,16 @@ pub fn cluster_prefix(
         .expect("extract scope does not panic")
     };
 
+    drop(extract_span);
+    if daas_obs::enabled() {
+        let unions: usize = batches.iter().map(|b| b.unions.len()).sum();
+        let touches: usize = batches.iter().map(|b| b.phish_touches.len()).sum();
+        daas_obs::add("cluster.edge_candidates", unions as u64);
+        daas_obs::add("cluster.phish_touches", touches as u64);
+    }
+
     // ---- Step 1, merge phase: sequential deterministic union-find. ----
+    let merge_span = daas_obs::span!("cluster.merge");
     let mut uf = UnionFind::new();
     for &op in &operators {
         uf.insert(op);
@@ -237,6 +249,9 @@ pub fn cluster_prefix(
         affiliate_ops.entry(obs.affiliate).or_default().push(obs.operator);
     }
 
+    drop(merge_span);
+
+    let _assemble_span = daas_obs::span!("cluster.assemble");
     let components = uf.components();
     let mut op_component: HashMap<Address, usize> = HashMap::new();
     for (ci, comp) in components.iter().enumerate() {

@@ -148,6 +148,9 @@ impl OnlineClusterer {
         let lo = self.watermark;
         let hi = watermark.min(chain.transactions().len() as TxId).max(lo);
         self.watermark = hi;
+        let _ingest_span =
+            daas_obs::span!("cluster.ingest", window = hi - lo, events = events.len());
+        let stats_before = self.stats;
 
         let mut needs_rebuild = false;
         for event in events {
@@ -208,6 +211,13 @@ impl OnlineClusterer {
 
         if needs_rebuild {
             self.rebuild();
+        }
+        if daas_obs::enabled() {
+            // Per-poll deltas of the incremental-work counters.
+            let d = self.stats;
+            daas_obs::add("cluster.edges", (d.edges - stats_before.edges) as u64);
+            daas_obs::add("cluster.merges", (d.merges - stats_before.merges) as u64);
+            daas_obs::add("cluster.rebuilds", (d.rebuilds - stats_before.rebuilds) as u64);
         }
     }
 
@@ -296,6 +306,8 @@ impl OnlineClusterer {
     /// component whose inputs did not change. `labels` must be the same
     /// (immutable) store every ingest saw — cached names assume it.
     pub fn clustering(&mut self, labels: &LabelStore) -> Clustering {
+        let _snapshot_span = daas_obs::span!("cluster.snapshot");
+        let stats_before = self.stats;
         let components = self.uf.components();
         let mut op_component: HashMap<Address, usize> = HashMap::new();
         for (ci, comp) in components.iter().enumerate() {
@@ -365,6 +377,17 @@ impl OnlineClusterer {
             .sort_by(|a, b| b.ps_txs.len().cmp(&a.ps_txs.len()).then_with(|| a.name.cmp(&b.name)));
         for (i, f) in families.iter_mut().enumerate() {
             f.id = i;
+        }
+        if daas_obs::enabled() {
+            let d = self.stats;
+            daas_obs::add(
+                "cluster.families.reused",
+                (d.families_reused - stats_before.families_reused) as u64,
+            );
+            daas_obs::add(
+                "cluster.families.assembled",
+                (d.families_assembled - stats_before.families_assembled) as u64,
+            );
         }
         Clustering { families }
     }

@@ -16,7 +16,7 @@
 
 use std::fmt;
 
-use daas_chain::{Chain, ShardedMemo, TxId};
+use daas_chain::{Chain, MemoStats, ShardedMemo, TxId};
 use eth_types::Address;
 
 use crate::classify::{classify_tx, ClassifierConfig, PsObservation};
@@ -82,9 +82,19 @@ impl ClassificationCache {
     }
 
     /// Drops every cached verdict (e.g. before reusing the allocation
-    /// with a different [`ClassifierConfig`]).
+    /// with a different [`ClassifierConfig`]). Resets the hit/miss
+    /// counters too.
     pub fn clear(&self) {
         self.memo.clear();
+    }
+
+    /// Hit/miss counters and per-shard occupancy since construction (or
+    /// the last [`Self::clear`]). Always on — the counters are relaxed
+    /// atomics bumped under the shard lock, so reading them costs
+    /// nothing on the classify path. The observability layer exports
+    /// them as `cache.classify.hit` / `cache.classify.miss`.
+    pub fn stats(&self) -> MemoStats {
+        self.memo.stats()
     }
 
     /// Warms the cache with every transaction in the given accounts'

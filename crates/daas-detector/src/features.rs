@@ -17,7 +17,7 @@
 
 use std::collections::HashMap;
 
-use daas_chain::{Chain, ShardedMemo, Timestamp, TxId};
+use daas_chain::{Chain, MemoStats, ShardedMemo, Timestamp, TxId};
 use eth_types::Address;
 
 use crate::classify::PsObservation;
@@ -132,6 +132,13 @@ impl<'a> FeatureCache<'a> {
     /// Whether no account has been extracted yet.
     pub fn is_empty(&self) -> bool {
         self.memo.is_empty()
+    }
+
+    /// Hit/miss counters and per-shard occupancy of the feature memo.
+    /// The observability layer exports them as `cache.features.hit` /
+    /// `cache.features.miss`.
+    pub fn stats(&self) -> MemoStats {
+        self.memo.stats()
     }
 
     /// Warms the memo for `accounts`, fanning the pure extraction over

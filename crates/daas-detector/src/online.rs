@@ -105,6 +105,8 @@ impl OnlineDetector {
         limit: TxId,
     ) -> Vec<DetectorEvent> {
         let limit = limit.min(chain.transactions().len() as TxId);
+        let _poll_span =
+            daas_obs::span!("detector.poll", from = self.cursor, to = limit);
         let mut events = Vec::new();
         while self.cursor < limit {
             let txid = self.cursor;
@@ -147,6 +149,7 @@ impl OnlineDetector {
             // just-admitted contract), bounded by what has confirmed.
             self.backfill_account(chain, contract, &mut events);
         }
+        daas_obs::add("detector.events", events.len() as u64);
         events
     }
 

@@ -82,6 +82,8 @@ pub fn build_dataset_with_cache(
     cache: &ClassificationCache,
 ) -> Dataset {
     let threads = cfg.effective_threads();
+    let _build_span = daas_obs::span!("snowball.build", threads = threads);
+    let stats_before = daas_obs::enabled().then(|| cache.stats());
     let mut dataset = Dataset::default();
     let mut rejected: HashSet<Address> = HashSet::new();
 
@@ -120,6 +122,7 @@ pub fn build_dataset_with_cache(
     while !queue.is_empty() && rounds < cfg.max_rounds {
         rounds += 1;
         let batch: Vec<Address> = queue.drain(..).collect();
+        let _round_span = daas_obs::span!("snowball.round", round = rounds, frontier = batch.len());
         // Parallel phase: warm the cache over the whole frontier, then
         // over the histories of every contract the frontier could
         // surface, so step-2 re-qualification also hits the cache. The
@@ -171,6 +174,15 @@ pub fn build_dataset_with_cache(
     }
 
     dataset.rounds = rounds;
+    if let Some(before) = stats_before {
+        // Report the cache traffic this build generated (not the
+        // cache's lifetime totals — a shared cache may predate us).
+        let stats = cache.stats();
+        daas_obs::add("cache.classify.hit", stats.hits.saturating_sub(before.hits));
+        daas_obs::add("cache.classify.miss", stats.misses.saturating_sub(before.misses));
+        daas_obs::gauge("cache.classify.entries", stats.entries as f64);
+        daas_obs::add("snowball.rounds", rounds as u64);
+    }
     dataset
 }
 

@@ -1,0 +1,34 @@
+//! Regression: a warm classification memo serves a repeat batch run
+//! entirely from cache. The live pipeline's batch re-verification
+//! (DESIGN.md §10) leans on this — the re-run must classify nothing
+//! twice — and `cache.classify.hit` / `cache.classify.miss` in the obs
+//! registry are exactly the [`ClassificationCache::stats`] deltas this
+//! test pins down.
+
+use daas_detector::{build_dataset_with_cache, ClassificationCache, SnowballConfig};
+use daas_world::{World, WorldConfig};
+
+#[test]
+fn warm_rerun_hit_rate_is_100_percent() {
+    let world = World::build(&WorldConfig::micro(91)).expect("world builds");
+    let cache = ClassificationCache::new();
+    let cfg = SnowballConfig { threads: 1, ..Default::default() };
+
+    let cold = build_dataset_with_cache(&world.chain, &world.labels, &cfg, &cache);
+    let after_cold = cache.stats();
+    assert!(after_cold.misses > 0, "cold run must classify");
+    assert_eq!(
+        after_cold.entries as u64, after_cold.misses,
+        "every miss fills exactly one memo entry"
+    );
+
+    let warm = build_dataset_with_cache(&world.chain, &world.labels, &cfg, &cache);
+    let after_warm = cache.stats();
+    assert_eq!(warm.ps_txs, cold.ps_txs, "warm run must reproduce the dataset");
+
+    let warm_hits = after_warm.hits - after_cold.hits;
+    let warm_misses = after_warm.misses - after_cold.misses;
+    assert!(warm_hits > 0, "warm run must touch the cache");
+    assert_eq!(warm_misses, 0, "warm run re-classified {warm_misses} transactions");
+    assert_eq!(after_warm.entries, after_cold.entries, "warm run grew the memo");
+}

@@ -113,22 +113,60 @@ impl<'a> MeasureCtx<'a> {
         cfg: &MeasureConfig,
     ) -> MeasureReports {
         let threads = cfg.effective_threads();
+        let _bundle_span = daas_obs::span!("measure.reports", threads = threads);
+        let feat_before = daas_obs::enabled().then(|| self.features().stats());
         // Reward associations scan operators × affiliates of the whole
         // dataset (BTreeSet iteration: already deterministic order).
         let operators: Vec<Address> = self.dataset.operators.iter().copied().collect();
         let affiliates: Vec<Address> = self.dataset.affiliates.iter().copied().collect();
 
         type Task<'t> = Box<dyn FnOnce() -> Slot + Send + 't>;
+        // Each task is timed into `measure.report_ms{report=<name>}`
+        // (a no-op clock-free call while the recorder is off).
         let tasks: Vec<Task<'_>> = vec![
-            Box::new(|| Slot::Victims(self.victim_report())),
-            Box::new(|| Slot::RepeatVictims(self.repeat_victim_report())),
-            Box::new(|| Slot::Operators(self.operator_report())),
-            Box::new(|| Slot::Lifecycles(self.operator_lifecycles(inactive_secs, as_of))),
-            Box::new(|| Slot::Affiliates(self.affiliate_report())),
-            Box::new(|| Slot::Associations(self.reward_transfers(&operators, &affiliates))),
-            Box::new(|| Slot::Ratios(ratio_histogram(self))),
-            Box::new(|| Slot::Timeline(self.monthly_series())),
-            Box::new(|| Slot::Laundering(self.laundering_report(labels))),
+            Box::new(move || {
+                daas_obs::timed("measure.report_ms", "report", "victims", || {
+                    Slot::Victims(self.victim_report())
+                })
+            }),
+            Box::new(move || {
+                daas_obs::timed("measure.report_ms", "report", "repeat_victims", || {
+                    Slot::RepeatVictims(self.repeat_victim_report())
+                })
+            }),
+            Box::new(move || {
+                daas_obs::timed("measure.report_ms", "report", "operators", || {
+                    Slot::Operators(self.operator_report())
+                })
+            }),
+            Box::new(move || {
+                daas_obs::timed("measure.report_ms", "report", "operator_lifecycles", || {
+                    Slot::Lifecycles(self.operator_lifecycles(inactive_secs, as_of))
+                })
+            }),
+            Box::new(move || {
+                daas_obs::timed("measure.report_ms", "report", "affiliates", || {
+                    Slot::Affiliates(self.affiliate_report())
+                })
+            }),
+            Box::new(move || {
+                daas_obs::timed("measure.report_ms", "report", "associations", || {
+                    Slot::Associations(self.reward_transfers(&operators, &affiliates))
+                })
+            }),
+            Box::new(move || {
+                daas_obs::timed("measure.report_ms", "report", "ratios", || Slot::Ratios(ratio_histogram(self)))
+            }),
+            Box::new(move || {
+                daas_obs::timed("measure.report_ms", "report", "timeline", || {
+                    Slot::Timeline(self.monthly_series())
+                })
+            }),
+            Box::new(move || {
+                daas_obs::timed("measure.report_ms", "report", "laundering", || {
+                    Slot::Laundering(self.laundering_report(labels))
+                })
+            }),
         ];
 
         let slots: Vec<Slot> = if threads <= 1 {
@@ -163,6 +201,14 @@ impl<'a> MeasureCtx<'a> {
             })
             .expect("report scope does not panic")
         };
+        if let Some(before) = feat_before {
+            // Feature-memo traffic this bundle generated (deltas — the
+            // context's cache persists across live windows).
+            let stats = self.features().stats();
+            daas_obs::add("cache.features.hit", stats.hits.saturating_sub(before.hits));
+            daas_obs::add("cache.features.miss", stats.misses.saturating_sub(before.misses));
+            daas_obs::gauge("cache.features.entries", stats.entries as f64);
+        }
         assemble(slots)
     }
 }

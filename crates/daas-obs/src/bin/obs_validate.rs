@@ -1,0 +1,116 @@
+//! `obs_validate SCHEMA METRICS_JSON` — validates a `--metrics-out`
+//! run summary against the checked-in schema
+//! (`schemas/metrics_summary.schema.json`). CI runs this after the
+//! scale-0.05 pipeline; exit code 0 means the document conforms.
+//!
+//! The schema dialect is the JSON-Schema subset the summary needs:
+//! `type`, `required`, `properties`, `additionalProperties`, `items`,
+//! and `minItems` — enough to pin key presence and value types without
+//! an external validator crate.
+
+use std::process::ExitCode;
+
+use daas_obs::json::{parse, Value};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [schema_path, doc_path] = args.as_slice() else {
+        eprintln!("usage: obs_validate SCHEMA METRICS_JSON");
+        return ExitCode::FAILURE;
+    };
+    let schema = match load(schema_path) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("obs_validate: cannot load schema {schema_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match load(doc_path) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("obs_validate: cannot load document {doc_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut errors = Vec::new();
+    validate(&schema, &doc, "$", &mut errors);
+    if errors.is_empty() {
+        println!("obs_validate: {doc_path} conforms to {schema_path}");
+        ExitCode::SUCCESS
+    } else {
+        for error in &errors {
+            eprintln!("obs_validate: {error}");
+        }
+        eprintln!("obs_validate: {} error(s) in {doc_path}", errors.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    parse(&text)
+}
+
+/// Recursively checks `doc` against `schema`, appending human-readable
+/// errors with their JSON path.
+fn validate(schema: &Value, doc: &Value, path: &str, errors: &mut Vec<String>) {
+    let Some(schema) = schema.as_obj() else {
+        errors.push(format!("{path}: schema node is not an object"));
+        return;
+    };
+    if let Some(expected) = schema.get("type").and_then(Value::as_str) {
+        let actual = doc.type_name();
+        let matches = match expected {
+            "integer" => doc.as_num().is_some_and(|n| n == n.trunc()),
+            other => actual == other,
+        };
+        if !matches {
+            errors.push(format!("{path}: expected {expected}, got {actual}"));
+            return;
+        }
+    }
+    if let Some(required) = schema.get("required").and_then(Value::as_arr) {
+        if let Some(obj) = doc.as_obj() {
+            for key in required.iter().filter_map(Value::as_str) {
+                if !obj.contains_key(key) {
+                    errors.push(format!("{path}: missing required key \"{key}\""));
+                }
+            }
+        }
+    }
+    if let (Some(properties), Some(obj)) =
+        (schema.get("properties").and_then(Value::as_obj), doc.as_obj())
+    {
+        for (key, sub_schema) in properties {
+            if let Some(sub_doc) = obj.get(key) {
+                validate(sub_schema, sub_doc, &format!("{path}.{key}"), errors);
+            }
+        }
+    }
+    if let (Some(additional), Some(obj)) = (schema.get("additionalProperties"), doc.as_obj()) {
+        if additional.as_obj().is_some() {
+            let declared: Vec<&str> = schema
+                .get("properties")
+                .and_then(Value::as_obj)
+                .map(|p| p.keys().map(String::as_str).collect())
+                .unwrap_or_default();
+            for (key, sub_doc) in obj {
+                if !declared.contains(&key.as_str()) {
+                    validate(additional, sub_doc, &format!("{path}.{key}"), errors);
+                }
+            }
+        }
+    }
+    if let (Some(items), Some(arr)) = (schema.get("items"), doc.as_arr()) {
+        for (i, item) in arr.iter().enumerate() {
+            validate(items, item, &format!("{path}[{i}]"), errors);
+        }
+    }
+    if let (Some(min), Some(arr)) =
+        (schema.get("minItems").and_then(Value::as_num), doc.as_arr())
+    {
+        if (arr.len() as f64) < min {
+            errors.push(format!("{path}: fewer than {min} items ({})", arr.len()));
+        }
+    }
+}

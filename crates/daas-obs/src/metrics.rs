@@ -1,0 +1,406 @@
+//! Typed metrics: counters, gauges and fixed-bucket histograms.
+//!
+//! Every recording call lands in a thread-local aggregate (no locks, no
+//! contention on the hot path). Locals merge into one global pending
+//! aggregate when their thread exits — crossbeam-scoped workers always
+//! exit before the scope joins — and the draining thread flushes its
+//! own local first, so [`drain_metrics`](crate::metrics) sees
+//! everything. Merging is commutative and associative per metric type
+//! (sum, max, bucket-wise add), which makes the drained snapshot a pure
+//! function of the multiset of recording calls: the thread schedule can
+//! change *who* held a partial aggregate, never the merged result
+//! (asserted by the merge-determinism unit test).
+//!
+//! Gauges merge by **max**: the pipeline uses them for set-once sizes
+//! and stage durations, where the maximum is both deterministic and the
+//! value of interest. Duration histograms share one fixed bucket layout
+//! ([`MS_BUCKETS`]) so every `_ms` series is comparable across runs and
+//! stages.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
+
+use crate::enabled;
+
+/// Fixed histogram bucket upper bounds, in milliseconds. Observations
+/// above the last bound land in the implicit overflow bucket.
+pub const MS_BUCKETS: [f64; 14] =
+    [0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0];
+
+/// Metric identity: a static name plus an optional pre-formatted
+/// `key=value` label ("" when unlabeled).
+type Key = (&'static str, String);
+
+/// One histogram's running aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Histogram {
+    /// Per-bucket (non-cumulative) counts, parallel to [`MS_BUCKETS`].
+    buckets: [u64; MS_BUCKETS.len()],
+    /// Observations above the last bucket bound.
+    overflow: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            buckets: [0; MS_BUCKETS.len()],
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        match MS_BUCKETS.iter().position(|&bound| value <= bound) {
+            Some(i) => self.buckets[i] += 1,
+            None => self.overflow += 1,
+        }
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// One thread's (or the global pending) aggregate.
+#[derive(Debug, Default)]
+struct Aggregate {
+    counters: HashMap<Key, u64>,
+    gauges: HashMap<Key, f64>,
+    histograms: HashMap<Key, Histogram>,
+}
+
+impl Aggregate {
+    fn merge_from(&mut self, other: Aggregate) {
+        for (key, value) in other.counters {
+            *self.counters.entry(key).or_insert(0) += value;
+        }
+        for (key, value) in other.gauges {
+            let slot = self.gauges.entry(key).or_insert(f64::NEG_INFINITY);
+            *slot = slot.max(value);
+        }
+        for (key, hist) in other.histograms {
+            self.histograms.entry(key).or_insert_with(Histogram::new).merge(&hist);
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+/// Aggregates flushed by exited threads, awaiting drain.
+static PENDING: Mutex<Option<Aggregate>> = Mutex::new(None);
+
+/// Thread-local aggregate that merges itself into [`PENDING`] on thread
+/// exit (TLS destructors run before a scoped join returns).
+struct LocalMetrics(RefCell<Aggregate>);
+
+impl Drop for LocalMetrics {
+    fn drop(&mut self) {
+        flush_into_pending(self.0.take());
+    }
+}
+
+thread_local! {
+    static LOCAL: LocalMetrics = LocalMetrics(RefCell::new(Aggregate::default()));
+}
+
+fn flush_into_pending(aggregate: Aggregate) {
+    if aggregate.is_empty() {
+        return;
+    }
+    let mut pending = PENDING.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    pending.get_or_insert_with(Aggregate::default).merge_from(aggregate);
+}
+
+fn with_local(f: impl FnOnce(&mut Aggregate)) {
+    // If the TLS slot is already destroyed (thread teardown), the
+    // recording is dropped — only metrics recorded after the thread's
+    // own flush could be affected, and no pipeline code records there.
+    let _ = LOCAL.try_with(|local| f(&mut local.0.borrow_mut()));
+}
+
+/// Increments counter `name` by 1. No-op while the recorder is off.
+#[inline]
+pub fn inc(name: &'static str) {
+    add(name, 1);
+}
+
+/// Adds `n` to counter `name`. No-op while the recorder is off.
+#[inline]
+pub fn add(name: &'static str, n: u64) {
+    if !enabled() || n == 0 {
+        return;
+    }
+    with_local(|agg| *agg.counters.entry((name, String::new())).or_insert(0) += n);
+}
+
+/// Adds `n` to counter `name{label_key=label_val}`.
+#[inline]
+pub fn add_l(name: &'static str, label_key: &'static str, label_val: &str, n: u64) {
+    if !enabled() || n == 0 {
+        return;
+    }
+    with_local(|agg| {
+        *agg.counters.entry((name, format!("{label_key}={label_val}"))).or_insert(0) += n;
+    });
+}
+
+/// Sets gauge `name` (thread-merge: max). No-op while the recorder is off.
+#[inline]
+pub fn gauge(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_local(|agg| {
+        agg.gauges.insert((name, String::new()), value);
+    });
+}
+
+/// Sets gauge `name{label_key=label_val}` (thread-merge: max).
+#[inline]
+pub fn gauge_l(name: &'static str, label_key: &'static str, label_val: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_local(|agg| {
+        agg.gauges.insert((name, format!("{label_key}={label_val}")), value);
+    });
+}
+
+/// Records `value` (milliseconds) into histogram `name`. No-op while
+/// the recorder is off.
+#[inline]
+pub fn observe_ms(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_local(|agg| {
+        agg.histograms.entry((name, String::new())).or_insert_with(Histogram::new).observe(value)
+    });
+}
+
+/// Records `value` (milliseconds) into `name{label_key=label_val}`.
+#[inline]
+pub fn observe_ms_l(name: &'static str, label_key: &'static str, label_val: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_local(|agg| {
+        agg.histograms
+            .entry((name, format!("{label_key}={label_val}")))
+            .or_insert_with(Histogram::new)
+            .observe(value)
+    });
+}
+
+/// A drained histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values (ms).
+    pub sum_ms: f64,
+    /// Smallest observation (ms).
+    pub min_ms: f64,
+    /// Largest observation (ms).
+    pub max_ms: f64,
+    /// `(upper bound ms, non-cumulative count)` per [`MS_BUCKETS`] bucket.
+    pub buckets: Vec<(f64, u64)>,
+    /// Observations above the last bound.
+    pub overflow: u64,
+}
+
+/// The merged result of every metric recorded since the last drain.
+/// Keys render the naming convention: `name` or `name{key=value}`.
+/// `BTreeMap` so iteration — and every sink — is deterministically
+/// sorted.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Point-in-time gauges.
+    pub gauges: BTreeMap<String, f64>,
+    /// Fixed-bucket duration histograms.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value, or 0 when never recorded.
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, if recorded.
+    pub fn gauge(&self, key: &str) -> Option<f64> {
+        self.gauges.get(key).copied()
+    }
+}
+
+fn render_key((name, label): &Key) -> String {
+    if label.is_empty() {
+        (*name).to_string()
+    } else {
+        format!("{name}{{{label}}}")
+    }
+}
+
+/// Flushes the calling thread's locals, takes the global pending
+/// aggregate and renders the sorted snapshot. Clears everything.
+pub(crate) fn drain_metrics() -> MetricsSnapshot {
+    let mut flushed = Aggregate::default();
+    let _ = LOCAL.try_with(|local| flushed = local.0.take());
+    flush_into_pending(flushed);
+
+    let Some(aggregate) =
+        PENDING.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).take()
+    else {
+        return MetricsSnapshot::default();
+    };
+    let mut snapshot = MetricsSnapshot::default();
+    for (key, value) in &aggregate.counters {
+        snapshot.counters.insert(render_key(key), *value);
+    }
+    for (key, value) in &aggregate.gauges {
+        snapshot.gauges.insert(render_key(key), *value);
+    }
+    for (key, hist) in &aggregate.histograms {
+        snapshot.histograms.insert(
+            render_key(key),
+            HistogramSnapshot {
+                count: hist.count,
+                sum_ms: hist.sum,
+                min_ms: if hist.count == 0 { 0.0 } else { hist.min },
+                max_ms: if hist.count == 0 { 0.0 } else { hist.max },
+                buckets: MS_BUCKETS.iter().copied().zip(hist.buckets.iter().copied()).collect(),
+                overflow: hist.overflow,
+            },
+        );
+    }
+    snapshot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reset() {
+        crate::set_enabled(false);
+        crate::drain();
+    }
+
+    #[test]
+    fn histogram_bucketing_boundaries() {
+        let mut hist = Histogram::new();
+        // On-boundary values land in the bucket they bound (`<=`).
+        hist.observe(0.05);
+        hist.observe(0.050001);
+        hist.observe(1000.0);
+        hist.observe(1000.1); // overflow
+        hist.observe(0.0); // first bucket
+        assert_eq!(hist.buckets[0], 2, "0.0 and 0.05 in the first bucket");
+        assert_eq!(hist.buckets[1], 1, "just above a bound falls to the next bucket");
+        assert_eq!(hist.buckets[MS_BUCKETS.len() - 1], 1);
+        assert_eq!(hist.overflow, 1);
+        assert_eq!(hist.count, 5);
+        assert_eq!(hist.min, 0.0);
+        assert_eq!(hist.max, 1000.1);
+    }
+
+    #[test]
+    fn histogram_merge_is_commutative() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [0.01, 3.0, 700.0] {
+            a.observe(v);
+        }
+        for v in [0.2, 2000.0] {
+            b.observe(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count, 5);
+        assert_eq!(ab.overflow, 1);
+    }
+
+    #[test]
+    fn per_thread_merge_is_deterministic() {
+        let _guard = crate::test_lock();
+        // The same multiset of recordings, under two very different
+        // schedules, drains to the same snapshot.
+        let run = |threads: usize| {
+            reset();
+            crate::set_enabled(true);
+            let per_thread = 24 / threads;
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    scope.spawn(move || {
+                        for i in 0..per_thread {
+                            inc("merge.count");
+                            add_l("merge.labeled", "shard", "3", 2);
+                            gauge("merge.gauge", (t * per_thread + i) as f64);
+                            observe_ms("merge.hist_ms", ((t * per_thread + i) % 7) as f64);
+                        }
+                    });
+                }
+            });
+            crate::set_enabled(false);
+            crate::drain().metrics
+        };
+        let sequential = run(1);
+        let parallel = run(8);
+        assert_eq!(sequential, parallel);
+        assert_eq!(sequential.counter("merge.count"), 24);
+        assert_eq!(sequential.counter("merge.labeled{shard=3}"), 48);
+        assert_eq!(sequential.gauge("merge.gauge"), Some(23.0), "gauges merge by max");
+        assert_eq!(sequential.histograms["merge.hist_ms"].count, 24);
+    }
+
+    #[test]
+    fn drain_clears_state() {
+        let _guard = crate::test_lock();
+        reset();
+        crate::set_enabled(true);
+        inc("drain.once");
+        crate::set_enabled(false);
+        assert_eq!(crate::drain().metrics.counter("drain.once"), 1);
+        assert!(crate::drain().metrics.counters.is_empty(), "second drain is empty");
+    }
+
+    #[test]
+    fn snapshot_accessors() {
+        let _guard = crate::test_lock();
+        reset();
+        crate::set_enabled(true);
+        add("acc.c", 5);
+        gauge_l("acc.g", "k", "v", 2.5);
+        crate::set_enabled(false);
+        let snap = crate::drain().metrics;
+        assert_eq!(snap.counter("acc.c"), 5);
+        assert_eq!(snap.counter("acc.missing"), 0);
+        assert_eq!(snap.gauge("acc.g{k=v}"), Some(2.5));
+        assert_eq!(snap.gauge("acc.g"), None);
+    }
+}

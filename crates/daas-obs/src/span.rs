@@ -1,0 +1,235 @@
+//! Lightweight spans on a sharded ring buffer.
+//!
+//! A span is opened with the [`span!`](crate::span!) macro and closed by
+//! dropping its [`SpanGuard`]; the completed [`SpanRecord`] lands in one
+//! of [`RING_SHARDS`] bounded ring buffers selected by the recording
+//! thread's id, so concurrent workers almost never contend on a lock.
+//! Each shard evicts its oldest record past [`RING_CAPACITY`] entries
+//! (the eviction count is reported at drain, never silently).
+//!
+//! Parent linkage is a thread-local stack: the innermost open span on
+//! the current thread is the parent of the next one opened there. Spans
+//! therefore nest per thread; a worker's root spans have no parent (the
+//! fork point is visible through the shared thread/start ordering).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::now_ns;
+
+/// Ring-buffer shards; threads pick `thread_id % RING_SHARDS`.
+pub const RING_SHARDS: usize = 16;
+
+/// Maximum retained spans per shard before the oldest are evicted.
+pub const RING_CAPACITY: usize = 65_536;
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Process-unique span id (allocation order).
+    pub id: u64,
+    /// Id of the innermost span open on the same thread at begin time.
+    pub parent: Option<u64>,
+    /// Dense observability thread id (allocation order, not the OS id).
+    pub thread: u64,
+    /// Span name (`stage.object` by convention).
+    pub name: &'static str,
+    /// Pre-formatted `key=value` label pairs, comma-separated ("" if none).
+    pub labels: String,
+    /// Nanoseconds from the recorder epoch to span begin.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+struct RingShard {
+    buf: VecDeque<SpanRecord>,
+    dropped: u64,
+}
+
+static RINGS: [Mutex<Option<RingShard>>; RING_SHARDS] =
+    [const { Mutex::new(None) }; RING_SHARDS];
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Dense per-thread id, assigned on first use.
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+    /// Stack of open span ids on this thread (parent linkage).
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Open-span state carried by an enabled guard.
+struct ActiveSpan {
+    id: u64,
+    parent: Option<u64>,
+    thread: u64,
+    name: &'static str,
+    labels: String,
+    start_ns: u64,
+    begun: Instant,
+}
+
+/// RAII span handle. Created by the [`span!`](crate::span!) macro:
+/// either a live span (recorder enabled at open) or an inert no-op.
+#[must_use = "a span measures the scope it is bound to; bind it to a local"]
+pub struct SpanGuard(Option<ActiveSpan>);
+
+impl SpanGuard {
+    /// An inert guard: dropping it does nothing.
+    #[inline]
+    pub fn disabled() -> Self {
+        SpanGuard(None)
+    }
+
+    /// Opens a live span (the macro calls this only when the recorder is
+    /// enabled). `labels` is a pre-formatted `k=v,k=v` string.
+    pub fn begin(name: &'static str, labels: String) -> Self {
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let thread = THREAD_ID.with(|t| *t);
+        let parent = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack.last().copied();
+            stack.push(id);
+            parent
+        });
+        SpanGuard(Some(ActiveSpan {
+            id,
+            parent,
+            thread,
+            name,
+            labels,
+            start_ns: now_ns(),
+            begun: Instant::now(),
+        }))
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(span) = self.0.take() else { return };
+        let dur_ns = span.begun.elapsed().as_nanos() as u64;
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Guards are scoped values, so drops nest; truncate rather
+            // than pop defensively in case a guard was leaked.
+            if let Some(pos) = stack.iter().rposition(|&id| id == span.id) {
+                stack.truncate(pos);
+            }
+        });
+        let record = SpanRecord {
+            id: span.id,
+            parent: span.parent,
+            thread: span.thread,
+            name: span.name,
+            labels: span.labels,
+            start_ns: span.start_ns,
+            dur_ns,
+        };
+        let shard = &RINGS[(span.thread as usize) % RING_SHARDS];
+        let mut guard = shard.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        let ring = guard.get_or_insert_with(|| RingShard {
+            buf: VecDeque::with_capacity(256),
+            dropped: 0,
+        });
+        if ring.buf.len() >= RING_CAPACITY {
+            ring.buf.pop_front();
+            ring.dropped += 1;
+        }
+        ring.buf.push_back(record);
+    }
+}
+
+/// Takes every recorded span (sorted by `(start_ns, id)`) plus the
+/// total number evicted, clearing the ring buffers.
+pub(crate) fn drain_spans() -> (Vec<SpanRecord>, u64) {
+    let mut spans = Vec::new();
+    let mut dropped = 0;
+    for shard in &RINGS {
+        let mut guard = shard.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(ring) = guard.as_mut() {
+            spans.extend(ring.buf.drain(..));
+            dropped += ring.dropped;
+            ring.dropped = 0;
+        }
+    }
+    spans.sort_by_key(|s| (s.start_ns, s.id));
+    (spans, dropped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sibling_spans_share_a_parent() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        crate::drain();
+        {
+            let _root = crate::span!("test.root");
+            {
+                let _a = crate::span!("test.child", which = "a");
+            }
+            {
+                let _b = crate::span!("test.child", which = "b");
+            }
+        }
+        crate::set_enabled(false);
+        let (spans, dropped) = drain_spans();
+        assert_eq!(dropped, 0);
+        assert_eq!(spans.len(), 3);
+        let root = spans.iter().find(|s| s.name == "test.root").unwrap();
+        let children: Vec<_> = spans.iter().filter(|s| s.name == "test.child").collect();
+        assert_eq!(children.len(), 2);
+        for child in &children {
+            assert_eq!(child.parent, Some(root.id));
+        }
+        assert_ne!(children[0].labels, children[1].labels);
+    }
+
+    #[test]
+    fn cross_thread_spans_carry_distinct_thread_ids() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        crate::drain();
+        let main_thread = THREAD_ID.with(|t| *t);
+        std::thread::scope(|scope| {
+            for i in 0..4 {
+                scope.spawn(move || {
+                    let _span = crate::span!("test.worker", worker = i);
+                });
+            }
+        });
+        crate::set_enabled(false);
+        let (spans, _) = drain_spans();
+        assert_eq!(spans.len(), 4);
+        let mut threads: Vec<u64> = spans.iter().map(|s| s.thread).collect();
+        threads.sort_unstable();
+        threads.dedup();
+        assert_eq!(threads.len(), 4, "each worker records under its own thread id");
+        assert!(spans.iter().all(|s| s.thread != main_thread));
+        assert!(spans.iter().all(|s| s.parent.is_none()));
+    }
+
+    #[test]
+    fn ring_eviction_is_counted_not_silent() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        crate::drain();
+        // All spans from one thread land in one shard: overflow it.
+        for i in 0..(RING_CAPACITY + 10) {
+            let _span = crate::span!("test.flood", i = i);
+        }
+        crate::set_enabled(false);
+        let (spans, dropped) = drain_spans();
+        assert_eq!(spans.len(), RING_CAPACITY);
+        assert_eq!(dropped, 10);
+        // The *oldest* were evicted: the retained window is the tail.
+        assert_eq!(spans[0].labels, "i=10");
+    }
+}

@@ -175,15 +175,28 @@ pub fn build_opts(config: &WorldConfig, threads: usize, shards: usize) -> Result
     let mut labels = LabelStore::new();
     let mut oracle = Oracle::new();
 
+    let _build_span = daas_obs::span!("world.build", threads = threads);
+
     // Phase 1 (sequential): infrastructure and family account creation
     // both mutate the chain, so they stay on the master stream.
-    let infra = deploy_infra(&mut chain, &mut oracle, &mut labels)?;
-    let mut plans = plan_families(&mut rng, config, &mut chain)?;
+    let infra = {
+        let _s = daas_obs::span!("world.deploy_infra");
+        deploy_infra(&mut chain, &mut oracle, &mut labels)?
+    };
+    let mut plans = {
+        let _s = daas_obs::span!("world.plan_families");
+        plan_families(&mut rng, config, &mut chain)?
+    };
 
     // Phase 2 (parallel plan): event synthesis touches only its own
     // family plan (or the benign index space), so it fans out across
     // the pool on RNG streams derived from the master stream.
-    let (mut events, incident_count) = plan_events(&mut rng, config, &mut plans, &infra, threads);
+    let (mut events, incident_count) = {
+        let _s = daas_obs::span!("world.plan_events", threads = threads);
+        plan_events(&mut rng, config, &mut plans, &infra, threads)
+    };
+    daas_obs::add("world.events.planned", events.len() as u64);
+    daas_obs::add("world.incidents.planned", incident_count as u64);
 
     // Order by (time, kind priority): deployments first at a given
     // timestamp so incident execution always finds its contract. The
@@ -193,9 +206,15 @@ pub fn build_opts(config: &WorldConfig, threads: usize, shards: usize) -> Result
 
     // Phase 3 (sequential apply): replay the merged timeline into the
     // ledger, then derive labels and the website population.
-    let truth = execute(&mut rng, config, &mut chain, &oracle, &infra, &mut plans, events, incident_count)?;
-    assign_labels(&mut rng, config, &mut labels, &plans, &truth);
-    let sites = generate_sites(&mut rng, config, &truth);
+    let truth = {
+        let _s = daas_obs::span!("world.execute");
+        execute(&mut rng, config, &mut chain, &oracle, &infra, &mut plans, events, incident_count)?
+    };
+    let sites = {
+        let _s = daas_obs::span!("world.derive");
+        assign_labels(&mut rng, config, &mut labels, &plans, &truth);
+        generate_sites(&mut rng, config, &truth)
+    };
 
     Ok(World { chain, oracle, labels, truth, sites, infra })
 }
@@ -711,6 +730,7 @@ fn plan_family_events(
     plan: &mut FamilyPlan,
     infra: &Infra,
 ) -> (Vec<TimedEv>, usize) {
+    let _task_span = daas_obs::span!("world.plan_family", fam = fi);
     let fam_cfg = &config.families[fi];
     let mut events: Vec<TimedEv> = Vec::new();
     let mut seq: u64 = 0;
@@ -1046,6 +1066,7 @@ fn plan_benign_chunk(
     n_benign_users: usize,
     infra: &Infra,
 ) -> Vec<TimedEv> {
+    let _task_span = daas_obs::span!("world.plan_benign", count = count);
     let benign_type = Weighted::new(&[0.40, 0.20, 0.10, 0.15, 0.05, 0.10]);
     let mut events: Vec<TimedEv> = Vec::with_capacity(count);
     for i in 0..count {

@@ -13,6 +13,7 @@
 
 pub use daas_chain as chain;
 pub use daas_cluster as cluster;
+pub use daas_obs as obs;
 pub use daas_detector as detector;
 pub use daas_measure as measure;
 pub use daas_pricing as pricing;
