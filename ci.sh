@@ -36,6 +36,18 @@ cargo run -q --release -p daas-obs --bin obs_validate -- \
   schemas/metrics_summary.schema.json "$OBS_TMP/metrics.json"
 rm -rf "$OBS_TMP"
 
+# ---- Scenario pack: every shipped scenario must conform to the
+#      scenario schema, and the robustness harness must run the full
+#      matrix at a fast smoke scale (honours DAAS_THREADS /
+#      DAAS_TRACE / DAAS_METRICS like every exp_* harness). ----
+cargo run -q --release -p daas-obs --bin scenario_validate -- \
+  schemas/scenario.schema.json scenarios
+ROB_TMP="$(mktemp -d)"
+DAAS_SCALE=0.25 DAAS_ROBUSTNESS_OUT="$ROB_TMP/BENCH_robustness.json" \
+  cargo run -q --release -p daas-bench --bin exp_robustness > /dev/null
+test -s "$ROB_TMP/BENCH_robustness.json"
+rm -rf "$ROB_TMP"
+
 # ---- Everything else. ----
 cargo test -q --workspace
 

@@ -1,0 +1,215 @@
+//! Adversarial-robustness experiment: every scenario in `scenarios/`
+//! runs through the full pipeline (world → snowball → clustering →
+//! measurement) and is scored against its ground truth — dataset
+//! membership per account class, pairwise family assignment, and §6
+//! loss attribution, each as precision/recall/F1.
+//!
+//! Outputs:
+//! * a machine-readable `BENCH_robustness.json` (path override via
+//!   `DAAS_ROBUSTNESS_OUT`), and
+//! * a human scenario-matrix report on stdout.
+//!
+//! Environment: `DAAS_SCALE` multiplies every scenario's own scale
+//! (CI smoke runs use a fraction); `DAAS_THREADS` / `DAAS_SHARDS` /
+//! `DAAS_TRACE` / `DAAS_METRICS` behave as in every other `exp_*`
+//! harness. Scenario seeds are pinned by the scenario files themselves
+//! so the scores are reproducible artifacts, not run-dependent noise.
+
+use daas_cli::run_pipeline_sharded;
+use daas_detector::{evaluate, pairwise_family_scores, ClassScores, LossAttribution};
+use daas_world::WorldConfig;
+use serde::Serialize;
+
+/// Per-scenario scores, serialised into `BENCH_robustness.json`.
+#[derive(Debug, Serialize)]
+struct ScenarioScores {
+    scenario: String,
+    seed: u64,
+    scale: f64,
+    adversarial: bool,
+    /// Dataset-membership scores per account class.
+    contracts: Scores,
+    operators: Scores,
+    affiliates: Scores,
+    transactions: Scores,
+    /// Pairwise family-assignment scores over member accounts.
+    family_pairs: Scores,
+    /// §6 loss attribution.
+    loss_measured_usd: f64,
+    loss_truth_usd: f64,
+    loss_relative_error: f64,
+}
+
+/// One precision/recall/F1 triple with its raw counts.
+#[derive(Debug, Serialize)]
+struct Scores {
+    true_positives: usize,
+    false_positives: usize,
+    false_negatives: usize,
+    precision: f64,
+    recall: f64,
+    f1: f64,
+}
+
+impl From<ClassScores> for Scores {
+    fn from(s: ClassScores) -> Scores {
+        Scores {
+            true_positives: s.true_positives,
+            false_positives: s.false_positives,
+            false_negatives: s.false_negatives,
+            precision: s.precision(),
+            recall: s.recall(),
+            f1: s.f1(),
+        }
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    scale_multiplier: f64,
+    scenarios: Vec<ScenarioScores>,
+}
+
+fn scenario_dir() -> std::path::PathBuf {
+    match std::env::var("DAAS_SCENARIOS") {
+        Ok(dir) if !dir.is_empty() => dir.into(),
+        _ => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios"),
+    }
+}
+
+fn main() {
+    let _obs = daas_bench::obs_from_env();
+    let scale_mult: f64 =
+        std::env::var("DAAS_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0);
+    let snowball = daas_bench::snowball_config();
+    let shards = daas_bench::shard_count();
+    let measure = daas_bench::measure_config();
+
+    let dir = scenario_dir();
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read scenario dir {}: {e}", dir.display()))
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "no scenario files in {}", dir.display());
+    eprintln!(
+        "[exp_robustness] {} scenario(s), scale x{scale_mult}, threads {}",
+        paths.len(),
+        snowball.effective_threads()
+    );
+
+    let mut scenarios = Vec::new();
+    for path in &paths {
+        let name = path.file_stem().unwrap_or_default().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let mut config: WorldConfig = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()));
+        config.scale *= scale_mult;
+        let adversarial = !config.adversarial.is_default()
+            || config.families.iter().any(|f| f.kind_mix.is_some());
+
+        let pipeline = run_pipeline_sharded(&config, &snowball, shards)
+            .unwrap_or_else(|e| panic!("scenario {name} failed: {e}"));
+        let truth = &pipeline.world.truth;
+        let eval = evaluate(
+            &pipeline.dataset,
+            &truth.all_contracts(),
+            &truth.all_operators(),
+            &truth.all_affiliates(),
+            &truth.ps_tx_ids(),
+        );
+
+        // Family assignment: predicted member sets against the truth
+        // families' member sets.
+        let truth_sets: Vec<Vec<_>> = truth
+            .families
+            .iter()
+            .map(|f| {
+                let mut v: Vec<_> = f.operators.clone();
+                v.extend(f.contracts.iter().map(|c| c.address));
+                v.extend(f.affiliates.iter().copied());
+                v
+            })
+            .collect();
+        let family_pairs =
+            pairwise_family_scores(&pipeline.clustering.member_sets(), &truth_sets);
+
+        // §6 loss attribution: the measured victim-loss total against
+        // the ground-truth incident sum.
+        let measured = pipeline.measured(&measure);
+        let loss = LossAttribution {
+            measured_usd: measured.reports.victims.total_usd,
+            truth_usd: truth.incidents.iter().map(|i| i.loss_usd).sum(),
+        };
+
+        eprintln!(
+            "[exp_robustness] {name}: contracts P {:.3} R {:.3}, txs R {:.3}, pairs F1 {:.3}",
+            eval.contracts.precision(),
+            eval.contracts.recall(),
+            eval.transactions.recall(),
+            family_pairs.f1(),
+        );
+        scenarios.push(ScenarioScores {
+            scenario: name,
+            seed: config.seed,
+            scale: config.scale,
+            adversarial,
+            contracts: eval.contracts.into(),
+            operators: eval.operators.into(),
+            affiliates: eval.affiliates.into(),
+            transactions: eval.transactions.into(),
+            family_pairs: family_pairs.into(),
+            loss_measured_usd: measured.reports.victims.total_usd,
+            loss_truth_usd: loss.truth_usd,
+            loss_relative_error: loss.relative_error(),
+        });
+    }
+
+    let report = Report { scale_multiplier: scale_mult, scenarios };
+    let out = std::env::var("DAAS_ROBUSTNESS_OUT")
+        .ok()
+        .filter(|p| !p.is_empty())
+        .unwrap_or_else(|| "BENCH_robustness.json".to_owned());
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    eprintln!("[exp_robustness] scores written to {out}");
+
+    println!("{}", render_matrix(&report));
+}
+
+/// The human scenario matrix: one row per scenario, the four headline
+/// numbers per row.
+fn render_matrix(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("Adversarial scenario matrix — pipeline scores per scenario\n");
+    out.push_str(&format!("(scenario scale multiplier x{})\n\n", report.scale_multiplier));
+    out.push_str(&format!(
+        "{:<24} {:>5} {:>11} {:>11} {:>8} {:>9} {:>9}\n",
+        "scenario", "adv", "contracts", "contracts", "tx", "family", "loss"
+    ));
+    out.push_str(&format!(
+        "{:<24} {:>5} {:>11} {:>11} {:>8} {:>9} {:>9}\n",
+        "", "", "precision", "recall", "recall", "pairs F1", "rel.err"
+    ));
+    for s in &report.scenarios {
+        out.push_str(&format!(
+            "{:<24} {:>5} {:>11.4} {:>11.4} {:>8.4} {:>9.4} {:>9.4}\n",
+            s.scenario,
+            if s.adversarial { "yes" } else { "no" },
+            s.contracts.precision,
+            s.contracts.recall,
+            s.transactions.recall,
+            s.family_pairs.f1,
+            s.loss_relative_error,
+        ));
+    }
+    out.push_str(
+        "\nA calibrated scenario scores 1.0 everywhere; adversarial rows show where\n\
+         the §4.3 exact-ratio rule, the snowball guard, or the operator-clustering\n\
+         heuristics degrade under each evasion strategy.\n",
+    );
+    out
+}

@@ -73,6 +73,28 @@ impl Clustering {
     pub fn by_name(&self, name: &str) -> Option<&Family> {
         self.families.iter().find(|f| f.name == name)
     }
+
+    /// Per-family member-account sets (operators + contracts +
+    /// affiliates), sorted and deduped — the plain-data shape
+    /// `daas_detector::pairwise_family_scores` consumes for
+    /// family-assignment scoring.
+    pub fn member_sets(&self) -> Vec<Vec<Address>> {
+        self.families
+            .iter()
+            .map(|f| {
+                let mut v: Vec<Address> = f
+                    .operators
+                    .iter()
+                    .chain(&f.contracts)
+                    .chain(&f.affiliates)
+                    .copied()
+                    .collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+            .collect()
+    }
 }
 
 /// Parallelism knob for [`cluster_with`]. `threads == 0` uses every

@@ -49,6 +49,18 @@ impl ClassScores {
             self.true_positives as f64 / denom as f64
         }
     }
+
+    /// F1, the harmonic mean of precision and recall (0.0 when both
+    /// vanish).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
 }
 
 /// Full evaluation against ground truth.

@@ -27,6 +27,7 @@ mod dataset;
 mod evaluate;
 mod features;
 pub mod online;
+mod robustness;
 mod snowball;
 
 pub use cache::ClassificationCache;
@@ -35,4 +36,5 @@ pub use features::{AccountFeatures, FeatureCache};
 pub use dataset::{Dataset, DatasetCounts};
 pub use evaluate::{evaluate, validation_sample, ClassScores, Evaluation, ValidationSample};
 pub use online::{Admission, DetectorEvent, OnlineDetector};
+pub use robustness::{pairwise_family_scores, LossAttribution};
 pub use snowball::{build_dataset, build_dataset_with_cache, SnowballConfig};

@@ -1,0 +1,218 @@
+//! Scenario-robustness scoring: family-assignment and loss-attribution
+//! metrics for the adversarial scenario pack (`exp_robustness`).
+//!
+//! Dataset membership is already covered by [`crate::evaluate`]; this
+//! module adds the two pipeline stages downstream of it:
+//!
+//! * **Family assignment** ([`pairwise_family_scores`]): compares a
+//!   predicted partition of accounts into families against the
+//!   ground-truth partition with the standard pairwise clustering
+//!   metric. Every unordered account pair placed in one predicted
+//!   family is a predicted-positive; every pair sharing a truth family
+//!   is a truth-positive. The counts fold into the same
+//!   [`ClassScores`] shape the membership scores use, so
+//!   precision/recall/F1 read identically.
+//! * **Loss attribution** ([`LossAttribution`]): measured total USD
+//!   losses against the ground-truth incident sum, as a relative
+//!   error (§6's headline number is a dollar total, not a set).
+//!
+//! Both take plain slices/floats so this crate stays decoupled from
+//! the world generator and the clustering crate — the bench harness
+//! bridges them.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use eth_types::Address;
+use serde::{Deserialize, Serialize};
+
+use crate::evaluate::ClassScores;
+
+/// Unordered pairs among `n` items.
+fn pairs(n: usize) -> usize {
+    n * n.saturating_sub(1) / 2
+}
+
+/// Resolves possibly-overlapping member lists into disjoint sets by
+/// first-assignment-wins (ground truth can share an affiliate across
+/// families; the pairwise metric needs a partition).
+fn disjoint(sets: &[Vec<Address>]) -> Vec<BTreeSet<Address>> {
+    let mut seen: BTreeSet<Address> = BTreeSet::new();
+    sets.iter()
+        .map(|s| s.iter().copied().filter(|&a| seen.insert(a)).collect())
+        .collect()
+}
+
+/// Pairwise family-assignment scores: `predicted` and `truth` are
+/// per-family member-account lists (any role). Returns pair-level
+/// true/false positives and false negatives; a predicted family that
+/// lumps two truth families together shows up as pair false positives,
+/// a truth family split across predicted families as false negatives.
+/// Accounts appearing on only one side contribute only that side's
+/// pairs — extra predicted members (e.g. payout hop wallets admitted as
+/// operators) therefore depress pair precision.
+pub fn pairwise_family_scores(predicted: &[Vec<Address>], truth: &[Vec<Address>]) -> ClassScores {
+    let predicted = disjoint(predicted);
+    let truth = disjoint(truth);
+
+    let mut truth_of: BTreeMap<Address, usize> = BTreeMap::new();
+    for (j, fam) in truth.iter().enumerate() {
+        for &a in fam {
+            truth_of.insert(a, j);
+        }
+    }
+
+    let predicted_pairs: usize = predicted.iter().map(|f| pairs(f.len())).sum();
+    let truth_pairs: usize = truth.iter().map(|f| pairs(f.len())).sum();
+
+    // tp = Σ_ij C(|P_i ∩ T_j|, 2): pairs that share both a predicted
+    // and a truth family.
+    let mut tp = 0usize;
+    for fam in &predicted {
+        let mut overlap: BTreeMap<usize, usize> = BTreeMap::new();
+        for a in fam {
+            if let Some(&j) = truth_of.get(a) {
+                *overlap.entry(j).or_default() += 1;
+            }
+        }
+        tp += overlap.values().map(|&n| pairs(n)).sum::<usize>();
+    }
+
+    ClassScores {
+        true_positives: tp,
+        false_positives: predicted_pairs - tp,
+        false_negatives: truth_pairs - tp,
+    }
+}
+
+/// §6 loss attribution: the measured USD loss total against the
+/// ground-truth incident sum.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LossAttribution {
+    /// Total USD losses the measurement pipeline reports.
+    pub measured_usd: f64,
+    /// Ground-truth sum of incident losses.
+    pub truth_usd: f64,
+}
+
+impl LossAttribution {
+    /// Relative error `|measured - truth| / truth` (0.0 when both are
+    /// zero, infinite when only the truth side is zero).
+    pub fn relative_error(&self) -> f64 {
+        if self.truth_usd == 0.0 {
+            if self.measured_usd == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.measured_usd - self.truth_usd).abs() / self.truth_usd
+        }
+    }
+
+    /// Attributed fraction `measured / truth` (1.0 when both are zero) —
+    /// the "how much of the shadow economy did we see" number.
+    pub fn attributed_fraction(&self) -> f64 {
+        if self.truth_usd == 0.0 {
+            if self.measured_usd == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.measured_usd / self.truth_usd
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(n: u8) -> Address {
+        Address::from_key_seed(&[n])
+    }
+
+    #[test]
+    fn identical_partitions_score_perfect() {
+        let part = vec![vec![addr(1), addr(2), addr(3)], vec![addr(4), addr(5)]];
+        let s = pairwise_family_scores(&part, &part);
+        assert_eq!(s.true_positives, 3 + 1);
+        assert_eq!(s.false_positives, 0);
+        assert_eq!(s.false_negatives, 0);
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.recall(), 1.0);
+        assert_eq!(s.f1(), 1.0);
+    }
+
+    #[test]
+    fn merged_families_cost_precision_split_costs_recall() {
+        let truth = vec![vec![addr(1), addr(2)], vec![addr(3), addr(4)]];
+        // Everything lumped into one predicted family: all truth pairs
+        // found (recall 1) but 4 cross-family false-positive pairs.
+        let merged = vec![vec![addr(1), addr(2), addr(3), addr(4)]];
+        let s = pairwise_family_scores(&merged, &truth);
+        assert_eq!(s.true_positives, 2);
+        assert_eq!(s.false_positives, 4);
+        assert_eq!(s.false_negatives, 0);
+        assert!(s.precision() < 1.0 && s.recall() == 1.0);
+
+        // One truth family split into singletons: its pair is missed.
+        let split = vec![vec![addr(1), addr(2)], vec![addr(3)], vec![addr(4)]];
+        let s = pairwise_family_scores(&split, &truth);
+        assert_eq!(s.true_positives, 1);
+        assert_eq!(s.false_positives, 0);
+        assert_eq!(s.false_negatives, 1);
+        assert!(s.precision() == 1.0 && s.recall() < 1.0);
+    }
+
+    #[test]
+    fn extra_predicted_members_depress_precision() {
+        let truth = vec![vec![addr(1), addr(2)]];
+        // A hop wallet (addr 9) admitted into the family: 2 extra pairs.
+        let pred = vec![vec![addr(1), addr(2), addr(9)]];
+        let s = pairwise_family_scores(&pred, &truth);
+        assert_eq!(s.true_positives, 1);
+        assert_eq!(s.false_positives, 2);
+        assert_eq!(s.false_negatives, 0);
+    }
+
+    #[test]
+    fn overlapping_truth_members_resolve_first_wins() {
+        // addr(3) affiliates for both truth families; the metric must
+        // not double-count its pairs.
+        let truth = vec![vec![addr(1), addr(3)], vec![addr(2), addr(3)]];
+        let pred = vec![vec![addr(1), addr(3)], vec![addr(2)]];
+        let s = pairwise_family_scores(&pred, &truth);
+        assert_eq!(s.true_positives, 1);
+        assert_eq!(s.false_positives, 0);
+        assert_eq!(s.false_negatives, 0);
+    }
+
+    #[test]
+    fn empty_partitions_score_perfect() {
+        let s = pairwise_family_scores(&[], &[]);
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.recall(), 1.0);
+        assert_eq!(s.f1(), 1.0);
+    }
+
+    #[test]
+    fn loss_attribution_relative_error() {
+        let l = LossAttribution { measured_usd: 90.0, truth_usd: 100.0 };
+        assert!((l.relative_error() - 0.1).abs() < 1e-12);
+        assert!((l.attributed_fraction() - 0.9).abs() < 1e-12);
+        let zero = LossAttribution { measured_usd: 0.0, truth_usd: 0.0 };
+        assert_eq!(zero.relative_error(), 0.0);
+        assert_eq!(zero.attributed_fraction(), 1.0);
+        let phantom = LossAttribution { measured_usd: 5.0, truth_usd: 0.0 };
+        assert!(phantom.relative_error().is_infinite());
+    }
+
+    #[test]
+    fn f1_is_zero_when_nothing_matches() {
+        let s = ClassScores { true_positives: 0, false_positives: 3, false_negatives: 2 };
+        assert_eq!(s.precision(), 0.0);
+        assert_eq!(s.recall(), 0.0);
+        assert_eq!(s.f1(), 0.0);
+    }
+}

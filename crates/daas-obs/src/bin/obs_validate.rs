@@ -3,14 +3,12 @@
 //! (`schemas/metrics_summary.schema.json`). CI runs this after the
 //! scale-0.05 pipeline; exit code 0 means the document conforms.
 //!
-//! The schema dialect is the JSON-Schema subset the summary needs:
-//! `type`, `required`, `properties`, `additionalProperties`, `items`,
-//! and `minItems` — enough to pin key presence and value types without
-//! an external validator crate.
+//! The validation itself lives in [`daas_obs::json::validate_schema`],
+//! shared with the `scenario_validate` gate.
 
 use std::process::ExitCode;
 
-use daas_obs::json::{parse, Value};
+use daas_obs::json::{parse, validate_schema, Value};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,8 +30,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut errors = Vec::new();
-    validate(&schema, &doc, "$", &mut errors);
+    let errors = validate_schema(&schema, &doc);
     if errors.is_empty() {
         println!("obs_validate: {doc_path} conforms to {schema_path}");
         ExitCode::SUCCESS
@@ -49,68 +46,4 @@ fn main() -> ExitCode {
 fn load(path: &str) -> Result<Value, String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     parse(&text)
-}
-
-/// Recursively checks `doc` against `schema`, appending human-readable
-/// errors with their JSON path.
-fn validate(schema: &Value, doc: &Value, path: &str, errors: &mut Vec<String>) {
-    let Some(schema) = schema.as_obj() else {
-        errors.push(format!("{path}: schema node is not an object"));
-        return;
-    };
-    if let Some(expected) = schema.get("type").and_then(Value::as_str) {
-        let actual = doc.type_name();
-        let matches = match expected {
-            "integer" => doc.as_num().is_some_and(|n| n == n.trunc()),
-            other => actual == other,
-        };
-        if !matches {
-            errors.push(format!("{path}: expected {expected}, got {actual}"));
-            return;
-        }
-    }
-    if let Some(required) = schema.get("required").and_then(Value::as_arr) {
-        if let Some(obj) = doc.as_obj() {
-            for key in required.iter().filter_map(Value::as_str) {
-                if !obj.contains_key(key) {
-                    errors.push(format!("{path}: missing required key \"{key}\""));
-                }
-            }
-        }
-    }
-    if let (Some(properties), Some(obj)) =
-        (schema.get("properties").and_then(Value::as_obj), doc.as_obj())
-    {
-        for (key, sub_schema) in properties {
-            if let Some(sub_doc) = obj.get(key) {
-                validate(sub_schema, sub_doc, &format!("{path}.{key}"), errors);
-            }
-        }
-    }
-    if let (Some(additional), Some(obj)) = (schema.get("additionalProperties"), doc.as_obj()) {
-        if additional.as_obj().is_some() {
-            let declared: Vec<&str> = schema
-                .get("properties")
-                .and_then(Value::as_obj)
-                .map(|p| p.keys().map(String::as_str).collect())
-                .unwrap_or_default();
-            for (key, sub_doc) in obj {
-                if !declared.contains(&key.as_str()) {
-                    validate(additional, sub_doc, &format!("{path}.{key}"), errors);
-                }
-            }
-        }
-    }
-    if let (Some(items), Some(arr)) = (schema.get("items"), doc.as_arr()) {
-        for (i, item) in arr.iter().enumerate() {
-            validate(items, item, &format!("{path}[{i}]"), errors);
-        }
-    }
-    if let (Some(min), Some(arr)) =
-        (schema.get("minItems").and_then(Value::as_num), doc.as_arr())
-    {
-        if (arr.len() as f64) < min {
-            errors.push(format!("{path}: fewer than {min} items ({})", arr.len()));
-        }
-    }
 }

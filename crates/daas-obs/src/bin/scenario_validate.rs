@@ -1,0 +1,75 @@
+//! `scenario_validate SCHEMA SCENARIO_DIR` — validates every `*.json`
+//! file in the scenario directory against the checked-in scenario
+//! schema (`schemas/scenario.schema.json`). CI runs this so a malformed
+//! scenario fails the gate before any harness tries to build a world
+//! from it; exit code 0 means every file conforms.
+
+use std::process::ExitCode;
+
+use daas_obs::json::{parse, validate_schema, Value};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [schema_path, dir] = args.as_slice() else {
+        eprintln!("usage: scenario_validate SCHEMA SCENARIO_DIR");
+        return ExitCode::FAILURE;
+    };
+    let schema = match load(schema_path) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("scenario_validate: cannot load schema {schema_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut paths: Vec<std::path::PathBuf> = match std::fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect(),
+        Err(e) => {
+            eprintln!("scenario_validate: cannot read {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    paths.sort();
+    if paths.is_empty() {
+        eprintln!("scenario_validate: no *.json files in {dir}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failures = 0usize;
+    for path in &paths {
+        let shown = path.display();
+        let doc = match load(&path.to_string_lossy()) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("scenario_validate: {shown}: parse error: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let errors = validate_schema(&schema, &doc);
+        if errors.is_empty() {
+            println!("scenario_validate: {shown} ok");
+        } else {
+            for error in &errors {
+                eprintln!("scenario_validate: {shown}: {error}");
+            }
+            failures += 1;
+        }
+    }
+    if failures == 0 {
+        println!("scenario_validate: {} scenario(s) conform to {schema_path}", paths.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("scenario_validate: {failures} of {} scenario(s) failed", paths.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    parse(&text)
+}

@@ -243,6 +243,82 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
     }
 }
 
+/// Validates `doc` against `schema`, returning human-readable errors
+/// with their JSON paths (empty = conforms). The schema dialect is the
+/// JSON-Schema subset the repo's checked-in schemas use: `type`,
+/// `required`, `properties`, `additionalProperties`, `items` and
+/// `minItems` — enough to pin key presence and value types without an
+/// external validator crate. An empty schema object `{}` matches any
+/// value (used for union-typed fields). Shared by the `obs_validate`
+/// and `scenario_validate` CI gates.
+pub fn validate_schema(schema: &Value, doc: &Value) -> Vec<String> {
+    let mut errors = Vec::new();
+    validate_at(schema, doc, "$", &mut errors);
+    errors
+}
+
+/// Recursively checks `doc` against `schema`, appending errors.
+fn validate_at(schema: &Value, doc: &Value, path: &str, errors: &mut Vec<String>) {
+    let Some(schema) = schema.as_obj() else {
+        errors.push(format!("{path}: schema node is not an object"));
+        return;
+    };
+    if let Some(expected) = schema.get("type").and_then(Value::as_str) {
+        let actual = doc.type_name();
+        let matches = match expected {
+            "integer" => doc.as_num().is_some_and(|n| n == n.trunc()),
+            other => actual == other,
+        };
+        if !matches {
+            errors.push(format!("{path}: expected {expected}, got {actual}"));
+            return;
+        }
+    }
+    if let Some(required) = schema.get("required").and_then(Value::as_arr) {
+        if let Some(obj) = doc.as_obj() {
+            for key in required.iter().filter_map(Value::as_str) {
+                if !obj.contains_key(key) {
+                    errors.push(format!("{path}: missing required key \"{key}\""));
+                }
+            }
+        }
+    }
+    if let (Some(properties), Some(obj)) =
+        (schema.get("properties").and_then(Value::as_obj), doc.as_obj())
+    {
+        for (key, sub_schema) in properties {
+            if let Some(sub_doc) = obj.get(key) {
+                validate_at(sub_schema, sub_doc, &format!("{path}.{key}"), errors);
+            }
+        }
+    }
+    if let (Some(additional), Some(obj)) = (schema.get("additionalProperties"), doc.as_obj()) {
+        if additional.as_obj().is_some() {
+            let declared: Vec<&str> = schema
+                .get("properties")
+                .and_then(Value::as_obj)
+                .map(|p| p.keys().map(String::as_str).collect())
+                .unwrap_or_default();
+            for (key, sub_doc) in obj {
+                if !declared.contains(&key.as_str()) {
+                    validate_at(additional, sub_doc, &format!("{path}.{key}"), errors);
+                }
+            }
+        }
+    }
+    if let (Some(items), Some(arr)) = (schema.get("items"), doc.as_arr()) {
+        for (i, item) in arr.iter().enumerate() {
+            validate_at(items, item, &format!("{path}[{i}]"), errors);
+        }
+    }
+    if let (Some(min), Some(arr)) = (schema.get("minItems").and_then(Value::as_num), doc.as_arr())
+    {
+        if (arr.len() as f64) < min {
+            errors.push(format!("{path}: fewer than {min} items ({})", arr.len()));
+        }
+    }
+}
+
 fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
     expect(bytes, pos, b'{')?;
     let mut map = BTreeMap::new();
@@ -300,6 +376,45 @@ mod tests {
         assert!(parse("{} x").is_err());
         assert!(parse("[1,").is_err());
         assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn schema_validation_subset() {
+        let schema = parse(
+            r#"{
+                "type": "object",
+                "required": ["name", "count"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "count": {"type": "integer"},
+                    "tags": {"type": "array", "minItems": 1, "items": {"type": "string"}},
+                    "anything": {}
+                }
+            }"#,
+        )
+        .unwrap();
+        let good =
+            parse(r#"{"name": "x", "count": 3, "tags": ["a"], "anything": [1, {"k": null}]}"#)
+                .unwrap();
+        assert!(validate_schema(&schema, &good).is_empty());
+
+        let bad = parse(r#"{"name": 5, "tags": []}"#).unwrap();
+        let errors = validate_schema(&schema, &bad);
+        assert!(errors.iter().any(|e| e.contains("missing required key \"count\"")));
+        assert!(errors.iter().any(|e| e.contains("$.name: expected string")));
+        assert!(errors.iter().any(|e| e.contains("$.tags: fewer than 1")));
+    }
+
+    #[test]
+    fn schema_additional_properties() {
+        let schema = parse(
+            r#"{"type": "object", "additionalProperties": {"type": "number"}}"#,
+        )
+        .unwrap();
+        assert!(validate_schema(&schema, &parse(r#"{"a": 1, "b": 2.5}"#).unwrap()).is_empty());
+        let errors = validate_schema(&schema, &parse(r#"{"a": "no"}"#).unwrap());
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].starts_with("$.a"));
     }
 
     #[test]

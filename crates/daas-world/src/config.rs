@@ -102,6 +102,122 @@ pub struct FamilyConfig {
     /// Affiliate leveling/reward policy, for the families that run one
     /// (§7.2: Angel and Inferno).
     pub reward_policy: Option<RewardPolicy>,
+    /// Per-family override of the global incident asset-kind mix
+    /// `(ETH, ERC-20, NFT)`. Lets adversarial scenarios model
+    /// NFT-phishing-heavy families ("With Trail to Follow") whose flow
+    /// shapes differ from the calibrated 50/35/15 split. `None` keeps
+    /// [`KIND_MIX`]. Weights are relative; they need not sum to 1.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub kind_mix: Option<(f64, f64, f64)>,
+}
+
+/// Adversarial generator knobs (the `exp_robustness` scenario surface).
+/// Everything defaults to "off", and the generator draws no RNG and
+/// touches no state for disabled knobs, so a config with the default
+/// `AdversarialConfig` builds a byte-identical world to one predating
+/// this struct. The field is likewise omitted from serialised configs
+/// when left at the default.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdversarialConfig {
+    /// Fraction of profit-sharing contracts whose deployed ratio drifts
+    /// off the §4.3 menu by a small random offset, modelling toolkit
+    /// updates the static ratio list has not caught up with.
+    #[serde(default)]
+    pub ratio_drift_frac: f64,
+    /// Maximum drift magnitude in basis points. Drifted contracts move
+    /// by a uniform offset in `[max/2, max]` (either direction), so any
+    /// positive setting ≥ 25 bps lands outside the classifier's 0.5%
+    /// relative tolerance. Kept as `f64` so validation can reject
+    /// negative drift rather than silently wrapping.
+    #[serde(default)]
+    pub ratio_drift_bps: f64,
+    /// Fraction of contracts deployed at an off-menu ratio drawn from
+    /// [`Self::off_menu_bps`] instead of the §4.3 table.
+    #[serde(default)]
+    pub off_menu_frac: f64,
+    /// The off-menu operator shares (basis points) those contracts use.
+    /// Must not overlap the known table within the classifier tolerance
+    /// — overlapping entries would make ground truth ambiguous.
+    #[serde(default)]
+    pub off_menu_bps: Vec<u32>,
+    /// Fraction of contracts whose operator share is paid to a fresh
+    /// intermediary wallet chain instead of the operator directly
+    /// (multi-hop profit splits). The true operator only appears
+    /// `payout_hops` transfers downstream.
+    #[serde(default)]
+    pub payout_hop_frac: f64,
+    /// Length of each intermediary chain (must be ≥ 1 when
+    /// `payout_hop_frac > 0`).
+    #[serde(default)]
+    pub payout_hops: u32,
+    /// Mixer-style laundering: operator cash-outs route through this
+    /// many fresh wallets before reaching the mixer (0 = direct
+    /// deposits, the calibrated behaviour).
+    #[serde(default)]
+    pub launder_hops: u32,
+    /// Forsage-style pyramid contracts running as confusable background
+    /// traffic: referral payouts through payment splitters at
+    /// table-shaped ratios.
+    #[serde(default)]
+    pub pyramid_contracts: u32,
+    /// Participant accounts in the pyramid scheme.
+    #[serde(default)]
+    pub pyramid_users: u32,
+    /// Pyramid referral payments over the collection window (before
+    /// scaling).
+    #[serde(default)]
+    pub pyramid_txs: u32,
+    /// Fraction of pyramid contracts falsely reported as phishing by
+    /// public label sources — pyramids are widely mislabelled scams, and
+    /// a mislabelled splitter is a poisoned snowball seed.
+    #[serde(default)]
+    pub pyramid_mislabel_frac: f64,
+}
+
+impl Default for AdversarialConfig {
+    fn default() -> Self {
+        AdversarialConfig {
+            ratio_drift_frac: 0.0,
+            ratio_drift_bps: 0.0,
+            off_menu_frac: 0.0,
+            off_menu_bps: Vec::new(),
+            payout_hop_frac: 0.0,
+            payout_hops: 0,
+            launder_hops: 0,
+            pyramid_contracts: 0,
+            pyramid_users: 0,
+            pyramid_txs: 0,
+            pyramid_mislabel_frac: 0.0,
+        }
+    }
+}
+
+impl AdversarialConfig {
+    /// True when every knob is at its default — the generator then
+    /// behaves exactly as if the struct did not exist.
+    pub fn is_default(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// `skip_serializing_if` adapter.
+    pub fn is_default_ref(cfg: &AdversarialConfig) -> bool {
+        cfg.is_default()
+    }
+
+    /// Any knob that rewrites deployed profit-sharing ratios.
+    pub fn ratio_attack_on(&self) -> bool {
+        self.ratio_drift_frac > 0.0 || self.off_menu_frac > 0.0
+    }
+
+    /// Multi-hop payout knob active.
+    pub fn payout_hops_on(&self) -> bool {
+        self.payout_hop_frac > 0.0
+    }
+
+    /// Pyramid background traffic active.
+    pub fn pyramid_on(&self) -> bool {
+        self.pyramid_txs > 0
+    }
 }
 
 /// Victim-loss buckets: `(low_usd, high_usd, probability)`, sampled
@@ -182,6 +298,11 @@ pub struct WorldConfig {
     pub novel_ratio: Option<(usize, u32)>,
     /// Share of sites already taken down when the crawler arrives.
     pub site_down_rate: f64,
+    /// Adversarial knobs (ratio drift, multi-hop payouts, laundering
+    /// chains, pyramid background). Off by default and omitted from
+    /// serialised configs when off; see [`AdversarialConfig`].
+    #[serde(default, skip_serializing_if = "AdversarialConfig::is_default_ref")]
+    pub adversarial: AdversarialConfig,
 }
 
 impl WorldConfig {
@@ -210,6 +331,7 @@ impl WorldConfig {
             site_reported_rate: 0.30,
             novel_ratio: None,
             site_down_rate: 0.03,
+            adversarial: AdversarialConfig::default(),
         }
     }
 
@@ -260,6 +382,77 @@ impl WorldConfig {
         if probs.iter().any(|p| !(0.0..=1.0).contains(p)) || probs.iter().sum::<f64>() > 1.0 {
             return Err("repeat-victim flag probabilities invalid".into());
         }
+        for f in &self.families {
+            if let Some((eth, erc20, nft)) = f.kind_mix {
+                let weights = [eth, erc20, nft];
+                if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+                    return Err(format!("family {} kind_mix has negative weight", f.slug));
+                }
+                if weights.iter().sum::<f64>() <= 0.0 {
+                    return Err(format!("family {} kind_mix sums to zero", f.slug));
+                }
+            }
+        }
+        self.validate_adversarial()
+    }
+
+    /// Sanity checks on the adversarial knobs.
+    fn validate_adversarial(&self) -> Result<(), String> {
+        let adv = &self.adversarial;
+        for (name, frac) in [
+            ("ratio_drift_frac", adv.ratio_drift_frac),
+            ("off_menu_frac", adv.off_menu_frac),
+            ("payout_hop_frac", adv.payout_hop_frac),
+            ("pyramid_mislabel_frac", adv.pyramid_mislabel_frac),
+        ] {
+            if !(0.0..=1.0).contains(&frac) || frac.is_nan() {
+                return Err(format!("adversarial {name} {frac} outside [0, 1]"));
+            }
+        }
+        if adv.ratio_drift_bps < 0.0 || adv.ratio_drift_bps.is_nan() {
+            return Err(format!("adversarial ratio_drift_bps {} is negative", adv.ratio_drift_bps));
+        }
+        if adv.ratio_drift_frac > 0.0 {
+            // Anything under 25 bps can sit inside the classifier's 0.5%
+            // relative tolerance of a table ratio — the knob would then
+            // claim an attack the detector provably shrugs off.
+            if !(25.0..=1_000.0).contains(&adv.ratio_drift_bps) {
+                return Err(format!(
+                    "adversarial ratio_drift_bps {} outside [25, 1000]",
+                    adv.ratio_drift_bps
+                ));
+            }
+        }
+        if adv.off_menu_frac > 0.0 && adv.off_menu_bps.is_empty() {
+            return Err("adversarial off_menu_frac set with empty off_menu_bps".into());
+        }
+        for &bps in &adv.off_menu_bps {
+            if bps == 0 || bps >= 5_000 {
+                return Err(format!("adversarial off-menu ratio {bps} outside (0, 5000)"));
+            }
+            // The off-menu menu must not overlap the §4.3 table within the
+            // classifier tolerance, or ground-truth labels turn ambiguous.
+            for (known, _) in RATIO_TABLE {
+                let rel = (bps as f64 - known as f64).abs() / known as f64;
+                if rel <= 0.005 {
+                    return Err(format!(
+                        "adversarial off-menu ratio {bps} overlaps table ratio {known}"
+                    ));
+                }
+            }
+        }
+        if adv.payout_hop_frac > 0.0 && adv.payout_hops == 0 {
+            return Err("adversarial payout_hop_frac set with empty hop chain".into());
+        }
+        if adv.payout_hops > 8 {
+            return Err(format!("adversarial payout_hops {} exceeds 8", adv.payout_hops));
+        }
+        if adv.launder_hops > 8 {
+            return Err(format!("adversarial launder_hops {} exceeds 8", adv.launder_hops));
+        }
+        if adv.pyramid_on() && (adv.pyramid_contracts == 0 || adv.pyramid_users < 2) {
+            return Err("adversarial pyramid_txs set without contracts and ≥ 2 users".into());
+        }
         Ok(())
     }
 }
@@ -289,6 +482,7 @@ pub fn table2_families() -> Vec<FamilyConfig> {
                 level_thresholds_usd: [100_000.0, 1_000_000.0, 5_000_000.0],
                 reward_milli_eth: [500, 1_000, 3_000],
             }),
+            kind_mix: None,
         },
         FamilyConfig {
             label: Some("Inferno Drainer".into()),
@@ -308,6 +502,7 @@ pub fn table2_families() -> Vec<FamilyConfig> {
                 level_thresholds_usd: [10_000.0, 100_000.0, 1_000_000.0],
                 reward_milli_eth: [500, 1_000, 3_000],
             }),
+            kind_mix: None,
         },
         FamilyConfig {
             label: Some("Pink Drainer".into()),
@@ -324,6 +519,7 @@ pub fn table2_families() -> Vec<FamilyConfig> {
             toolkit_files: vec!["contract.js".into(), "main.js".into(), "vendor.js".into()],
             toolkit_versions: 70,
             reward_policy: None,
+            kind_mix: None,
         },
         FamilyConfig {
             label: Some("Ace Drainer".into()),
@@ -340,6 +536,7 @@ pub fn table2_families() -> Vec<FamilyConfig> {
             toolkit_files: vec!["ace_connect.js".into(), "payload.js".into()],
             toolkit_versions: 45,
             reward_policy: None,
+            kind_mix: None,
         },
         FamilyConfig {
             label: Some("Pussy Drainer".into()),
@@ -356,6 +553,7 @@ pub fn table2_families() -> Vec<FamilyConfig> {
             toolkit_files: vec!["pussy_loader.js".into()],
             toolkit_versions: 25,
             reward_policy: None,
+            kind_mix: None,
         },
         FamilyConfig {
             label: Some("Venom Drainer".into()),
@@ -372,6 +570,7 @@ pub fn table2_families() -> Vec<FamilyConfig> {
             toolkit_files: vec!["venom_core.js".into(), "inject.js".into()],
             toolkit_versions: 18,
             reward_policy: None,
+            kind_mix: None,
         },
         FamilyConfig {
             label: Some("Medusa Drainer".into()),
@@ -388,6 +587,7 @@ pub fn table2_families() -> Vec<FamilyConfig> {
             toolkit_files: vec!["medusa_sdk.js".into(), "guard.js".into()],
             toolkit_versions: 35,
             reward_policy: None,
+            kind_mix: None,
         },
         FamilyConfig {
             // The unlabeled family the paper names by operator prefix
@@ -407,6 +607,7 @@ pub fn table2_families() -> Vec<FamilyConfig> {
             toolkit_files: vec!["loader.js".into()],
             toolkit_versions: 10,
             reward_policy: None,
+            kind_mix: None,
         },
         FamilyConfig {
             label: Some("Spawn Drainer".into()),
@@ -423,6 +624,7 @@ pub fn table2_families() -> Vec<FamilyConfig> {
             toolkit_files: vec!["spawn_kit.js".into()],
             toolkit_versions: 6,
             reward_policy: None,
+            kind_mix: None,
         },
     ]
 }

@@ -57,6 +57,10 @@ struct ContractPlan {
     address: Option<Address>,
     /// Incidents routed to this contract (for label weighting).
     tx_count: u32,
+    /// Adversarial multi-hop payout chain: the deployed spec pays the
+    /// first wallet here instead of the operator, and each hop forwards
+    /// to the next (the operator last). Empty = direct payout.
+    payout_hops: Vec<Address>,
 }
 
 #[derive(Debug, Clone)]
@@ -132,6 +136,13 @@ enum Ev {
     Benign(BenignKind),
     SplitterNoise { fam: usize, op: usize, shared: bool },
     RewardRound { fam: usize, era: usize },
+    /// Adversarial payout-hop drain: intermediary `hop` of a contract's
+    /// chain forwards its balance to the next hop (or the operator).
+    HopForward { fam: usize, contract: usize, hop: usize },
+    /// Adversarial pyramid referral payment: `payer` routes a fee
+    /// through a pyramid splitter to two upline participants at a
+    /// table-shaped ratio.
+    PyramidPay { contract: usize, payer: usize, upline_hi: usize, upline_lo: usize, bps: u32, milli_eth: u64 },
 }
 
 #[derive(Debug, Clone)]
@@ -187,13 +198,16 @@ pub fn build_opts(config: &WorldConfig, threads: usize, shards: usize) -> Result
         let _s = daas_obs::span!("world.plan_families");
         plan_families(&mut rng, config, &mut chain)?
     };
+    // Adversarial pyramid background (a no-op that touches neither the
+    // chain nor the RNG unless the knob is on).
+    let pyramid = plan_pyramid(config, &mut chain)?;
 
     // Phase 2 (parallel plan): event synthesis touches only its own
     // family plan (or the benign index space), so it fans out across
     // the pool on RNG streams derived from the master stream.
     let (mut events, incident_count) = {
         let _s = daas_obs::span!("world.plan_events", threads = threads);
-        plan_events(&mut rng, config, &mut plans, &infra, threads)
+        plan_events(&mut rng, config, &mut plans, &infra, &pyramid, threads)
     };
     daas_obs::add("world.events.planned", events.len() as u64);
     daas_obs::add("world.incidents.planned", incident_count as u64);
@@ -208,7 +222,17 @@ pub fn build_opts(config: &WorldConfig, threads: usize, shards: usize) -> Result
     // ledger, then derive labels and the website population.
     let truth = {
         let _s = daas_obs::span!("world.execute");
-        execute(&mut rng, config, &mut chain, &oracle, &infra, &mut plans, events, incident_count)?
+        execute(
+            &mut rng,
+            config,
+            &mut chain,
+            &oracle,
+            &infra,
+            &mut plans,
+            &pyramid,
+            events,
+            incident_count,
+        )?
     };
     let sites = {
         let _s = daas_obs::span!("world.derive");
@@ -291,6 +315,86 @@ fn deploy_infra(
         splitters,
         noisy_splitter: None,
     })
+}
+
+// ---------------------------------------------------------------------
+// Adversarial pyramid background.
+// ---------------------------------------------------------------------
+
+/// Forsage-style pyramid population: referral splitter contracts and
+/// participant accounts, deployed only when the knob is on.
+#[derive(Debug, Clone, Default)]
+struct PyramidPlan {
+    contracts: Vec<Address>,
+    users: Vec<Address>,
+}
+
+fn plan_pyramid(config: &WorldConfig, chain: &mut Chain) -> Result<PyramidPlan, String> {
+    let adv = &config.adversarial;
+    if !adv.pyramid_on() {
+        return Ok(PyramidPlan::default());
+    }
+    let err = |e: daas_chain::ChainError| format!("pyramid: {e}");
+    let deployer = chain.create_eoa_funded(b"pyramid/deployer", ether(10)).map_err(err)?;
+    let n_contracts = config.scaled(adv.pyramid_contracts) as usize;
+    let n_users = (config.scaled(adv.pyramid_users) as usize).max(2);
+    let mut contracts = Vec::with_capacity(n_contracts);
+    for _ in 0..n_contracts {
+        // Referral matrices are payment splitters — the same benign
+        // contract kind the §4.3 hard negatives use.
+        contracts.push(chain.deploy_contract(deployer, ContractKind::Benign).map_err(err)?);
+    }
+    let mut users = Vec::with_capacity(n_users);
+    for i in 0..n_users {
+        users.push(
+            chain
+                .create_eoa_funded(format!("pyramid/user/{i}").as_bytes(), ether(50))
+                .map_err(err)?,
+        );
+    }
+    Ok(PyramidPlan { contracts, users })
+}
+
+/// Synthesises the pyramid's referral payments on a dedicated RNG
+/// stream. Referral fees split between two upline participants at a
+/// §4.3 table ratio — exactly the two-transfer shape the exact-ratio
+/// rule keys on, which is what makes a mislabelled pyramid contract a
+/// poisoned snowball seed.
+fn plan_pyramid_events(
+    rng: &mut StdRng,
+    config: &WorldConfig,
+    pyramid: &PyramidPlan,
+) -> Vec<TimedEv> {
+    let n_txs = config.scaled(config.adversarial.pyramid_txs) as usize;
+    let n_users = pyramid.users.len();
+    let n_contracts = pyramid.contracts.len();
+    let ratio_picker = Weighted::new(&RATIO_TABLE.map(|(_, p)| p));
+    let mut events: Vec<TimedEv> = Vec::with_capacity(n_txs);
+    for i in 0..n_txs {
+        let t = uniform_time(rng, collection_start(), collection_end());
+        let payer = rng.gen_range(0..n_users);
+        // Uplines distinct from the payer and each other (mod-shift
+        // remap keeps the draw count fixed).
+        let upline_hi = (payer + 1 + rng.gen_range(0..n_users - 1)) % n_users;
+        let mut upline_lo = (payer + 1 + rng.gen_range(0..n_users - 1)) % n_users;
+        if upline_lo == upline_hi {
+            upline_lo = if upline_hi + 1 == n_users || upline_hi + 1 == payer {
+                (upline_hi + 2) % n_users
+            } else {
+                upline_hi + 1
+            };
+        }
+        let bps = RATIO_TABLE[ratio_picker.sample(rng)].0;
+        let contract = rng.gen_range(0..n_contracts);
+        let milli_eth = rng.gen_range(100..3_000);
+        events.push((
+            t,
+            1,
+            i as u64,
+            Ev::PyramidPay { contract, payer, upline_hi, upline_lo, bps, milli_eth },
+        ));
+    }
+    events
 }
 
 // ---------------------------------------------------------------------
@@ -418,6 +522,7 @@ fn plan_families(
                     weight: 300.0,
                     address: None,
                     tx_count: 0,
+                    payout_hops: Vec::new(),
                 });
             }
         }
@@ -457,6 +562,7 @@ fn plan_families(
                 weight: log_uniform(rng, 0.5, 5.0),
                 address: None,
                 tx_count: 0,
+                payout_hops: Vec::new(),
             });
         }
 
@@ -562,6 +668,40 @@ fn plan_families(
             );
         }
 
+        // Adversarial ratio rewrites and payout-hop chains. Both passes
+        // draw RNG and create accounts only when their knob is on, so a
+        // calibrated config is bit-for-bit unaffected.
+        let adv = &config.adversarial;
+        if adv.ratio_attack_on() {
+            for c in contracts.iter_mut() {
+                if adv.off_menu_frac > 0.0 && chance(rng, adv.off_menu_frac) {
+                    c.bps = adv.off_menu_bps[rng.gen_range(0..adv.off_menu_bps.len())];
+                } else if adv.ratio_drift_frac > 0.0 && chance(rng, adv.ratio_drift_frac) {
+                    let half = adv.ratio_drift_bps / 2.0;
+                    let magnitude = half + rng.gen::<f64>() * half;
+                    let offset = if chance(rng, 0.5) { magnitude } else { -magnitude };
+                    c.bps = drift_off_table(c.bps, offset);
+                }
+            }
+        }
+        if adv.payout_hops_on() {
+            for (ci, c) in contracts.iter_mut().enumerate() {
+                if !chance(rng, adv.payout_hop_frac) {
+                    continue;
+                }
+                let mut hops = Vec::with_capacity(adv.payout_hops as usize);
+                for h in 0..adv.payout_hops {
+                    let seed = format!("hop/{}/{ci}/{h}", fam.slug);
+                    hops.push(
+                        chain
+                            .create_eoa(seed.as_bytes())
+                            .map_err(|e| format!("payout hop: {e}"))?,
+                    );
+                }
+                c.payout_hops = hops;
+            }
+        }
+
         let _ = fi;
         let eras: Vec<(Timestamp, Timestamp)> = (0..n_eras).map(era_bounds).collect();
         plans.push(FamilyPlan {
@@ -597,16 +737,23 @@ fn plan_events(
     config: &WorldConfig,
     plans: &mut [FamilyPlan],
     infra: &Infra,
+    pyramid: &PyramidPlan,
     threads: usize,
 ) -> (Vec<TimedEv>, usize) {
     // Split the master stream: one derived seed per family plus one per
     // benign chunk, drawn in a fixed order. Each planning task owns an
     // independent RNG, so the fan-out below cannot observe the thread
-    // schedule.
+    // schedule. The pyramid seed is drawn last and only when the knob
+    // is on, so calibrated worlds see an unchanged draw sequence.
     let fam_seeds: Vec<u64> = plans.iter().map(|_| rng.gen()).collect();
     let n_benign_txs = config.scaled(config.benign_txs) as usize;
     let n_chunks = n_benign_txs.div_ceil(BENIGN_PLAN_CHUNK);
     let benign_seeds: Vec<u64> = (0..n_chunks).map(|_| rng.gen()).collect();
+    let pyramid_events: Vec<TimedEv> = if config.adversarial.pyramid_on() {
+        plan_pyramid_events(&mut StdRng::seed_from_u64(rng.gen()), config, pyramid)
+    } else {
+        Vec::new()
+    };
 
     // Per-family synthesis: each task reads shared config/infra and
     // mutates only its own plan (contract traffic counters), so the
@@ -714,6 +861,7 @@ fn plan_events(
     for ev in benign_results {
         events.extend(ev);
     }
+    events.extend(pyramid_events);
     for (i, e) in events.iter_mut().enumerate() {
         e.2 = i as u64;
     }
@@ -740,7 +888,11 @@ fn plan_family_events(
     };
     let mut incident_count = 0usize;
 
-    let kind_picker = Weighted::new(&[KIND_MIX.0, KIND_MIX.1, KIND_MIX.2]);
+    // Per-family override of the asset-kind mix (NFT-phishing-heavy
+    // adversarial families); `Weighted` normalises, so a `None` keeps
+    // the calibrated picker — and the RNG stream — exactly as before.
+    let mix = fam_cfg.kind_mix.unwrap_or(KIND_MIX);
+    let kind_picker = Weighted::new(&[mix.0, mix.1, mix.2]);
     let token_picker = Weighted::new(&[0.4, 0.3, 0.2, 0.1]);
     let bucket_picker = Weighted::new(&LOSS_BUCKETS.map(|(_, _, p)| p));
 
@@ -792,6 +944,17 @@ fn plan_family_events(
     for oi in 0..n_ops {
         let t = (plan.op_eras[oi].1 + 2 * 86_400).min(collection_end());
         push(&mut events, t, 2, Ev::Launder { fam: fi, op: oi }, &mut seq);
+    }
+
+    // -- adversarial payout-hop drains: once a contract's window closes,
+    // each intermediary forwards its balance one hop onward per day,
+    // reaching the true operator last. No RNG: empty chains (the
+    // default) plan nothing --
+    for ci in 0..plan.contracts.len() {
+        for h in 0..plan.contracts[ci].payout_hops.len() {
+            let t = (plan.contracts[ci].window.1 + (h as u64 + 1) * 86_400).min(collection_end());
+            push(&mut events, t, 2, Ev::HopForward { fam: fi, contract: ci, hop: h }, &mut seq);
+        }
     }
 
     // -- ablation A3 noise --
@@ -1228,6 +1391,24 @@ fn n_eras_of(plan: &FamilyPlan) -> usize {
     plan.eras.len().max(1)
 }
 
+/// Applies a drift offset to a deployed ratio, guaranteeing the result
+/// lands outside the classifier's 0.5% relative tolerance of *every*
+/// §4.3 table ratio: a drift that happened to land on a neighbouring
+/// table entry would still classify and report a phantom "attack" the
+/// detector in fact absorbs. Table entries are ≥ 250 bps apart, so one
+/// 0.7%-of-ratio nudge cannot enter another entry's window.
+fn drift_off_table(bps: u32, offset: f64) -> u32 {
+    let mut drifted = (bps as f64 + offset).round().clamp(100.0, 4_900.0) as i64;
+    if let Some(&(near, _)) = RATIO_TABLE
+        .iter()
+        .find(|&&(k, _)| (drifted - k as i64).unsigned_abs() as f64 / k as f64 <= 0.006)
+    {
+        let nudge = (near as f64 * 0.007).ceil() as i64;
+        drifted = near as i64 + if offset >= 0.0 { nudge } else { -nudge };
+    }
+    drifted.clamp(100, 4_900) as u32
+}
+
 /// Whale routing: choose among the family's live primaries with weight
 /// biased toward low operator ratios. `None` when no primary covers `t`.
 fn pick_low_ratio_primary(
@@ -1298,10 +1479,13 @@ fn execute(
     oracle: &Oracle,
     infra: &Infra,
     plans: &mut [FamilyPlan],
+    pyramid: &PyramidPlan,
     events: Vec<TimedEv>,
     incident_count: usize,
 ) -> Result<GroundTruth, String> {
     let mut incidents: Vec<IncidentTruth> = Vec::with_capacity(incident_count);
+    let mut pyramid_txs: Vec<TxId> = Vec::new();
+    let mut launder_wallets: Vec<Vec<Address>> = vec![Vec::new(); plans.len()];
     let mut nft_counter: u64 = 0;
     let mut benign_users: Vec<Address> = Vec::new();
     let n_benign_users = config.scaled(config.benign_users) as usize;
@@ -1342,11 +1526,15 @@ fn execute(
                 let plan = &mut plans[fam];
                 let c = &mut plan.contracts[contract];
                 let operator = plan.operators[c.operator_idx];
+                // Multi-hop payouts: the deployed spec pays the first
+                // intermediary; the true operator only appears at the
+                // end of the forwarding chain.
+                let payee = c.payout_hops.first().copied().unwrap_or(operator);
                 let address = chain
                     .deploy_contract(
                         operator,
                         ContractKind::ProfitSharing(ProfitSharingSpec {
-                            operator,
+                            operator: payee,
                             operator_bps: c.bps,
                             entry: config.families[fam].entry.to_style(),
                         }),
@@ -1422,13 +1610,28 @@ fn execute(
                 }
             }
             Ev::Launder { fam, op } => {
-                let op = plans[fam].operators[op];
-                let balance = chain.eth_balance(op);
+                let op_addr = plans[fam].operators[op];
+                let balance = chain.eth_balance(op_addr);
                 let threshold = ether(2);
                 if balance > threshold {
                     let amount = balance.mul_div(U256::from_u64(60), U256::from_u64(100));
+                    // Adversarial laundering chains: the cash-out hops
+                    // through fresh wallets before the mixer. 0 hops
+                    // (the default) is the original direct deposit.
+                    let mut from = op_addr;
+                    for h in 0..config.adversarial.launder_hops {
+                        let seed = format!("launder/{}/{op}/{h}", config.families[fam].slug);
+                        let hop = match chain.create_eoa(seed.as_bytes()) {
+                            Ok(a) => a,
+                            Err(daas_chain::ChainError::AccountExists(a)) => a,
+                            Err(e) => return Err(format!("launder hop: {e}")),
+                        };
+                        chain.transfer_eth(from, hop, amount).map_err(|e| format!("launder: {e}"))?;
+                        launder_wallets[fam].push(hop);
+                        from = hop;
+                    }
                     chain
-                        .transfer_eth(op, infra.mixer, amount)
+                        .transfer_eth(from, infra.mixer, amount)
                         .map_err(|e| format!("launder: {e}"))?;
                 }
             }
@@ -1495,6 +1698,36 @@ fn execute(
                     benign_failures += 1;
                 }
             }
+            Ev::HopForward { fam, contract, hop } => {
+                let plan = &plans[fam];
+                let c = &plan.contracts[contract];
+                let from = c.payout_hops[hop];
+                let to = c
+                    .payout_hops
+                    .get(hop + 1)
+                    .copied()
+                    .unwrap_or(plan.operators[c.operator_idx]);
+                let balance = chain.eth_balance(from);
+                if !balance.is_zero() {
+                    chain.transfer_eth(from, to, balance).map_err(|e| format!("hop: {e}"))?;
+                }
+            }
+            Ev::PyramidPay { contract, payer, upline_hi, upline_lo, bps, milli_eth } => {
+                let payer = pyramid.users[payer];
+                let (hi, lo) = (pyramid.users[upline_hi], pyramid.users[upline_lo]);
+                let amount = eth_types::units::milliether(milli_eth);
+                if payer != hi && payer != lo && chain.eth_balance(payer) >= amount {
+                    let tx = chain
+                        .split_payment(
+                            payer,
+                            pyramid.contracts[contract],
+                            amount,
+                            &[(hi, 10_000 - bps), (lo, bps)],
+                        )
+                        .map_err(|e| format!("pyramid pay: {e}"))?;
+                    pyramid_txs.push(tx);
+                }
+            }
         }
     }
 
@@ -1520,13 +1753,21 @@ fn execute(
                     entry: config.families[fi].entry.to_style(),
                     window: c.window,
                     primary: c.primary,
+                    payout_hops: c.payout_hops.clone(),
                 })
                 .collect(),
             affiliates: plan.affiliates.clone(),
             window: (cfg.start, cfg.end),
+            launder_wallets: std::mem::take(&mut launder_wallets[fi]),
         });
     }
-    Ok(GroundTruth { families, incidents })
+    Ok(GroundTruth {
+        families,
+        incidents,
+        pyramid_contracts: pyramid.contracts.clone(),
+        pyramid_users: pyramid.users.clone(),
+        pyramid_txs,
+    })
 }
 
 fn plan_kind_to_truth(kind: &PlanKind, infra: &Infra, nft_counter: u64) -> IncidentKind {
@@ -1803,6 +2044,20 @@ fn assign_labels(
             );
             phish_counter += 1;
             labels.add_phishing(phish, LabelSource::Etherscan, &format!("Fake_Phishing{phish_counter}"));
+        }
+    }
+
+    // Adversarial pyramid mislabelling: community feeds widely report
+    // pyramid contracts as phishing. A mislabelled splitter whose
+    // history is full of table-ratio splits is a poisoned snowball
+    // seed. Draws RNG only when the knob is on.
+    let adv = &config.adversarial;
+    if adv.pyramid_mislabel_frac > 0.0 {
+        for &pc in &truth.pyramid_contracts {
+            if chance(rng, adv.pyramid_mislabel_frac) {
+                phish_counter += 1;
+                labels.add_phishing(pc, LabelSource::Chainabuse, &format!("Fake_Phishing{phish_counter}"));
+            }
         }
     }
 }

@@ -31,8 +31,8 @@ mod truth;
 use std::collections::HashMap;
 
 pub use config::{
-    collection_end, collection_start, table2_families, EntryCfg, FamilyConfig, WorldConfig,
-    KIND_MIX, LOSS_BUCKETS, RATIO_TABLE,
+    collection_end, collection_start, table2_families, AdversarialConfig, EntryCfg, FamilyConfig,
+    WorldConfig, KIND_MIX, LOSS_BUCKETS, RATIO_TABLE,
 };
 pub use gen::Infra;
 pub use sampler::{chance, exponential, log_uniform, uniform_time, zipf_weights, Weighted};

@@ -65,6 +65,13 @@ pub struct ContractTruth {
     pub window: (Timestamp, Timestamp),
     /// Whether this was a long-lived "primary" contract (§7.2).
     pub primary: bool,
+    /// Intermediary wallet chain the operator share is routed through
+    /// (adversarial multi-hop payouts). Empty = direct payout; the
+    /// profit-sharing transaction then pays `operator` itself. When
+    /// non-empty the contract pays the first hop and `operator` only
+    /// appears at the end of the forwarding chain.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub payout_hops: Vec<Address>,
 }
 
 /// Ground truth for one DaaS family.
@@ -84,6 +91,11 @@ pub struct FamilyTruth {
     pub affiliates: Vec<Address>,
     /// Activity window.
     pub window: (Timestamp, Timestamp),
+    /// Fresh wallets inserted between operators and the mixer by the
+    /// adversarial laundering-chain knob. Empty when laundering runs
+    /// direct (the calibrated behaviour).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub launder_wallets: Vec<Address>,
 }
 
 impl FamilyTruth {
@@ -105,6 +117,18 @@ pub struct GroundTruth {
     pub families: Vec<FamilyTruth>,
     /// Every incident, in generation order.
     pub incidents: Vec<IncidentTruth>,
+    /// Forsage-style pyramid splitter contracts (adversarial background
+    /// traffic). True negatives for dataset membership: anything the
+    /// pipeline admits from here is a false positive by construction.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub pyramid_contracts: Vec<Address>,
+    /// Pyramid participant accounts (true negatives).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub pyramid_users: Vec<Address>,
+    /// Pyramid referral-payment transactions (true-negative two-transfer
+    /// splits at table-shaped ratios).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub pyramid_txs: Vec<TxId>,
 }
 
 impl GroundTruth {
@@ -163,6 +187,19 @@ impl GroundTruth {
         v
     }
 
+    /// All payout intermediary wallets across families (adversarial
+    /// multi-hop splits). Empty in calibrated worlds.
+    pub fn all_payout_hops(&self) -> Vec<Address> {
+        let mut v: Vec<Address> = self
+            .families
+            .iter()
+            .flat_map(|f| f.contracts.iter().flat_map(|c| c.payout_hops.iter().copied()))
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
     /// Family index that owns a contract, if any.
     pub fn family_of_contract(&self, contract: Address) -> Option<usize> {
         self.families
@@ -194,9 +231,11 @@ mod tests {
                         entry: EntryStyle::PayableFallback,
                         window: (0, 100),
                         primary: true,
+                        payout_hops: Vec::new(),
                     }],
                     affiliates: vec![addr(20), addr(21)],
                     window: (0, 100),
+                    launder_wallets: Vec::new(),
                 },
                 FamilyTruth {
                     id: 1,
@@ -206,6 +245,7 @@ mod tests {
                     contracts: vec![],
                     affiliates: vec![addr(21)],
                     window: (0, 50),
+                    launder_wallets: Vec::new(),
                 },
             ],
             incidents: vec![IncidentTruth {
@@ -220,6 +260,9 @@ mod tests {
                 simultaneous_with_first: false,
                 reused_approval: false,
             }],
+            pyramid_contracts: Vec::new(),
+            pyramid_users: Vec::new(),
+            pyramid_txs: Vec::new(),
         }
     }
 

@@ -255,6 +255,12 @@ pub fn take_field(
     }
 }
 
+/// Derive support: removes a field by name, if present. Backs
+/// `#[serde(default)]` — absence is not an error.
+pub fn take_field_opt(map: &mut Vec<(String, Value)>, name: &str) -> Option<Value> {
+    map.iter().position(|(k, _)| k == name).map(|i| map.remove(i).1)
+}
+
 /// Derive support: expects an object.
 pub fn expect_map(value: Value, type_name: &str) -> Result<Vec<(String, Value)>, Error> {
     match value {

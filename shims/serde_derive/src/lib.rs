@@ -7,7 +7,10 @@
 //!
 //! - structs with named fields (no generics, no tuple/unit structs),
 //! - enums with unit / newtype / tuple / struct variants,
-//! - the field attribute `#[serde(with = "module")]`.
+//! - the field attributes `#[serde(with = "module")]`,
+//!   `#[serde(default)]` (absent field → `Default::default()`) and
+//!   `#[serde(skip_serializing_if = "path")]` (field omitted when the
+//!   predicate holds), in any comma-separated combination.
 //!
 //! Enums use serde's externally-tagged representation: unit variants
 //! become a string, data variants a single-key object.
@@ -18,9 +21,28 @@ use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
 // Item model + parser
 // ---------------------------------------------------------------------
 
+#[derive(Default)]
+struct FieldAttrs {
+    with: Option<String>,
+    default: bool,
+    skip_if: Option<String>,
+}
+
+impl FieldAttrs {
+    fn merge(&mut self, other: FieldAttrs) {
+        if other.with.is_some() {
+            self.with = other.with;
+        }
+        if other.skip_if.is_some() {
+            self.skip_if = other.skip_if;
+        }
+        self.default |= other.default;
+    }
+}
+
 struct Field {
     name: String,
-    with: Option<String>,
+    attrs: FieldAttrs,
 }
 
 enum VariantKind {
@@ -74,22 +96,22 @@ impl Cursor {
         matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
     }
 
-    /// Skips `#[...]` attributes, returning a `with = "module"` path if a
-    /// `#[serde(...)]` attribute carried one.
-    fn skip_attrs(&mut self) -> Option<String> {
-        let mut with = None;
+    /// Skips `#[...]` attributes, accumulating whatever `#[serde(...)]`
+    /// attributes carried.
+    fn skip_attrs(&mut self) -> FieldAttrs {
+        let mut attrs = FieldAttrs::default();
         while self.peek_punct('#') {
             self.next();
             match self.next() {
                 Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
-                    if let Some(w) = parse_serde_attr(&g) {
-                        with = Some(w);
+                    if let Some(a) = parse_serde_attr(&g) {
+                        attrs.merge(a);
                     }
                 }
                 other => panic!("serde_derive shim: malformed attribute near {other:?}"),
             }
         }
-        with
+        attrs
     }
 
     /// Skips `pub`, `pub(crate)`, `pub(in ...)`.
@@ -123,7 +145,7 @@ impl Cursor {
     }
 }
 
-fn parse_serde_attr(bracket: &Group) -> Option<String> {
+fn parse_serde_attr(bracket: &Group) -> Option<FieldAttrs> {
     let toks: Vec<TokenTree> = bracket.stream().into_iter().collect();
     match toks.first() {
         Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
@@ -134,26 +156,56 @@ fn parse_serde_attr(bracket: &Group) -> Option<String> {
         _ => panic!("serde_derive shim: unsupported #[serde] attribute shape"),
     };
     let parts: Vec<TokenTree> = inner.into_iter().collect();
-    match (parts.first(), parts.get(1), parts.get(2)) {
-        (
-            Some(TokenTree::Ident(key)),
-            Some(TokenTree::Punct(eq)),
-            Some(TokenTree::Literal(lit)),
-        ) if key.to_string() == "with" && eq.as_char() == '=' => {
-            Some(lit.to_string().trim_matches('"').to_string())
-        }
-        _ => panic!(
-            "serde_derive shim: only #[serde(with = \"module\")] is supported, got #[serde({})]",
+    let unsupported = |parts: &[TokenTree]| -> ! {
+        panic!(
+            "serde_derive shim: only `with = \"module\"`, `default` and \
+             `skip_serializing_if = \"path\"` are supported, got #[serde({})]",
             parts.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" ")
-        ),
+        )
+    };
+    let mut attrs = FieldAttrs::default();
+    let mut i = 0;
+    while i < parts.len() {
+        let key = match &parts[i] {
+            TokenTree::Ident(k) => k.to_string(),
+            _ => unsupported(&parts),
+        };
+        let has_value = matches!(parts.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=');
+        match (key.as_str(), has_value) {
+            ("default", false) => {
+                attrs.default = true;
+                i += 1;
+            }
+            ("with" | "skip_serializing_if", true) => {
+                let value = match parts.get(i + 2) {
+                    Some(TokenTree::Literal(lit)) => {
+                        lit.to_string().trim_matches('"').to_string()
+                    }
+                    _ => unsupported(&parts),
+                };
+                if key == "with" {
+                    attrs.with = Some(value);
+                } else {
+                    attrs.skip_if = Some(value);
+                }
+                i += 3;
+            }
+            _ => unsupported(&parts),
+        }
+        match parts.get(i) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            _ => unsupported(&parts),
+        }
     }
+    Some(attrs)
 }
 
 fn parse_fields(stream: TokenStream) -> Vec<Field> {
     let mut cur = Cursor::new(stream);
     let mut fields = Vec::new();
     loop {
-        let with = cur.skip_attrs();
+        let attrs = cur.skip_attrs();
         cur.skip_visibility();
         let name = match cur.next() {
             Some(TokenTree::Ident(i)) => i.to_string(),
@@ -165,7 +217,7 @@ fn parse_fields(stream: TokenStream) -> Vec<Field> {
             other => panic!("serde_derive shim: expected `:` after `{name}`, found {other:?}"),
         }
         cur.skip_type();
-        fields.push(Field { name, with });
+        fields.push(Field { name, attrs });
     }
     fields
 }
@@ -297,14 +349,14 @@ const SER_TRAIT: &str = "::serde::ser::Error";
 const DE_TRAIT: &str = "::serde::de::Error";
 
 fn field_to_value_expr(field: &Field, place: &str) -> String {
-    match &field.with {
+    match &field.attrs.with {
         None => format!("::serde::to_value({place})"),
         Some(with) => format!("{with}::serialize({place}, ::serde::ValueSerializer)"),
     }
 }
 
 fn field_from_value_expr(field: &Field, value: &str) -> String {
-    match &field.with {
+    match &field.attrs.with {
         None => format!("::serde::from_value({value})"),
         Some(with) => format!("{with}::deserialize(::serde::ValueDeserializer::new({value}))"),
     }
@@ -312,32 +364,57 @@ fn field_from_value_expr(field: &Field, value: &str) -> String {
 
 /// `name: { let __v = take_field(...)?; convert(__v)? },` lines for a
 /// braced constructor, consuming a `__map: Vec<(String, Value)>`.
+/// `#[serde(default)]` fields fall back to `Default::default()` when
+/// the key is absent instead of erroring.
 fn struct_field_inits(type_label: &str, fields: &[Field]) -> String {
     let mut out = String::new();
     for field in fields {
-        let take = try_custom(
-            &format!("::serde::take_field(&mut __map, \"{}\", \"{type_label}\")", field.name),
-            DE_TRAIT,
-        );
         let convert = try_custom(&field_from_value_expr(field, "__v"), DE_TRAIT);
-        out.push_str(&t(
-            "%name%: { let __v = %take%; %convert% },\n",
-            &[("name", field.name.as_str()), ("take", take.as_str()), ("convert", convert.as_str())],
-        ));
+        if field.attrs.default {
+            out.push_str(&t(
+                "%name%: match ::serde::take_field_opt(&mut __map, \"%name%\") {\n\
+                 ::std::option::Option::Some(__v) => %convert%,\n\
+                 ::std::option::Option::None => ::std::default::Default::default(),\n\
+                 },\n",
+                &[("name", field.name.as_str()), ("convert", convert.as_str())],
+            ));
+        } else {
+            let take = try_custom(
+                &format!("::serde::take_field(&mut __map, \"{}\", \"{type_label}\")", field.name),
+                DE_TRAIT,
+            );
+            out.push_str(&t(
+                "%name%: { let __v = %take%; %convert% },\n",
+                &[
+                    ("name", field.name.as_str()),
+                    ("take", take.as_str()),
+                    ("convert", convert.as_str()),
+                ],
+            ));
+        }
     }
     out
 }
 
-/// `__fields.push(("name", to_value(<place>)?));` lines.
+/// `__fields.push(("name", to_value(<place>)?));` lines. Fields with
+/// `#[serde(skip_serializing_if = "path")]` are pushed only when the
+/// predicate rejects skipping.
 fn struct_field_pushes(fields: &[Field], place_prefix: &str) -> String {
     let mut out = String::new();
     for field in fields {
         let place = format!("{place_prefix}{}", field.name);
         let value = try_custom(&field_to_value_expr(field, &place), SER_TRAIT);
-        out.push_str(&t(
+        let line = t(
             "__fields.push((::std::string::String::from(\"%name%\"), %value%));\n",
             &[("name", field.name.as_str()), ("value", value.as_str())],
-        ));
+        );
+        match &field.attrs.skip_if {
+            None => out.push_str(&line),
+            Some(path) => out.push_str(&t(
+                "if !%path%(%place%) {\n%line%}\n",
+                &[("path", path.as_str()), ("place", place.as_str()), ("line", line.as_str())],
+            )),
+        }
     }
     out
 }

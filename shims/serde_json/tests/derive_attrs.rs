@@ -1,0 +1,76 @@
+//! The derive shim's field attributes: `#[serde(default)]` tolerates
+//! absent keys and `#[serde(skip_serializing_if = "path")]` omits
+//! fields, so configs can grow optional knobs without breaking old
+//! JSON documents or changing the serialised form when the knob is at
+//! its default.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Knobs {
+    enabled: bool,
+    level: u32,
+}
+
+impl Knobs {
+    fn is_default(&self) -> bool {
+        !self.enabled && self.level == 0
+    }
+
+    fn is_default_ref(knobs: &Knobs) -> bool {
+        knobs.is_default()
+    }
+}
+
+impl Default for Knobs {
+    fn default() -> Self {
+        Knobs { enabled: false, level: 0 }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Config {
+    seed: u64,
+    #[serde(default, skip_serializing_if = "Knobs::is_default_ref")]
+    knobs: Knobs,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    note: Option<String>,
+}
+
+#[test]
+fn default_fields_tolerate_absent_keys() {
+    let cfg: Config = serde_json::from_str("{\"seed\": 7}").expect("legacy document parses");
+    assert_eq!(cfg.seed, 7);
+    assert_eq!(cfg.knobs, Knobs::default());
+    assert_eq!(cfg.note, None);
+}
+
+#[test]
+fn default_valued_fields_are_omitted_from_output() {
+    let cfg = Config { seed: 7, knobs: Knobs::default(), note: None };
+    assert_eq!(serde_json::to_string(&cfg).unwrap(), "{\"seed\":7}");
+}
+
+#[test]
+fn non_default_fields_serialise_and_roundtrip() {
+    let cfg = Config {
+        seed: 9,
+        knobs: Knobs { enabled: true, level: 3 },
+        note: Some("adversarial".into()),
+    };
+    let json = serde_json::to_string(&cfg).unwrap();
+    assert!(json.contains("\"knobs\""), "{json}");
+    assert!(json.contains("\"note\""), "{json}");
+    let back: Config = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, cfg);
+}
+
+#[test]
+fn present_keys_still_deserialise_on_default_fields() {
+    let cfg: Config = serde_json::from_str(
+        "{\"seed\": 1, \"knobs\": {\"enabled\": true, \"level\": 2}, \"note\": \"x\"}",
+    )
+    .unwrap();
+    assert_eq!(cfg.knobs, Knobs { enabled: true, level: 2 });
+    assert_eq!(cfg.note.as_deref(), Some("x"));
+}
