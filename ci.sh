@@ -36,6 +36,13 @@ cargo run -q --release -p daas-obs --bin obs_validate -- \
   schemas/metrics_summary.schema.json "$OBS_TMP/metrics.json"
 rm -rf "$OBS_TMP"
 
+# ---- Streaming perf smoke: replay a small world through the live
+#      pipeline with the recorder on and fail if the incremental
+#      clusterer's total window-update time exceeds the re-cluster-
+#      from-scratch baseline measured in the same run (relative gate,
+#      so the verdict is stable across machine speeds). ----
+DAAS_SCALE=0.05 cargo run -q --release -p daas-bench --bin live_smoke
+
 # ---- Scenario pack: every shipped scenario must conform to the
 #      scenario schema, and the robustness harness must run the full
 #      matrix at a fast smoke scale (honours DAAS_THREADS /

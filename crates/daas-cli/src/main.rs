@@ -396,13 +396,14 @@ fn run_live(
         counts.ps_txs,
     );
     println!(
-        "clustering: {} families | {} union edges, {} merges, {} rebuilds | {} assemblies, {} cache reuses",
+        "clustering: {} families | {} union edges, {} merges, {} rebuilds | {} assemblies, {} cache reuses, {} patches",
         run.clustering.families.len(),
         stats.edges,
         stats.merges,
         stats.rebuilds,
         stats.families_assembled,
         stats.families_reused,
+        stats.families_patched,
     );
     println!(
         "measurement: {} victims, ${:.0} stolen",

@@ -19,6 +19,7 @@
 //! the equivalence suite compares against.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 
 use daas_chain::{Chain, ChainReader, LabelCategory, LabelStore, TxId};
 use daas_detector::Dataset;
@@ -51,12 +52,15 @@ impl Family {
     }
 }
 
-/// The clustering result.
+/// The clustering result. Families are `Arc`-shared: the streaming
+/// clusterer hands out the same allocation across successive snapshots
+/// for untouched families, so cloning a `Clustering` (or snapshotting
+/// the live state) never deep-copies member vectors.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Clustering {
     /// Families sorted by transaction count descending (the dominant
     /// families first).
-    pub families: Vec<Family>,
+    pub families: Vec<Arc<Family>>,
 }
 
 impl Clustering {
@@ -71,7 +75,7 @@ impl Clustering {
 
     /// Family lookup by name.
     pub fn by_name(&self, name: &str) -> Option<&Family> {
-        self.families.iter().find(|f| f.name == name)
+        self.families.iter().find(|f| f.name == name).map(|f| &**f)
     }
 
     /// Per-family member-account sets (operators + contracts +
@@ -353,7 +357,7 @@ pub fn cluster_prefix(
     for (i, f) in families.iter_mut().enumerate() {
         f.id = i;
     }
-    Clustering { families }
+    Clustering { families: families.into_iter().map(Arc::new).collect() }
 }
 
 /// Majority vote across a member's associated operators (ties go to the

@@ -45,7 +45,7 @@ pub fn family_forensics(
     cfg: &ClusterConfig,
 ) -> FamilyForensics {
     let features = FeatureCache::new(chain, dataset);
-    let extract = |family: &Family| -> (ContractProfile, LifecycleStats) {
+    let extract = |family: &std::sync::Arc<Family>| -> (ContractProfile, LifecycleStats) {
         (
             contract_profile_with(chain, family, &features),
             primary_lifecycles_with(family, min_txs, inactive_secs, as_of, &features),

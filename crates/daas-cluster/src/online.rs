@@ -1,37 +1,46 @@
 //! Streaming §7.1 clustering: families maintained per poll.
 //!
 //! [`OnlineClusterer`] consumes the [`DetectorEvent`] feed of
-//! [`daas_detector::OnlineDetector`] and keeps the operator union-find
+//! [`daas_detector::OnlineDetector`] and keeps the operator partition
 //! and family membership incremental, so a deployed observatory updates
 //! families per block window instead of re-clustering the chain from
 //! scratch (DESIGN.md §10). At every poll boundary
 //! [`OnlineClusterer::clustering`] is byte-identical to the batch
 //! oracle [`crate::cluster_prefix`] run at the same watermark.
 //!
-//! ## Merge semantics
+//! ## O(delta) state
 //!
-//! The incremental state mirrors the batch phases:
+//! The retained state lives on [`txgraph::CowMap`] shards and explicit
+//! per-component records, so a window update touches only what the
+//! window changed:
 //!
-//! * **Edges.** A new operator's confirmed history is scanned once on
-//!   admission; subsequent windows scan only their own transactions.
-//!   Direct operator↔operator touches and (labeled-phish account,
-//!   operator) touches land in retained edge sets and feed the
-//!   union-find as they arrive ([`txgraph::UnionFind::union`] reports
-//!   whether components actually merged). Both scans test membership
-//!   against the post-poll dataset, matching the batch-at-watermark
-//!   semantics; double-scanned transactions are harmless because edges
-//!   are sets.
+//! * **Components.** Instead of a global union-find that must be
+//!   re-partitioned per snapshot, each component is an explicit
+//!   [`CompState`] keyed by a stable integer id, carrying its members,
+//!   its internal edges, its phish-touch accounts and its assigned
+//!   contracts/affiliates. Edges merge components by relabeling the
+//!   smaller side (weighted union), so total relabel work is
+//!   O(n log n) across the stream.
+//! * **Vote assignment.** Contract/affiliate → family assignment (batch
+//!   step 2) is cached in `target_assign` and re-voted only for *dirty*
+//!   targets: those with new votes, those voting in a component whose
+//!   key or membership changed, and those assigned to a split
+//!   component. An `op_votes` reverse index makes the dirty set
+//!   computable from the merge delta.
 //! * **Revocation.** A phish-touch chain becomes invalid the moment the
 //!   touched account itself joins the dataset (the batch rule excludes
-//!   dataset members). A union-find cannot split, so the clusterer
-//!   rebuilds it from the retained edge sets on that (rare) event —
-//!   everything else stays incremental.
-//! * **Family cache.** Assembled families are cached per component
-//!   (keyed by the component's smallest member). A snapshot recomputes
-//!   the cheap integer vote assignment and reuses every cached family
-//!   whose inputs — members, assigned contracts/affiliates, transaction
-//!   sets — are unchanged; merges therefore rebuild only the affected
-//!   families.
+//!   dataset members). Only the owning component is re-partitioned —
+//!   a *scoped* rebuild over its own edges — instead of the historical
+//!   full union-find rebuild; `stats().rebuilds` counts these scoped
+//!   events.
+//! * **Family cache.** Assembled families are `Arc`-shared per
+//!   component id. A snapshot re-votes the dirty targets, drops the
+//!   assemblies of dirty components and serves every other family as
+//!   an `Arc` clone — an idle snapshot allocates nothing.
+//!
+//! Because every retained map is copy-on-write, cloning the whole
+//! clusterer (bench setup, future reader epochs in daas-serve) is
+//! O(shards), and the clone diverges per written shard only.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
@@ -39,34 +48,62 @@ use std::sync::Arc;
 use daas_chain::{Chain, LabelStore, TxId};
 use daas_detector::{ClassificationCache, ClassifierConfig, Dataset, DetectorEvent};
 use eth_types::Address;
-use txgraph::UnionFind;
+use txgraph::{CowMap, CowSet, UnionFind};
 
-use crate::families::{family_name, is_labeled_phishing, vote_component, Clustering, Family};
+use crate::families::{family_name, is_labeled_phishing, Clustering, Family};
 
 /// Counters describing how much incremental work the clusterer did —
 /// the observable evidence that snapshots reuse prior state.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OnlineClustererStats {
-    /// Union-find merges (edges that actually joined two components).
+    /// Component merges (edges that actually joined two components).
     pub merges: usize,
     /// Distinct edges retained (direct + phish-touch).
     pub edges: usize,
-    /// Full union-find rebuilds forced by phish-touch revocations.
+    /// Scoped component rebuilds forced by phish-touch revocations.
+    /// Each counts one affected component re-partitioned over its own
+    /// edges — never a full rebuild of the whole state.
     pub rebuilds: usize,
     /// Families served from the assembly cache across all snapshots.
     pub families_reused: usize,
     /// Families (re-)assembled across all snapshots.
     pub families_assembled: usize,
+    /// Cached families updated in place by a sorted splice of new
+    /// transaction ids (no structural change, so no re-assembly).
+    pub families_patched: usize,
 }
 
-/// One cached family assembly and the exact inputs it was built from.
+/// Stable component id. Ids are never reused; a split allocates fresh
+/// ids for every part so stale references are detectable.
+type Cid = u64;
+
+/// One live component: the unit of scoped rebuilds and family-assembly
+/// caching.
 #[derive(Debug, Clone)]
-struct CachedFamily {
-    operators: Vec<Address>,
-    contracts: Vec<Address>,
-    affiliates: Vec<Address>,
-    family: Family,
+struct CompState {
+    /// Smallest member — the batch tie-break key (batch components are
+    /// sorted by smallest member, so smaller index ⟺ smaller key).
+    key: Address,
+    /// Member operators, unsorted (sorted on assembly only).
+    members: Vec<Address>,
+    /// Direct operator↔operator edges with both endpoints inside,
+    /// normalized (min, max). Replayed on scoped rebuild.
+    edges: Vec<(Address, Address)>,
+    /// Labeled-phish accounts whose touch chains live in this
+    /// component (a touch set always merges into one component).
+    phish: BTreeSet<Address>,
+    /// Contracts currently vote-assigned to this component (sorted,
+    /// assembly-ready).
+    contracts: BTreeSet<Address>,
+    /// Affiliates currently vote-assigned to this component.
+    affiliates: BTreeSet<Address>,
 }
+
+/// A vote target: (0, contract address) or (1, affiliate address).
+type Target = (u8, Address);
+
+const T_CONTRACT: u8 = 0;
+const T_AFFILIATE: u8 = 1;
 
 /// Incremental §7.1 clusterer. See the module docs for the invariants.
 #[derive(Debug, Clone)]
@@ -74,23 +111,41 @@ pub struct OnlineClusterer {
     classifier: ClassifierConfig,
     cache: Arc<ClassificationCache>,
     watermark: TxId,
-    uf: UnionFind,
+    /// Fast membership test for the hot window scan.
     operators: HashSet<Address>,
-    /// Normalized (min, max) direct operator↔operator edges.
-    direct_edges: BTreeSet<(Address, Address)>,
+    next_cid: Cid,
+    comps: CowMap<Cid, CompState>,
+    /// Operator → owning component.
+    op_comp: CowMap<Address, Cid>,
+    /// Normalized (min, max) direct edges, global dedup.
+    direct_edges: CowSet<(Address, Address)>,
     /// Labeled-phish account → operators that touched it. Entries are
-    /// revoked (and the union-find rebuilt) when the account joins the
-    /// dataset.
-    phish_touch: BTreeMap<Address, BTreeSet<Address>>,
+    /// revoked (and the owning component rebuilt) when the account
+    /// joins the dataset.
+    phish_touch: CowMap<Address, BTreeSet<Address>>,
     /// Vote multisets, one entry per observation (batch step 2).
-    contract_ops: HashMap<Address, Vec<Address>>,
-    affiliate_ops: HashMap<Address, Vec<Address>>,
+    contract_ops: CowMap<Address, Vec<Address>>,
+    affiliate_ops: CowMap<Address, Vec<Address>>,
     /// Profit-sharing transactions per contract.
-    contract_txs: HashMap<Address, BTreeSet<TxId>>,
-    /// Contracts whose transaction set grew since the last snapshot.
-    txs_dirty: HashSet<Address>,
-    /// Family assembly cache, keyed by the component's smallest member.
-    assembled: HashMap<Address, CachedFamily>,
+    contract_txs: CowMap<Address, BTreeSet<TxId>>,
+    /// Operator → targets that voted for it (the reverse index that
+    /// turns a merge delta into a dirty-target set).
+    op_votes: CowMap<Address, BTreeSet<Target>>,
+    /// Target → component it is currently assigned to. Invariant: the
+    /// component is live and lists the target in its assigned sets.
+    target_assign: CowMap<Target, Cid>,
+    /// Assembled families per component id.
+    assembled: CowMap<Cid, Arc<Family>>,
+    /// Targets whose vote inputs changed since the last snapshot.
+    dirty_targets: BTreeSet<Target>,
+    /// Components whose cached assembly is invalid.
+    dirty_comps: BTreeSet<Cid>,
+    /// New (contract, tx) attributions since the last snapshot — spliced
+    /// into the owning component's cached family when nothing else about
+    /// the component changed.
+    txs_new: Vec<(Address, TxId)>,
+    /// Components owed a scoped rebuild, drained at end of ingest.
+    pending_rebuild: BTreeSet<Cid>,
     stats: OnlineClustererStats,
 }
 
@@ -109,15 +164,22 @@ impl OnlineClusterer {
             classifier,
             cache,
             watermark: 0,
-            uf: UnionFind::new(),
             operators: HashSet::new(),
-            direct_edges: BTreeSet::new(),
-            phish_touch: BTreeMap::new(),
-            contract_ops: HashMap::new(),
-            affiliate_ops: HashMap::new(),
-            contract_txs: HashMap::new(),
-            txs_dirty: HashSet::new(),
-            assembled: HashMap::new(),
+            next_cid: 0,
+            comps: CowMap::new(),
+            op_comp: CowMap::new(),
+            direct_edges: CowSet::new(),
+            phish_touch: CowMap::new(),
+            contract_ops: CowMap::new(),
+            affiliate_ops: CowMap::new(),
+            contract_txs: CowMap::new(),
+            op_votes: CowMap::new(),
+            target_assign: CowMap::new(),
+            assembled: CowMap::new(),
+            dirty_targets: BTreeSet::new(),
+            dirty_comps: BTreeSet::new(),
+            txs_new: Vec::new(),
+            pending_rebuild: BTreeSet::new(),
             stats: OnlineClustererStats::default(),
         }
     }
@@ -152,38 +214,59 @@ impl OnlineClusterer {
             daas_obs::span!("cluster.ingest", window = hi - lo, events = events.len());
         let stats_before = self.stats;
 
-        let mut needs_rebuild = false;
         for event in events {
             match event {
                 DetectorEvent::ContractAdmitted { contract, .. } => {
-                    needs_rebuild |= self.revoke(*contract);
+                    self.revoke(*contract);
                 }
                 DetectorEvent::PsTransaction { tx, contract } => {
                     let obs = self
                         .cache
                         .classify(chain, *tx, &self.classifier)
                         .expect("a PsTransaction event classifies positively");
-                    self.contract_ops.entry(*contract).or_default().push(obs.operator);
-                    self.affiliate_ops.entry(obs.affiliate).or_default().push(obs.operator);
-                    if self.contract_txs.entry(*contract).or_default().insert(*tx) {
-                        self.txs_dirty.insert(*contract);
+                    self.contract_ops.get_or_insert_with(*contract, Vec::new).push(obs.operator);
+                    self.affiliate_ops
+                        .get_or_insert_with(obs.affiliate, Vec::new)
+                        .push(obs.operator);
+                    let votes = self.op_votes.get_or_insert_with(obs.operator, BTreeSet::new);
+                    votes.insert((T_CONTRACT, *contract));
+                    votes.insert((T_AFFILIATE, obs.affiliate));
+                    self.dirty_targets.insert((T_CONTRACT, *contract));
+                    self.dirty_targets.insert((T_AFFILIATE, obs.affiliate));
+                    if self.contract_txs.get_or_insert_with(*contract, BTreeSet::new).insert(*tx) {
+                        self.txs_new.push((*contract, *tx));
                     }
                 }
                 DetectorEvent::OperatorObserved(op) => {
-                    needs_rebuild |= self.revoke(*op);
+                    self.revoke(*op);
                     self.admit_operator(chain, labels, dataset, *op);
                 }
                 DetectorEvent::AffiliateObserved(aff) => {
-                    needs_rebuild |= self.revoke(*aff);
+                    self.revoke(*aff);
                 }
             }
         }
 
-        // Window scan: only the new transactions. An operator admitted
-        // mid-poll already scanned its full history above, so together
-        // the two scans cover exactly what the batch extract sees at
-        // this watermark.
-        for txid in lo..hi {
+        // Window scan: only the new transactions, and among those only
+        // the ones touching an operator — enumerated from the per-address
+        // history index (each operator's slice is in chain order) rather
+        // than walking the whole window. An operator admitted mid-poll
+        // already scanned its full history above, so together the two
+        // scans cover exactly what the batch extract sees at this
+        // watermark.
+        let mut op_txs: Vec<TxId> = Vec::new();
+        for &op in &self.operators {
+            let hist = chain.txs_of(op);
+            for &txid in &hist[hist.partition_point(|&t| t < lo)..] {
+                if txid >= hi {
+                    break;
+                }
+                op_txs.push(txid);
+            }
+        }
+        op_txs.sort_unstable();
+        op_txs.dedup();
+        for txid in op_txs {
             let tx = chain.tx(txid);
             let touched = tx.touched_addresses();
             let mut ops_in: Vec<Address> =
@@ -209,9 +292,13 @@ impl OnlineClusterer {
             }
         }
 
-        if needs_rebuild {
-            self.rebuild();
+        // Scoped rebuilds, after the window scan so they see the final
+        // edge state (the partition depends only on the edge set).
+        let pending = std::mem::take(&mut self.pending_rebuild);
+        for cid in pending {
+            self.scoped_rebuild(cid);
         }
+
         if daas_obs::enabled() {
             // Per-poll deltas of the incremental-work counters.
             let d = self.stats;
@@ -221,14 +308,33 @@ impl OnlineClusterer {
         }
     }
 
-    /// Admits a new operator: interns it and scans its full confirmed
-    /// history (the streaming equivalent of the batch per-operator
-    /// extract).
+    /// Admits a new operator: interns it as a singleton component and
+    /// scans its full confirmed history (the streaming equivalent of
+    /// the batch per-operator extract).
     fn admit_operator(&mut self, chain: &Chain, labels: &LabelStore, dataset: &Dataset, op: Address) {
         if !self.operators.insert(op) {
             return;
         }
-        self.uf.insert(op);
+        let cid = self.next_cid;
+        self.next_cid += 1;
+        self.comps.insert(
+            cid,
+            CompState {
+                key: op,
+                members: vec![op],
+                edges: Vec::new(),
+                phish: BTreeSet::new(),
+                contracts: BTreeSet::new(),
+                affiliates: BTreeSet::new(),
+            },
+        );
+        self.op_comp.insert(op, cid);
+        self.dirty_comps.insert(cid);
+        // Votes cast before admission (earlier events of this poll)
+        // only start counting now that the operator has a component.
+        if let Some(targets) = self.op_votes.get(&op) {
+            self.dirty_targets.extend(targets.iter().copied());
+        }
         for &txid in chain.txs_of(op) {
             if txid >= self.watermark {
                 break;
@@ -251,132 +357,357 @@ impl OnlineClusterer {
         let key = if a < b { (a, b) } else { (b, a) };
         if self.direct_edges.insert(key) {
             self.stats.edges += 1;
-            self.stats.merges += self.uf.union(a, b) as usize;
+            let ca = *self.op_comp.get(&a).expect("edge endpoints are admitted operators");
+            let cb = *self.op_comp.get(&b).expect("edge endpoints are admitted operators");
+            let cid = if ca != cb {
+                self.stats.merges += 1;
+                self.merge_comps(ca, cb)
+            } else {
+                ca
+            };
+            self.comps.get_mut(&cid).expect("live component").edges.push(key);
         }
     }
 
     fn add_phish_touch(&mut self, party: Address, op: Address) {
-        let set = self.phish_touch.entry(party).or_default();
-        if set.insert(op) {
-            self.stats.edges += 1;
-            // Chain the newcomer to any existing member: transitively
-            // identical to the batch `windows(2)` sweep over the set.
-            if let Some(&other) = set.iter().find(|&&x| x != op) {
-                self.stats.merges += self.uf.union(op, other) as usize;
+        let (inserted, other) = {
+            let set = self.phish_touch.get_or_insert_with(party, BTreeSet::new);
+            if set.insert(op) {
+                // Chain the newcomer to any existing member:
+                // transitively identical to the batch `windows(2)`
+                // sweep over the set.
+                (true, set.iter().copied().find(|&x| x != op))
+            } else {
+                (false, None)
+            }
+        };
+        if !inserted {
+            return;
+        }
+        self.stats.edges += 1;
+        if let Some(other) = other {
+            let ca = *self.op_comp.get(&op).expect("touching operators are admitted");
+            let cb = *self.op_comp.get(&other).expect("touching operators are admitted");
+            if ca != cb {
+                self.stats.merges += 1;
+                self.merge_comps(ca, cb);
+            }
+        }
+        let cid = *self.op_comp.get(&op).expect("touching operators are admitted");
+        self.comps.get_mut(&cid).expect("live component").phish.insert(party);
+    }
+
+    /// Merges two components; the larger side survives (weighted union,
+    /// so relabeling totals O(n log n) over the stream). Returns the
+    /// surviving id.
+    fn merge_comps(&mut self, ca: Cid, cb: Cid) -> Cid {
+        let la = self.comps.get(&ca).expect("live component").members.len();
+        let lb = self.comps.get(&cb).expect("live component").members.len();
+        let (s, l) = if la >= lb { (ca, cb) } else { (cb, ca) };
+        let loser = self.comps.remove(&l).expect("live component");
+        self.assembled.remove(&l);
+        for &m in &loser.members {
+            self.op_comp.insert(m, s);
+        }
+        // Dirty-target rule: a target's vote inputs change only for
+        // the side whose key is not the merged minimum (its tie-break
+        // shifts) — plus everything voting in the absorbed side, whose
+        // assigned component id disappears.
+        {
+            let op_votes = &self.op_votes;
+            let comps = &self.comps;
+            let dirty = &mut self.dirty_targets;
+            for m in &loser.members {
+                if let Some(ts) = op_votes.get(m) {
+                    dirty.extend(ts.iter().copied());
+                }
+            }
+            let survivor = comps.get(&s).expect("live component");
+            if loser.key < survivor.key {
+                for m in &survivor.members {
+                    if let Some(ts) = op_votes.get(m) {
+                        dirty.extend(ts.iter().copied());
+                    }
+                }
+            }
+        }
+        // Keep the assignment invariant: targets riding along point at
+        // the survivor until their re-vote settles them.
+        for &c in &loser.contracts {
+            self.target_assign.insert((T_CONTRACT, c), s);
+        }
+        for &a in &loser.affiliates {
+            self.target_assign.insert((T_AFFILIATE, a), s);
+        }
+        let survivor = self.comps.get_mut(&s).expect("live component");
+        survivor.key = survivor.key.min(loser.key);
+        survivor.members.extend(loser.members);
+        survivor.edges.extend(loser.edges);
+        survivor.phish.extend(loser.phish);
+        survivor.contracts.extend(loser.contracts);
+        survivor.affiliates.extend(loser.affiliates);
+        self.dirty_comps.insert(s);
+        if self.pending_rebuild.remove(&l) {
+            self.pending_rebuild.insert(s);
+        }
+        s
+    }
+
+    /// Drops a phish-touch entry when the account joins the dataset and
+    /// schedules a scoped rebuild of the owning component.
+    fn revoke(&mut self, address: Address) {
+        let Some(set) = self.phish_touch.remove(&address) else { return };
+        if let Some(first) = set.iter().next() {
+            if let Some(&cid) = self.op_comp.get(first) {
+                if let Some(comp) = self.comps.get_mut(&cid) {
+                    comp.phish.remove(&address);
+                }
+                self.pending_rebuild.insert(cid);
             }
         }
     }
 
-    /// Drops a phish-touch entry when the account joins the dataset.
-    /// Returns `true` if anything was revoked (forcing a rebuild — a
-    /// union-find cannot split).
-    fn revoke(&mut self, address: Address) -> bool {
-        self.phish_touch.remove(&address).is_some()
-    }
-
-    /// Rebuilds the union-find from the retained edge sets after a
-    /// revocation, and drops every cached family (memberships may have
-    /// split).
-    fn rebuild(&mut self) {
+    /// Re-partitions one component over its own retained edges after a
+    /// revocation. If the partition is unchanged the component is kept
+    /// as-is; a split allocates fresh ids for every part (stale
+    /// assignments are tombstoned) and dirties all its targets.
+    fn scoped_rebuild(&mut self, cid: Cid) {
+        let Some(comp) = self.comps.get(&cid).cloned() else { return };
+        self.stats.rebuilds += 1;
         let mut uf = UnionFind::new();
-        let mut ops: Vec<Address> = self.operators.iter().copied().collect();
-        ops.sort_unstable();
-        for &op in &ops {
-            uf.insert(op);
+        for &m in &comp.members {
+            uf.insert(m);
         }
-        for &(a, b) in &self.direct_edges {
+        for &(a, b) in &comp.edges {
             uf.union(a, b);
         }
-        for members in self.phish_touch.values() {
-            let chain: Vec<Address> = members.iter().copied().collect();
-            for pair in chain.windows(2) {
-                uf.union(pair[0], pair[1]);
+        for p in &comp.phish {
+            if let Some(set) = self.phish_touch.get(p) {
+                let chain: Vec<Address> = set.iter().copied().collect();
+                for pair in chain.windows(2) {
+                    uf.union(pair[0], pair[1]);
+                }
             }
         }
-        self.uf = uf;
-        self.assembled.clear();
-        self.stats.rebuilds += 1;
+        let parts = uf.components();
+        if parts.len() <= 1 {
+            return;
+        }
+        self.comps.remove(&cid);
+        self.assembled.remove(&cid);
+        self.dirty_comps.remove(&cid);
+        for &c in &comp.contracts {
+            self.target_assign.remove(&(T_CONTRACT, c));
+            self.dirty_targets.insert((T_CONTRACT, c));
+        }
+        for &a in &comp.affiliates {
+            self.target_assign.remove(&(T_AFFILIATE, a));
+            self.dirty_targets.insert((T_AFFILIATE, a));
+        }
+        for part in parts {
+            let ncid = self.next_cid;
+            self.next_cid += 1;
+            let part_set: HashSet<Address> = part.iter().copied().collect();
+            let edges: Vec<(Address, Address)> =
+                comp.edges.iter().copied().filter(|&(a, _)| part_set.contains(&a)).collect();
+            let phish: BTreeSet<Address> = comp
+                .phish
+                .iter()
+                .copied()
+                .filter(|p| {
+                    self.phish_touch
+                        .get(p)
+                        .and_then(|s| s.iter().next())
+                        .is_some_and(|m| part_set.contains(m))
+                })
+                .collect();
+            for &m in &part {
+                self.op_comp.insert(m, ncid);
+            }
+            self.dirty_comps.insert(ncid);
+            self.comps.insert(
+                ncid,
+                CompState {
+                    key: part[0],
+                    members: part,
+                    edges,
+                    phish,
+                    contracts: BTreeSet::new(),
+                    affiliates: BTreeSet::new(),
+                },
+            );
+        }
+    }
+
+    /// Recomputes one target's majority vote and moves it between
+    /// component assignment sets when the winner changed. The winner is
+    /// the component with the most votes, ties to the smallest key —
+    /// identical to the batch rule (batch components are index-sorted
+    /// by smallest member, so smaller index ⟺ smaller key).
+    fn revote_target(&mut self, t: Target) {
+        let (kind, addr) = t;
+        let new_cid = {
+            let ops: &[Address] = match if kind == T_CONTRACT {
+                self.contract_ops.get(&addr)
+            } else {
+                self.affiliate_ops.get(&addr)
+            } {
+                Some(v) => v.as_slice(),
+                None => &[],
+            };
+            let mut counts: HashMap<Cid, usize> = HashMap::new();
+            for op in ops {
+                if let Some(&cid) = self.op_comp.get(op) {
+                    *counts.entry(cid).or_default() += 1;
+                }
+            }
+            let comps = &self.comps;
+            counts
+                .into_iter()
+                .max_by_key(|&(cid, n)| {
+                    (n, std::cmp::Reverse(comps.get(&cid).expect("voted comps are live").key))
+                })
+                .map(|(cid, _)| cid)
+        };
+        let old_cid = self.target_assign.get(&t).copied();
+        if old_cid == new_cid {
+            return;
+        }
+        if let Some(oc) = old_cid {
+            if let Some(comp) = self.comps.get_mut(&oc) {
+                if kind == T_CONTRACT {
+                    comp.contracts.remove(&addr);
+                } else {
+                    comp.affiliates.remove(&addr);
+                }
+                self.dirty_comps.insert(oc);
+            }
+        }
+        match new_cid {
+            Some(nc) => {
+                let comp = self.comps.get_mut(&nc).expect("vote winner is live");
+                if kind == T_CONTRACT {
+                    comp.contracts.insert(addr);
+                } else {
+                    comp.affiliates.insert(addr);
+                }
+                self.dirty_comps.insert(nc);
+                self.target_assign.insert(t, nc);
+            }
+            None => {
+                self.target_assign.remove(&t);
+            }
+        }
     }
 
     /// The current clustering — byte-identical to
     /// [`crate::cluster_prefix`] run at [`Self::watermark`] with the
-    /// same dataset. Cheap relative to the batch path: the vote
-    /// assignment is an integer pass over retained multisets (no chain
-    /// access), and family assembly is served from the cache for every
-    /// component whose inputs did not change. `labels` must be the same
-    /// (immutable) store every ingest saw — cached names assume it.
+    /// same dataset. O(changed components): the dirty targets re-vote,
+    /// their components re-assemble, and every other family is served
+    /// as an `Arc` clone of the cached assembly — an idle snapshot
+    /// allocates nothing. `labels` must be the same (immutable) store
+    /// every ingest saw — cached names assume it.
     pub fn clustering(&mut self, labels: &LabelStore) -> Clustering {
         let _snapshot_span = daas_obs::span!("cluster.snapshot");
         let stats_before = self.stats;
-        let components = self.uf.components();
-        let mut op_component: HashMap<Address, usize> = HashMap::new();
-        for (ci, comp) in components.iter().enumerate() {
-            for &op in comp {
-                op_component.insert(op, ci);
-            }
-        }
 
-        let mut fam_contracts: Vec<BTreeSet<Address>> = vec![BTreeSet::new(); components.len()];
-        let mut fam_affiliates: Vec<BTreeSet<Address>> = vec![BTreeSet::new(); components.len()];
-        for (&contract, ops) in &self.contract_ops {
-            if let Some(c) = vote_component(ops, &op_component) {
-                fam_contracts[c].insert(contract);
+        // 1. Settle the dirty vote assignments.
+        let dirty_targets = std::mem::take(&mut self.dirty_targets);
+        for t in dirty_targets {
+            self.revote_target(t);
+        }
+        // 2. New transaction attributions. A component whose *only*
+        //    change is transaction growth keeps its cached family: the
+        //    new ids are spliced in with a sorted merge (identical to
+        //    re-unioning the contract sets, since a transaction belongs
+        //    to exactly one contract). Structurally dirty components
+        //    fall through to full re-assembly.
+        let txs_new = std::mem::take(&mut self.txs_new);
+        let mut patches: BTreeMap<Cid, Vec<TxId>> = BTreeMap::new();
+        for (c, tx) in txs_new {
+            // Unassigned contracts contribute to no family — if the
+            // contract is assigned later, that re-vote dirties the
+            // component and the full re-assembly reads `contract_txs`.
+            if let Some(&cid) = self.target_assign.get(&(T_CONTRACT, c)) {
+                patches.entry(cid).or_default().push(tx);
             }
         }
-        for (&aff, ops) in &self.affiliate_ops {
-            if let Some(c) = vote_component(ops, &op_component) {
-                fam_affiliates[c].insert(aff);
-            }
-        }
-
-        let mut families: Vec<Family> = Vec::with_capacity(components.len());
-        for (ci, comp) in components.iter().enumerate() {
-            let key = comp[0];
-            let contracts: Vec<Address> = fam_contracts[ci].iter().copied().collect();
-            let affiliates: Vec<Address> = fam_affiliates[ci].iter().copied().collect();
-            let cached_ok = self.assembled.get(&key).is_some_and(|c| {
-                c.operators == *comp
-                    && c.contracts == contracts
-                    && c.affiliates == affiliates
-                    && contracts.iter().all(|ct| !self.txs_dirty.contains(ct))
-            });
-            if cached_ok {
-                self.stats.families_reused += 1;
-                families.push(self.assembled[&key].family.clone());
+        for (cid, mut new_txs) in patches {
+            if self.dirty_comps.contains(&cid) {
                 continue;
             }
-            let mut ps_txs: BTreeSet<TxId> = BTreeSet::new();
+            let Some(slot) = self.assembled.get_mut(&cid) else {
+                self.dirty_comps.insert(cid);
+                continue;
+            };
+            new_txs.sort_unstable();
+            merge_sorted(&mut Arc::make_mut(slot).ps_txs, &new_txs);
+            self.stats.families_patched += 1;
+        }
+        // 3. Drop the invalidated assemblies.
+        let dirty_comps = std::mem::take(&mut self.dirty_comps);
+        for cid in dirty_comps {
+            self.assembled.remove(&cid);
+        }
+
+        // 4. Assemble (or reuse) per component, iterated in batch
+        // order: sorted by smallest member.
+        let mut order: Vec<(Address, Cid)> =
+            self.comps.iter().map(|(&cid, comp)| (comp.key, cid)).collect();
+        order.sort_unstable();
+        let mut out: Vec<(Cid, Arc<Family>)> = Vec::with_capacity(order.len());
+        for (_, cid) in order {
+            if let Some(family) = self.assembled.get(&cid) {
+                self.stats.families_reused += 1;
+                out.push((cid, family.clone()));
+                continue;
+            }
+            let comp = self.comps.get(&cid).expect("live component");
+            let mut operators = comp.members.clone();
+            operators.sort_unstable();
+            let contracts: Vec<Address> = comp.contracts.iter().copied().collect();
+            let affiliates: Vec<Address> = comp.affiliates.iter().copied().collect();
+            // Per-contract sets are disjoint, so a flat collect + sort
+            // is the union (and much cheaper than a B-tree merge).
+            let mut ps_txs: Vec<TxId> = Vec::new();
             for ct in &contracts {
                 if let Some(txs) = self.contract_txs.get(ct) {
                     ps_txs.extend(txs.iter().copied());
                 }
             }
-            let family = Family {
+            ps_txs.sort_unstable();
+            let family = Arc::new(Family {
                 id: 0, // assigned after sorting, as in the batch path
-                name: family_name(labels, comp, &contracts),
-                operators: comp.clone(),
-                contracts: contracts.clone(),
-                affiliates: affiliates.clone(),
-                ps_txs: ps_txs.into_iter().collect(),
-            };
+                name: family_name(labels, &operators, &contracts),
+                operators,
+                contracts,
+                affiliates,
+                ps_txs,
+            });
             self.stats.families_assembled += 1;
-            self.assembled.insert(
-                key,
-                CachedFamily {
-                    operators: comp.clone(),
-                    contracts,
-                    affiliates,
-                    family: family.clone(),
-                },
-            );
-            families.push(family);
+            self.assembled.insert(cid, family.clone());
+            out.push((cid, family));
         }
-        self.txs_dirty.clear();
 
-        families
-            .sort_by(|a, b| b.ps_txs.len().cmp(&a.ps_txs.len()).then_with(|| a.name.cmp(&b.name)));
-        for (i, f) in families.iter_mut().enumerate() {
-            f.id = i;
+        // 5. Dominant families first. The sort is stable and the
+        // pre-order matches the batch pre-order, so full ties break
+        // identically. Ids are rewritten only where they differ —
+        // steady-state snapshots clone no family at all.
+        out.sort_by(|a, b| {
+            b.1.ps_txs.len().cmp(&a.1.ps_txs.len()).then_with(|| a.1.name.cmp(&b.1.name))
+        });
+        let mut families: Vec<Arc<Family>> = Vec::with_capacity(out.len());
+        for (i, (cid, family)) in out.into_iter().enumerate() {
+            let family = if family.id == i {
+                family
+            } else {
+                let mut f = (*family).clone();
+                f.id = i;
+                let f = Arc::new(f);
+                self.assembled.insert(cid, f.clone());
+                f
+            };
+            families.push(family);
         }
         if daas_obs::enabled() {
             let d = self.stats;
@@ -388,9 +719,40 @@ impl OnlineClusterer {
                 "cluster.families.assembled",
                 (d.families_assembled - stats_before.families_assembled) as u64,
             );
+            daas_obs::add(
+                "cluster.families.patched",
+                (d.families_patched - stats_before.families_patched) as u64,
+            );
         }
         Clustering { families }
     }
+}
+
+/// Merges sorted `add` into sorted `dst`. The two sides are disjoint
+/// (each transaction belongs to exactly one contract, recorded once),
+/// and in the common case the new ids all land past the current tail.
+fn merge_sorted(dst: &mut Vec<TxId>, add: &[TxId]) {
+    if add.is_empty() {
+        return;
+    }
+    if dst.last().is_none_or(|&tail| tail < add[0]) {
+        dst.extend_from_slice(add);
+        return;
+    }
+    let mut merged = Vec::with_capacity(dst.len() + add.len());
+    let (mut i, mut j) = (0, 0);
+    while i < dst.len() && j < add.len() {
+        if dst[i] <= add[j] {
+            merged.push(dst[i]);
+            i += 1;
+        } else {
+            merged.push(add[j]);
+            j += 1;
+        }
+    }
+    merged.extend_from_slice(&dst[i..]);
+    merged.extend_from_slice(&add[j..]);
+    *dst = merged;
 }
 
 #[cfg(test)]
@@ -503,6 +865,22 @@ mod tests {
         assert_eq!(online.stats().families_reused, 2, "both families served from cache");
     }
 
+    /// An idle snapshot must hand out the *same allocations* as the
+    /// previous one — the Arc-sharing satellite of the O(delta) work.
+    #[test]
+    fn idle_snapshots_share_family_allocations() {
+        let (chain, labels, dataset, _) = setup();
+        let mut online = OnlineClusterer::new(ClassifierConfig::default());
+        let watermark = chain.transactions().len() as TxId;
+        online.ingest(&chain, &labels, &dataset, &events_for(&dataset), watermark);
+        let first = online.clustering(&labels);
+        let second = online.clustering(&labels);
+        assert_eq!(first.families.len(), second.families.len());
+        for (a, b) in first.families.iter().zip(&second.families) {
+            assert!(Arc::ptr_eq(a, b), "idle snapshot reuses the family allocation");
+        }
+    }
+
     /// A new profit-sharing transaction on one family must not rebuild
     /// the other family's assembly.
     #[test]
@@ -530,18 +908,31 @@ mod tests {
         online.ingest(&chain, &labels, &dataset, &events, chain.transactions().len() as TxId);
 
         let reused_before = online.stats().families_reused;
+        let patched_before = online.stats().families_patched;
+        let assembled_before = online.stats().families_assembled;
         let live = online.clustering(&labels);
         assert_eq!(
             online.stats().families_reused,
-            reused_before + 1,
-            "the family without new activity is reused"
+            reused_before + 2,
+            "both cached assemblies survive: one untouched, one patched in place"
+        );
+        assert_eq!(
+            online.stats().families_patched,
+            patched_before + 1,
+            "the new transaction is spliced into the cached family"
+        );
+        assert_eq!(
+            online.stats().families_assembled,
+            assembled_before,
+            "transaction growth alone re-assembles nothing"
         );
         let batch = cluster_with(&chain, &labels, &dataset, &ClusterConfig::sequential());
         assert_eq!(json(&live), json(&batch));
     }
 
-    /// A phish-touch chain is revoked — and the union-find rebuilt —
-    /// when the shared account itself joins the dataset.
+    /// A phish-touch chain is revoked — and the owning component
+    /// re-partitioned, scoped — when the shared account itself joins
+    /// the dataset.
     #[test]
     fn phish_revocation_splits_the_family() {
         let (mut chain, mut labels, mut dataset, [op_a, _, op_c]) = setup();
@@ -592,4 +983,3 @@ mod tests {
         assert_eq!(online.watermark(), 0);
     }
 }
-

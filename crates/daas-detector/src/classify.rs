@@ -1,7 +1,5 @@
 //! The profit-sharing transaction classifier (§4.3 / §5.1 step 2).
 
-use std::collections::HashMap;
-
 use daas_chain::{Asset, Timestamp, Transaction, TxId};
 use eth_types::{Address, U256};
 use serde::{Deserialize, Serialize};
@@ -72,13 +70,31 @@ pub struct PsObservation {
 pub fn classify_tx(tx: &Transaction, cfg: &ClassifierConfig) -> Option<PsObservation> {
     let contract = tx.to?;
 
-    // Group outgoing transfers by (source, fungible asset).
-    let mut groups: HashMap<(Address, Asset), Vec<usize>> = HashMap::new();
+    // Zero-allocation fast path: a split needs at least two fungible,
+    // non-zero transfers; most transactions carry fewer.
+    let eligible = tx
+        .transfers
+        .iter()
+        .filter(|t| t.asset.is_fungible() && !t.amount.is_zero())
+        .count();
+    if eligible < 2 {
+        return None;
+    }
+
+    // Group outgoing transfers by (source, fungible asset), in
+    // first-appearance order. Transfer lists are short, so a linear
+    // scan beats hashing — and the order is deterministic, which the
+    // "first qualifying group wins" rule below relies on.
+    let mut groups: Vec<((Address, Asset), Vec<usize>)> = Vec::new();
     for (i, t) in tx.transfers.iter().enumerate() {
         if !t.asset.is_fungible() || t.amount.is_zero() {
             continue;
         }
-        groups.entry((t.from, t.asset)).or_default().push(i);
+        let key = (t.from, t.asset);
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, idxs)) => idxs.push(i),
+            None => groups.push((key, vec![i])),
+        }
     }
 
     let mut best: Option<PsObservation> = None;

@@ -63,13 +63,32 @@ pub struct OnlineDetector {
     dataset: Dataset,
     cursor: TxId,
     cache: Arc<ClassificationCache>,
+    /// For each address: the earliest confirmed transaction that touches
+    /// both it and a *current* dataset member other than the address
+    /// itself. This is the expansion guard's "prior dataset contact",
+    /// maintained incrementally (as the cursor passes each transaction,
+    /// and by a one-time history walk when a member joins) so the guard
+    /// is an O(1) lookup instead of an O(history) rescan per candidate.
+    touch_min: txgraph::CowMap<Address, TxId>,
+    /// Flat union of the dataset's contract/operator/affiliate sets —
+    /// the per-transaction membership probe is one hash lookup instead
+    /// of three B-tree searches. Maintained by [`Self::absorb_noting`],
+    /// the only place the detector's dataset grows.
+    members: txgraph::FxHashSet<Address>,
 }
 
 impl OnlineDetector {
     /// Creates a detector starting at the chain's first transaction.
     pub fn new(cfg: SnowballConfig) -> Self {
         let cache = Arc::new(ClassificationCache::new());
-        OnlineDetector { cfg, dataset: Dataset::default(), cursor: 0, cache }
+        OnlineDetector {
+            cfg,
+            dataset: Dataset::default(),
+            cursor: 0,
+            cache,
+            touch_min: txgraph::CowMap::new(),
+            members: txgraph::FxHashSet::default(),
+        }
     }
 
     /// Creates a detector sharing a classification cache — typically
@@ -77,7 +96,14 @@ impl OnlineDetector {
     /// over the same chain, so polling skips re-classification. The
     /// cache must match `cfg.classifier`.
     pub fn with_cache(cfg: SnowballConfig, cache: Arc<ClassificationCache>) -> Self {
-        OnlineDetector { cfg, dataset: Dataset::default(), cursor: 0, cache }
+        OnlineDetector {
+            cfg,
+            dataset: Dataset::default(),
+            cursor: 0,
+            cache,
+            touch_min: txgraph::CowMap::new(),
+            members: txgraph::FxHashSet::default(),
+        }
     }
 
     /// The dataset maintained so far.
@@ -111,46 +137,144 @@ impl OnlineDetector {
         while self.cursor < limit {
             let txid = self.cursor;
             self.cursor += 1;
-            let Some(obs) = self.cache.classify(chain, txid, &self.cfg.classifier) else {
-                continue;
-            };
-            let contract = obs.contract;
-
-            if self.dataset.contracts.contains(&contract) {
-                self.absorb_and_backfill(chain, obs, &mut events);
-                continue;
-            }
-
-            // Seed rule: the contract is publicly labeled as phishing.
-            let seed = labels.publicly_flagged(contract) && chain.is_contract(contract);
-            // Expansion rule: the transaction touches an account already
-            // in the dataset, and the contract has a *prior* interaction
-            // with the dataset (identical to the batch guard).
-            let expansion = !seed && {
-                let touches_dataset = chain
-                    .tx(txid)
-                    .touched_addresses()
-                    .into_iter()
-                    .any(|a| a != contract && self.dataset.contains(a));
-                touches_dataset
-                    && (!self.cfg.expansion_guard
-                        || previously_interacted_online(chain, &self.dataset, contract, txid))
-            };
-            if !(seed || expansion) {
-                continue;
-            }
-
-            events.push(DetectorEvent::ContractAdmitted {
-                contract,
-                via: if seed { Admission::SeedLabel } else { Admission::Expansion },
-            });
-            self.absorb_and_backfill(chain, obs, &mut events);
-            // Backfill the contract's own earlier history (step 2 on the
-            // just-admitted contract), bounded by what has confirmed.
-            self.backfill_account(chain, contract, &mut events);
+            let touched = chain.tx(txid).touched_addresses();
+            self.step_tx(chain, labels, txid, &touched, &mut events);
+            // Index this transaction's dataset contacts *after* its own
+            // admission decision — the guard requires a contact strictly
+            // before the surfacing transaction.
+            self.note_tx(txid, &touched);
         }
         daas_obs::add("detector.events", events.len() as u64);
         events
+    }
+
+    /// One transaction's classification + admission decision.
+    fn step_tx(
+        &mut self,
+        chain: &Chain,
+        labels: &LabelStore,
+        txid: TxId,
+        touched: &[Address],
+        events: &mut Vec<DetectorEvent>,
+    ) {
+        // Pre-filter before paying for classification: the classifier's
+        // contract is always `tx.to`, so every admission path is
+        // decidable up front — absorb needs a known contract, expansion
+        // needs a touched member besides the contract plus the O(1)
+        // prior-contact guard, seed needs a public flag. Anything else
+        // cannot change the dataset regardless of the verdict.
+        let Some(to) = chain.tx(txid).to else { return };
+        let admissible = self.dataset.contracts.contains(&to)
+            || (touched.iter().any(|&a| a != to && self.members.contains(&a))
+                && (!self.cfg.expansion_guard || self.prior_contact(to, txid)))
+            || (labels.publicly_flagged(to) && chain.is_contract(to));
+        if !admissible {
+            return;
+        }
+        let Some(obs) = self.cache.classify(chain, txid, &self.cfg.classifier) else {
+            return;
+        };
+        let contract = obs.contract;
+
+        if self.dataset.contracts.contains(&contract) {
+            self.absorb_and_backfill(chain, obs, events);
+            return;
+        }
+
+        // Seed rule: the contract is publicly labeled as phishing.
+        let seed = labels.publicly_flagged(contract) && chain.is_contract(contract);
+        // Expansion rule: the transaction touches an account already
+        // in the dataset, and the contract has a *prior* interaction
+        // with the dataset (identical to the batch guard).
+        let expansion = !seed && {
+            let touches_dataset =
+                touched.iter().any(|&a| a != contract && self.members.contains(&a));
+            touches_dataset
+                && (!self.cfg.expansion_guard || self.prior_contact(contract, txid))
+        };
+        if !(seed || expansion) {
+            return;
+        }
+
+        events.push(DetectorEvent::ContractAdmitted {
+            contract,
+            via: if seed { Admission::SeedLabel } else { Admission::Expansion },
+        });
+        self.absorb_and_backfill(chain, obs, events);
+        // Backfill the contract's own earlier history (step 2 on the
+        // just-admitted contract), bounded by what has confirmed.
+        self.backfill_account(chain, contract, &mut *events);
+    }
+
+    /// The expansion guard: has `contract` a dataset contact strictly
+    /// before `surfacing_tx`, against the *current* dataset? O(1) via
+    /// the incrementally maintained first-contact index.
+    fn prior_contact(&self, contract: Address, surfacing_tx: TxId) -> bool {
+        self.touch_min.get(&contract).is_some_and(|&t| t < surfacing_tx)
+    }
+
+    /// Records `txid` as a dataset contact for every address it touches
+    /// alongside a current member (rule 1 of the index: transactions are
+    /// indexed once, as the cursor passes them).
+    fn note_tx(&mut self, txid: TxId, touched: &[Address]) {
+        let members = touched.iter().filter(|a| self.members.contains(a)).count();
+        if members == 0 {
+            return;
+        }
+        for &a in touched {
+            // `a` needs a member *other than itself* in the same tx.
+            if members > 1 || !self.members.contains(&a) {
+                self.note_touch(a, txid);
+            }
+        }
+    }
+
+    /// A new dataset member: every already-confirmed transaction in its
+    /// history becomes a dataset contact for the other parties (rule 2
+    /// of the index: one bounded walk per join covers the member's past;
+    /// rule 1 covers its future).
+    fn note_member(&mut self, chain: &Chain, member: Address) {
+        let history: Vec<TxId> =
+            chain.txs_of(member).iter().copied().filter(|&id| id < self.cursor).collect();
+        for txid in history {
+            for a in chain.tx(txid).touched_addresses() {
+                if a != member {
+                    self.note_touch(a, txid);
+                }
+            }
+        }
+    }
+
+    fn note_touch(&mut self, addr: Address, txid: TxId) {
+        let slot = self.touch_min.get_or_insert_with(addr, || txid);
+        if *slot > txid {
+            *slot = txid;
+        }
+    }
+
+    /// [`Dataset::absorb`] plus first-contact index maintenance for any
+    /// member the observation introduced.
+    fn absorb_noting(&mut self, chain: &Chain, obs: crate::classify::PsObservation) -> bool {
+        let (c, o, a) = (obs.contract, obs.operator, obs.affiliate);
+        let new_c = !self.dataset.contracts.contains(&c);
+        let new_o = !self.dataset.operators.contains(&o);
+        let new_a = !self.dataset.affiliates.contains(&a);
+        if !self.dataset.absorb(obs) {
+            return false;
+        }
+        if new_c {
+            self.members.insert(c);
+            self.note_member(chain, c);
+        }
+        if new_o {
+            self.members.insert(o);
+            self.note_member(chain, o);
+        }
+        if new_a {
+            self.members.insert(a);
+            self.note_member(chain, a);
+        }
+        true
     }
 
     /// Absorbs one observation, emitting role events, and backfills the
@@ -166,7 +290,7 @@ impl OnlineDetector {
         let (tx, contract, op, aff) = (obs.tx, obs.contract, obs.operator, obs.affiliate);
         let new_op = !self.dataset.operators.contains(&op);
         let new_aff = !self.dataset.affiliates.contains(&aff);
-        if !self.dataset.absorb(obs) {
+        if !self.absorb_noting(chain, obs) {
             return;
         }
         events.push(DetectorEvent::PsTransaction { tx, contract });
@@ -213,8 +337,8 @@ impl OnlineDetector {
             let contract = obs.contract;
             let known = self.dataset.contracts.contains(&contract);
             if !known {
-                let guard_ok = !self.cfg.expansion_guard
-                    || previously_interacted_online(chain, &self.dataset, contract, txid);
+                let guard_ok =
+                    !self.cfg.expansion_guard || self.prior_contact(contract, txid);
                 if !guard_ok {
                     continue;
                 }
@@ -226,7 +350,7 @@ impl OnlineDetector {
             let (op, aff) = (obs.operator, obs.affiliate);
             let new_op = !self.dataset.operators.contains(&op);
             let new_aff = !self.dataset.affiliates.contains(&aff);
-            if self.dataset.absorb(obs) {
+            if self.absorb_noting(chain, obs) {
                 events.push(DetectorEvent::PsTransaction { tx: txid, contract });
                 if new_op {
                     events.push(DetectorEvent::OperatorObserved(op));
@@ -271,27 +395,4 @@ impl OnlineDetector {
     ) -> Vec<Address> {
         self.scan_account(chain, account, events)
     }
-}
-
-/// The temporal expansion guard, online flavour: identical logic to the
-/// batch version (a dataset contact strictly before the surfacing
-/// transaction), re-evaluated against the *current* dataset.
-fn previously_interacted_online(
-    chain: &Chain,
-    dataset: &Dataset,
-    contract: Address,
-    surfacing_tx: TxId,
-) -> bool {
-    for &txid in chain.txs_of(contract) {
-        if txid >= surfacing_tx {
-            break;
-        }
-        let tx = chain.tx(txid);
-        for address in tx.touched_addresses() {
-            if address != contract && dataset.contains(address) {
-                return true;
-            }
-        }
-    }
-    false
 }

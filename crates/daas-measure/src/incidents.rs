@@ -43,7 +43,7 @@ pub struct MeasureCtx<'a> {
     pub dataset: &'a Dataset,
     /// The price oracle.
     pub oracle: &'a Oracle,
-    incidents: Vec<MeasuredIncident>,
+    incidents: std::sync::Arc<Vec<MeasuredIncident>>,
     features: FeatureCache<'a>,
 }
 
@@ -64,19 +64,20 @@ impl<'a> MeasureCtx<'a> {
         observations.sort_unstable_by_key(|o| o.tx);
         let incidents =
             observations.into_iter().map(|obs| measure_observation(chain, oracle, obs)).collect();
-        Self::from_incidents(chain, dataset, oracle, incidents)
+        Self::from_incidents(chain, dataset, oracle, std::sync::Arc::new(incidents))
     }
 
     /// Builds the context around incidents that were already attributed
     /// and valued (the streaming path: `LiveMeasure` re-uses its running
     /// incident set instead of re-walking the chain). `incidents` must be
     /// in transaction order — the canonical order [`MeasureCtx::new`]
-    /// produces.
+    /// produces. The vector is `Arc`-shared so the streaming path can
+    /// hand over its cached canonical set without copying it.
     pub fn from_incidents(
         chain: &'a Chain,
         dataset: &'a Dataset,
         oracle: &'a Oracle,
-        incidents: Vec<MeasuredIncident>,
+        incidents: std::sync::Arc<Vec<MeasuredIncident>>,
     ) -> Self {
         debug_assert!(
             incidents.windows(2).all(|w| w[0].tx < w[1].tx),
@@ -120,7 +121,7 @@ impl<'a> MeasureCtx<'a> {
     /// across runs, which the parallel-equivalence suite relies on.
     pub fn loss_per_victim(&self) -> BTreeMap<Address, f64> {
         let mut m = BTreeMap::new();
-        for inc in &self.incidents {
+        for inc in self.incidents.iter() {
             *m.entry(inc.victim).or_insert(0.0) += inc.usd;
         }
         m
@@ -130,7 +131,7 @@ impl<'a> MeasureCtx<'a> {
     /// [`MeasureCtx::loss_per_victim`]).
     pub fn profit_per_operator(&self) -> BTreeMap<Address, f64> {
         let mut m = BTreeMap::new();
-        for inc in &self.incidents {
+        for inc in self.incidents.iter() {
             *m.entry(inc.operator).or_insert(0.0) += inc.operator_usd;
         }
         m
@@ -140,7 +141,7 @@ impl<'a> MeasureCtx<'a> {
     /// [`MeasureCtx::loss_per_victim`]).
     pub fn profit_per_affiliate(&self) -> BTreeMap<Address, f64> {
         let mut m = BTreeMap::new();
-        for inc in &self.incidents {
+        for inc in self.incidents.iter() {
             *m.entry(inc.affiliate).or_insert(0.0) += inc.affiliate_usd;
         }
         m

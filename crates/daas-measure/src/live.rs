@@ -10,12 +10,19 @@
 //! (`victim_report`, `timeline`, the concentration summaries) accumulate
 //! in event-arrival order and are monitoring-grade (ulp-level) only.
 //!
-//! The canonical numbers come from [`LiveMeasure::reports`]: it rebuilds
-//! a [`MeasureCtx`] from the running incident set (already in
+//! The canonical numbers come from [`LiveMeasure::reports`]: it hands a
+//! [`MeasureCtx`] the *cached* canonical incident vector (sorted to
 //! transaction order — the same canonical order `MeasureCtx::new`
 //! produces) and routes through the identical §6 report bundle, so the
 //! streaming path and the batch path share one implementation per
 //! report and agree byte-for-byte. See DESIGN.md §10.
+//!
+//! The incident set lives on a [`txgraph::CowMap`], and the canonical
+//! vector is `Arc`-shared and revision-stamped: polls that add no
+//! incidents re-serve the previous allocation, so `reports()` between
+//! quiet windows re-canonicalises nothing. Float accumulators stay on
+//! plain ordered maps — their values depend on accumulation order, and
+//! the ordered in-place updates keep every poll deterministic.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -48,9 +55,16 @@ pub struct LiveDelta {
 pub struct LiveMeasure {
     cfg: ClassifierConfig,
     cache: Arc<ClassificationCache>,
-    /// Attributed incidents keyed by transaction id — `values()` is the
-    /// canonical transaction order [`MeasureCtx::from_incidents`] wants.
-    incidents: BTreeMap<TxId, MeasuredIncident>,
+    /// Attributed incidents keyed by transaction id, on copy-on-write
+    /// shards: cloning the accumulator (bench setup, reader snapshots)
+    /// is O(shards), and a post-clone window copies only the shards it
+    /// writes.
+    incidents: txgraph::CowMap<TxId, MeasuredIncident>,
+    /// Bumped whenever `incidents` changes; stamps the canonical cache.
+    rev: u64,
+    /// The canonical (transaction-ordered) incident vector served to
+    /// [`MeasureCtx::from_incidents`], rebuilt only when `rev` moved.
+    canonical: Option<(u64, Arc<Vec<MeasuredIncident>>)>,
     loss_per_victim: BTreeMap<Address, f64>,
     profit_per_operator: BTreeMap<Address, f64>,
     profit_per_affiliate: BTreeMap<Address, f64>,
@@ -74,7 +88,9 @@ impl LiveMeasure {
         LiveMeasure {
             cfg,
             cache,
-            incidents: BTreeMap::new(),
+            incidents: txgraph::CowMap::new(),
+            rev: 0,
+            canonical: None,
             loss_per_victim: BTreeMap::new(),
             profit_per_operator: BTreeMap::new(),
             profit_per_affiliate: BTreeMap::new(),
@@ -119,6 +135,7 @@ impl LiveMeasure {
             self.last_ts = self.last_ts.max(inc.timestamp);
             self.total_usd += inc.usd;
             self.incidents.insert(*tx, inc);
+            self.rev += 1;
         }
         delta
     }
@@ -169,15 +186,27 @@ impl LiveMeasure {
     }
 
     /// Materialises a full [`MeasureCtx`] around the running incident
-    /// set — incidents are *not* re-attributed, so this is cheap relative
-    /// to `MeasureCtx::new` while producing the identical context.
+    /// set — incidents are *not* re-attributed, and the canonical
+    /// vector is cached per revision, so repeated calls between quiet
+    /// polls hand the same `Arc` over without sorting or copying.
     pub fn ctx<'a>(
-        &self,
+        &mut self,
         chain: &'a Chain,
         dataset: &'a Dataset,
         oracle: &'a Oracle,
     ) -> MeasureCtx<'a> {
-        MeasureCtx::from_incidents(chain, dataset, oracle, self.incidents.values().cloned().collect())
+        let canonical = match &self.canonical {
+            Some((rev, cached)) if *rev == self.rev => cached.clone(),
+            _ => {
+                let mut incidents: Vec<MeasuredIncident> =
+                    self.incidents.values().cloned().collect();
+                incidents.sort_unstable_by_key(|inc| inc.tx);
+                let incidents = Arc::new(incidents);
+                self.canonical = Some((self.rev, incidents.clone()));
+                incidents
+            }
+        };
+        MeasureCtx::from_incidents(chain, dataset, oracle, canonical)
     }
 
     /// The canonical §6 bundle: routes through the same
@@ -185,7 +214,7 @@ impl LiveMeasure {
     /// batch share one implementation per report and the output is
     /// byte-identical to the batch bundle over the same dataset.
     pub fn reports(
-        &self,
+        &mut self,
         chain: &Chain,
         dataset: &Dataset,
         oracle: &Oracle,

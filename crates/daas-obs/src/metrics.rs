@@ -230,6 +230,36 @@ pub struct HistogramSnapshot {
     pub overflow: u64,
 }
 
+impl HistogramSnapshot {
+    /// Estimated `q`-quantile (`0.0..=1.0`) in milliseconds, by linear
+    /// interpolation inside the fixed [`MS_BUCKETS`]; `None` when the
+    /// histogram is empty. Estimates are clamped to the observed
+    /// `[min_ms, max_ms]` range, and ranks falling past the last bound
+    /// (the overflow region) saturate at `max_ms` — the same
+    /// convention Prometheus' `histogram_quantile` applies to an
+    /// upper-bounded histogram.
+    pub fn quantile_ms(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut seen = 0u64;
+        let mut lower = 0.0f64;
+        for &(bound, n) in &self.buckets {
+            if n > 0 {
+                if (seen + n) as f64 >= rank {
+                    let within = (rank - seen as f64) / n as f64;
+                    let est = lower + (bound - lower) * within;
+                    return Some(est.clamp(self.min_ms, self.max_ms));
+                }
+                seen += n;
+            }
+            lower = bound;
+        }
+        Some(self.max_ms)
+    }
+}
+
 /// The merged result of every metric recorded since the last drain.
 /// Keys render the naming convention: `name` or `name{key=value}`.
 /// `BTreeMap` so iteration — and every sink — is deterministically
@@ -324,6 +354,53 @@ mod tests {
         assert_eq!(hist.count, 5);
         assert_eq!(hist.min, 0.0);
         assert_eq!(hist.max, 1000.1);
+    }
+
+    #[test]
+    fn quantile_interpolates_clamps_and_saturates() {
+        let snap = |values: &[f64]| {
+            let mut hist = Histogram::new();
+            for &v in values {
+                hist.observe(v);
+            }
+            HistogramSnapshot {
+                count: hist.count,
+                sum_ms: hist.sum,
+                min_ms: hist.min,
+                max_ms: hist.max,
+                buckets: MS_BUCKETS.iter().copied().zip(hist.buckets.iter().copied()).collect(),
+                overflow: hist.overflow,
+            }
+        };
+
+        let empty = HistogramSnapshot {
+            count: 0,
+            sum_ms: 0.0,
+            min_ms: 0.0,
+            max_ms: 0.0,
+            buckets: MS_BUCKETS.iter().map(|&b| (b, 0)).collect(),
+            overflow: 0,
+        };
+        assert_eq!(empty.quantile_ms(0.5), None);
+
+        // A single observation: every quantile collapses to it (the
+        // interpolated bucket estimate is clamped to [min, max]).
+        let one = snap(&[0.7]);
+        assert_eq!(one.quantile_ms(0.5), Some(0.7));
+        assert_eq!(one.quantile_ms(0.95), Some(0.7));
+
+        // Two buckets of 50: quantile ranks interpolate linearly inside
+        // the bucket they land in.
+        let mut values = vec![0.3; 50];
+        values.extend(std::iter::repeat(2.0).take(50));
+        let spread = snap(&values);
+        assert_eq!(spread.quantile_ms(0.25), Some(0.375), "mid-bucket interpolation");
+        assert_eq!(spread.quantile_ms(0.5), Some(0.5), "bucket upper bound at full rank");
+
+        // Observations past the last bound saturate high quantiles at
+        // the observed max.
+        let over = snap(&[0.2, 5000.0, 6000.0]);
+        assert_eq!(over.quantile_ms(0.99), Some(6000.0));
     }
 
     #[test]

@@ -99,6 +99,10 @@ pub fn summary_json(report: &ObsReport) -> String {
         fmt_num(&mut out, hist.min_ms);
         out.push_str(", \"max_ms\": ");
         fmt_num(&mut out, hist.max_ms);
+        out.push_str(", \"p50_ms\": ");
+        fmt_num(&mut out, hist.quantile_ms(0.5).unwrap_or(0.0));
+        out.push_str(", \"p95_ms\": ");
+        fmt_num(&mut out, hist.quantile_ms(0.95).unwrap_or(0.0));
         let _ = write!(out, ", \"overflow\": {}, \"buckets\": [", hist.overflow);
         for (i, (le, count)) in hist.buckets.iter().enumerate() {
             if i > 0 {
@@ -325,6 +329,11 @@ mod tests {
             crate::MS_BUCKETS.len(),
             "every fixed bucket is always present"
         );
+        // Percentile estimates: 0.7ms lands in the (0.5, 1.0] bucket, so
+        // the interpolated median is the bucket's upper bound; the
+        // overflowing 2000ms observation saturates p95 at max_ms.
+        assert_eq!(hist["p50_ms"].as_num(), Some(1.0));
+        assert_eq!(hist["p95_ms"].as_num(), Some(2000.0));
     }
 
     #[test]

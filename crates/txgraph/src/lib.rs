@@ -10,12 +10,16 @@
 //! * [`FlowGraph`] — an address adjacency structure with edge weights
 //!   (transfer counts / total value), BFS reachability and component
 //!   extraction.
+//! * [`CowMap`] / [`CowSet`] — `Arc`-sharded copy-on-write maps that give
+//!   the streaming pipeline O(shards) snapshots and O(delta) divergence.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cow;
 mod flow;
 
+pub use cow::{CowMap, CowSet, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use flow::ValueGraph;
 
 use std::collections::{HashMap, HashSet, VecDeque};
