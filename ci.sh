@@ -43,6 +43,19 @@ rm -rf "$OBS_TMP"
 #      so the verdict is stable across machine speeds). ----
 DAAS_SCALE=0.05 cargo run -q --release -p daas-bench --bin live_smoke
 
+# ---- Scale-sweep smoke: the columnar arena must complete a multi-×
+#      run with bounded memory. A small multiplier keeps the smoke
+#      fast; the RSS ceiling (generous for the 0.25 world, which peaks
+#      well under 200 MiB) catches an accidental return to per-tx
+#      heap-allocated storage or an interner/columns leak. The real
+#      sweep (scales 1/2/5) regenerates BENCH_scale_sweep.json. ----
+SWEEP_TMP="$(mktemp -d)"
+DAAS_SCALES=0.25 DAAS_RSS_CEILING_MB=512 \
+  DAAS_SCALE_SWEEP_OUT="$SWEEP_TMP/BENCH_scale_sweep.json" \
+  cargo run -q --release -p daas-bench --bin scale_sweep
+test -s "$SWEEP_TMP/BENCH_scale_sweep.json"
+rm -rf "$SWEEP_TMP"
+
 # ---- Scenario pack: every shipped scenario must conform to the
 #      scenario schema, and the robustness harness must run the full
 #      matrix at a fast smoke scale (honours DAAS_THREADS /
@@ -68,6 +81,7 @@ if [[ "${CI_FULL_SCALE:-1}" == "1" ]]; then
   cargo test -q --release -p daas-cluster --test live_equivalence -- --ignored --test-threads 1
   cargo test -q --release -p daas-measure --test live_equivalence -- --ignored --test-threads 1
   cargo test -q --release --test live_equivalence -- --ignored --test-threads 1
+  cargo test -q --release --test columnar_equivalence -- --ignored --test-threads 1
 fi
 
 # ---- Throughput tracking: writes BENCH_<group>.json (see BENCH_OUT_DIR)

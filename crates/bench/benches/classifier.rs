@@ -25,10 +25,10 @@ fn bench_classifier(c: &mut Criterion) {
     });
 
     // Positive-only path (worst case: full ratio matching every time).
-    let positives: Vec<_> = txs.iter().filter(|t| classify_tx(t, &cfg).is_some()).collect();
+    let positives: Vec<_> = txs.iter().filter(|t| classify_tx(*t, &cfg).is_some()).collect();
     group.throughput(Throughput::Elements(positives.len() as u64));
     group.bench_function("classify_positives", |b| {
-        b.iter(|| positives.iter().filter(|t| classify_tx(t, &cfg).is_some()).count())
+        b.iter(|| positives.iter().filter(|t| classify_tx(**t, &cfg).is_some()).count())
     });
 
     // Relaxed two-transfer mode (ablation A5 cost).
@@ -37,7 +37,7 @@ fn bench_classifier(c: &mut Criterion) {
     group.bench_function("classify_relaxed", |b| {
         b.iter_batched(
             || (),
-            |_| txs.iter().filter(|t| classify_tx(t, &relaxed).is_some()).count(),
+            |_| txs.iter().filter(|t| classify_tx(*t, &relaxed).is_some()).count(),
             BatchSize::SmallInput,
         )
     });

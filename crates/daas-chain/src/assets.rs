@@ -21,11 +21,11 @@
 use std::hash::Hash;
 use std::sync::Arc;
 
-use eth_types::Address;
+use eth_types::{AddrId, Address};
 use serde::{Deserialize, Deserializer, Serialize, Serializer};
 
 use crate::hash::{FxHashMap, FxHashSet};
-use crate::shard::{shard_index, DEFAULT_SHARDS};
+use crate::shard::{shard_index, shard_index_id, DEFAULT_SHARDS};
 
 /// Deterministic shard placement for an asset-state key. Implementations
 /// pick the component with the most entropy *per entry* (the holder for
@@ -59,6 +59,36 @@ impl AssetShardKey for (Address, u64) {
     #[inline]
     fn shard_slot(&self, mask: usize) -> usize {
         (shard_index(self.0, usize::MAX) ^ self.1 as usize) & mask
+    }
+}
+
+// Interned-id keys (the chain's live asset state since the columnar
+// refactor): same placement components as the address forms, but the
+// "hash" is the id itself — dense first-seen counters spread evenly
+// over power-of-two shards with zero hashing.
+
+/// `(token, holder)` as interned ids. Sharded by holder.
+impl AssetShardKey for (AddrId, AddrId) {
+    #[inline]
+    fn shard_slot(&self, mask: usize) -> usize {
+        shard_index_id(self.1, mask)
+    }
+}
+
+/// `(token, owner, spender)` as interned ids. Sharded by owner.
+impl AssetShardKey for (AddrId, AddrId, AddrId) {
+    #[inline]
+    fn shard_slot(&self, mask: usize) -> usize {
+        shard_index_id(self.1, mask)
+    }
+}
+
+/// `(token, id)` with an interned token. The NFT id is folded in so one
+/// large collection cannot serialise all writers onto one shard.
+impl AssetShardKey for (AddrId, u64) {
+    #[inline]
+    fn shard_slot(&self, mask: usize) -> usize {
+        (self.0.raw() as usize ^ self.1 as usize) & mask
     }
 }
 

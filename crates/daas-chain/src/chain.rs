@@ -1,7 +1,7 @@
 //! The ledger: state, execution engine, and explorer-style query API.
 
-use eth_types::{keccak256, Address, U256};
-use serde::{Deserialize, Serialize};
+use eth_types::{keccak256, AddrId, Address, U256};
+use serde::{Deserialize, Deserializer, Serialize, Serializer, Value};
 
 use crate::account::{AccountKind, ContractKind, ProfitSharingSpec};
 use crate::asset::{Asset, TokenKind, TokenMeta};
@@ -12,6 +12,7 @@ use crate::block::{
 use crate::error::ChainError;
 use crate::hash::DetMap;
 use crate::shard::{ChainReader, ShardedHistories};
+use crate::store::{TxStore, TxView};
 use crate::tx::{Approval, CallInfo, Transaction, Transfer, TxId};
 
 /// Per-account ledger record.
@@ -40,21 +41,27 @@ pub struct ChainStats {
 ///
 /// All mutating methods are transactional: on error, no state changes and
 /// no transaction is recorded.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Storage is columnar since the interned-address refactor: transactions
+/// live in a [`TxStore`] arena and every hot map (history, asset state)
+/// is keyed by interned [`AddrId`]s. The serialized artifact is
+/// **byte-identical** to the pre-columnar format — the manual serde
+/// impls below materialize transactions and resolve every id back to
+/// its address (ids are instance-local and never reach disk).
+#[derive(Debug, Clone, Default)]
 pub struct Chain {
     now: Timestamp,
     blocks: Vec<BlockHeader>,
-    txs: Vec<Transaction>,
+    store: TxStore,
     accounts: DetMap<Address, AccountInfo>,
     tokens: DetMap<Address, TokenMeta>,
     // Tuple-keyed asset state lives in sharded maps (see `assets`):
-    // power-of-two Arc-backed shards, copy-on-write. Their serde impls
-    // emit the same sorted entry lists as the pre-shard flat maps, so
-    // the released artifact is unchanged.
-    erc20_balances: ShardedMap<(Address, Address), U256>,
-    erc20_allowances: ShardedMap<(Address, Address, Address), U256>,
-    nft_owners: ShardedMap<(Address, u64), Address>,
-    nft_operators: ShardedSet<(Address, Address, Address)>,
+    // power-of-two Arc-backed shards, copy-on-write, keyed by interned
+    // ids so every probe hashes 4-byte integers.
+    erc20_balances: ShardedMap<(AddrId, AddrId), U256>,
+    erc20_allowances: ShardedMap<(AddrId, AddrId, AddrId), U256>,
+    nft_owners: ShardedMap<(AddrId, u64), AddrId>,
+    nft_operators: ShardedSet<(AddrId, AddrId, AddrId)>,
     history: ShardedHistories,
 }
 
@@ -122,7 +129,8 @@ impl Chain {
     ) -> Result<(), ChainError> {
         self.expect_token(token, TokenKind::Erc20)?;
         self.expect_account(to)?;
-        let entry = self.erc20_balances.get_mut_or_insert((token, to), U256::ZERO);
+        let key = (self.store.intern(token), self.store.intern(to));
+        let entry = self.erc20_balances.get_mut_or_insert(key, U256::ZERO);
         *entry = entry.saturating_add(amount);
         Ok(())
     }
@@ -131,7 +139,9 @@ impl Chain {
     pub fn mint_nft(&mut self, token: Address, to: Address, id: u64) -> Result<(), ChainError> {
         self.expect_token(token, TokenKind::Erc721)?;
         self.expect_account(to)?;
-        self.nft_owners.insert((token, id), to);
+        let key = (self.store.intern(token), id);
+        let owner = self.store.intern(to);
+        self.nft_owners.insert(key, owner);
         Ok(())
     }
 
@@ -198,23 +208,45 @@ impl Chain {
 
     /// ERC-20 balance.
     pub fn erc20_balance(&self, token: Address, holder: Address) -> U256 {
-        self.erc20_balances.get(&(token, holder)).copied().unwrap_or(U256::ZERO)
+        match (self.store.addr_id(token), self.store.addr_id(holder)) {
+            (Some(t), Some(h)) => {
+                self.erc20_balances.get(&(t, h)).copied().unwrap_or(U256::ZERO)
+            }
+            _ => U256::ZERO,
+        }
     }
 
     /// Current ERC-20 allowance.
     pub fn erc20_allowance(&self, token: Address, owner: Address, spender: Address) -> U256 {
-        self.erc20_allowances.get(&(token, owner, spender)).copied().unwrap_or(U256::ZERO)
+        match (
+            self.store.addr_id(token),
+            self.store.addr_id(owner),
+            self.store.addr_id(spender),
+        ) {
+            (Some(t), Some(o), Some(s)) => {
+                self.erc20_allowances.get(&(t, o, s)).copied().unwrap_or(U256::ZERO)
+            }
+            _ => U256::ZERO,
+        }
     }
 
     /// Owner of an NFT, if it exists.
     pub fn nft_owner(&self, token: Address, id: u64) -> Option<Address> {
-        self.nft_owners.get(&(token, id)).copied()
+        let t = self.store.addr_id(token)?;
+        self.nft_owners.get(&(t, id)).map(|&owner| self.store.resolve(owner))
     }
 
     /// `true` if `operator` is approved for all of `owner`'s NFTs in
     /// `token`.
     pub fn nft_approved_for_all(&self, token: Address, owner: Address, operator: Address) -> bool {
-        self.nft_operators.contains(&(token, owner, operator))
+        match (
+            self.store.addr_id(token),
+            self.store.addr_id(owner),
+            self.store.addr_id(operator),
+        ) {
+            (Some(t), Some(o), Some(p)) => self.nft_operators.contains(&(t, o, p)),
+            _ => false,
+        }
     }
 
     /// Account kind, if the account exists.
@@ -248,14 +280,36 @@ impl Chain {
     /// "historical transactions of the account" the snowball sampler
     /// walks (§5.1).
     pub fn txs_of(&self, address: Address) -> &[TxId] {
-        self.history.txs_of(address)
+        match self.store.addr_id(address) {
+            Some(id) => self.history.txs_of(id),
+            None => &[],
+        }
+    }
+
+    /// Transaction ids touching the interned account, in chain order —
+    /// the zero-hash hot-path form of [`Chain::txs_of`].
+    #[inline]
+    pub fn txs_of_id(&self, id: AddrId) -> &[TxId] {
+        self.history.txs_of(id)
+    }
+
+    /// The interned id of `address`, if the chain has seen it.
+    #[inline]
+    pub fn addr_id(&self, address: Address) -> Option<AddrId> {
+        self.store.addr_id(address)
+    }
+
+    /// Resolves an interned id back to its address.
+    #[inline]
+    pub fn resolve_addr(&self, id: AddrId) -> Address {
+        self.store.resolve(id)
     }
 
     /// A copyable, `Sync` read-only view over the tx arena and the
     /// sharded history index — the cheap handle worker threads take
     /// instead of borrowing the whole chain.
     pub fn reader(&self) -> ChainReader<'_> {
-        ChainReader::new(&self.txs, &self.history)
+        ChainReader::new(&self.store, &self.history)
     }
 
     /// An owned (`Arc`-backed) snapshot of the sharded history index.
@@ -286,14 +340,17 @@ impl Chain {
         self.nft_operators = self.nft_operators.resharded(shards);
     }
 
-    /// Looks up a transaction by id.
-    pub fn tx(&self, id: TxId) -> &Transaction {
-        &self.txs[id as usize]
+    /// Looks up a transaction by id — a cheap `Copy` view into the
+    /// columnar arena.
+    #[inline]
+    pub fn tx(&self, id: TxId) -> TxView<'_> {
+        self.store.view(id)
     }
 
-    /// All transactions, in chain order.
-    pub fn transactions(&self) -> &[Transaction] {
-        &self.txs
+    /// The columnar tx arena: all transactions, in chain order
+    /// (`.len()`, `.iter()`, and `IntoIterator` of [`TxView`]s).
+    pub fn transactions(&self) -> &TxStore {
+        &self.store
     }
 
     /// Sealed block headers.
@@ -311,7 +368,7 @@ impl Chain {
         ChainStats {
             accounts: self.accounts.len(),
             contracts: self.accounts.values().filter(|i| i.kind.is_contract()).count(),
-            transactions: self.txs.len(),
+            transactions: self.store.len(),
             blocks: self.blocks.len(),
         }
     }
@@ -362,10 +419,12 @@ impl Chain {
     ) -> Result<TxId, ChainError> {
         self.expect_token(token, TokenKind::Erc20)?;
         self.expect_account(owner)?;
+        let key =
+            (self.store.intern(token), self.store.intern(owner), self.store.intern(spender));
         if amount.is_zero() {
-            self.erc20_allowances.remove(&(token, owner, spender));
+            self.erc20_allowances.remove(&key);
         } else {
-            self.erc20_allowances.insert((token, owner, spender), amount);
+            self.erc20_allowances.insert(key, amount);
         }
         let approvals = vec![Approval { token, owner, spender, amount }];
         let call = CallInfo::named(selector("approve(address,uint256)"), "approve");
@@ -382,10 +441,12 @@ impl Chain {
     ) -> Result<TxId, ChainError> {
         self.expect_token(token, TokenKind::Erc721)?;
         self.expect_account(owner)?;
+        let key =
+            (self.store.intern(token), self.store.intern(owner), self.store.intern(operator));
         if approved {
-            self.nft_operators.insert((token, owner, operator));
+            self.nft_operators.insert(key);
         } else {
-            self.nft_operators.remove(&(token, owner, operator));
+            self.nft_operators.remove(&key);
         }
         let approvals = vec![Approval {
             token,
@@ -628,7 +689,9 @@ impl Chain {
         if !self.nft_approved_for_all(token, victim, contract) {
             return Err(ChainError::NotNftOwner { token, id, caller: contract });
         }
-        self.nft_owners.insert((token, id), contract);
+        let key = (self.store.intern(token), id);
+        let new_owner = self.store.intern(contract);
+        self.nft_owners.insert(key, new_owner);
         let transfers = vec![Transfer {
             asset: Asset::Erc721 { token, id },
             from: victim,
@@ -660,7 +723,9 @@ impl Chain {
         if owner != victim {
             return Err(ChainError::NotNftOwner { token, id, caller: victim });
         }
-        self.nft_owners.insert((token, id), to);
+        let key = (self.store.intern(token), id);
+        let new_owner = self.store.intern(to);
+        self.nft_owners.insert(key, new_owner);
         let transfers = vec![Transfer {
             asset: Asset::Erc721 { token, id },
             from: victim,
@@ -691,7 +756,9 @@ impl Chain {
             return Err(ChainError::NotNftOwner { token, id, caller: seller });
         }
         self.debit_eth(marketplace, price)?;
-        self.nft_owners.insert((token, id), marketplace);
+        let key = (self.store.intern(token), id);
+        let new_owner = self.store.intern(marketplace);
+        self.nft_owners.insert(key, new_owner);
         self.credit_eth(seller, price);
         let transfers = vec![
             Transfer { asset: Asset::Erc721 { token, id }, from: seller, to: marketplace, amount: U256::ONE },
@@ -797,8 +864,11 @@ impl Chain {
                 need: amount,
             });
         }
-        *self.erc20_balances.get_mut_or_insert((token, from), U256::ZERO) = have - amount;
-        let dst = self.erc20_balances.get_mut_or_insert((token, to), U256::ZERO);
+        let t = self.store.intern(token);
+        let f = self.store.intern(from);
+        let d = self.store.intern(to);
+        *self.erc20_balances.get_mut_or_insert((t, f), U256::ZERO) = have - amount;
+        let dst = self.erc20_balances.get_mut_or_insert((t, d), U256::ZERO);
         *dst = dst.saturating_add(amount);
         Ok(())
     }
@@ -815,7 +885,12 @@ impl Chain {
             return Err(ChainError::InsufficientAllowance { token, owner, spender, have, need: amount });
         }
         if have != U256::MAX {
-            self.erc20_allowances.insert((token, owner, spender), have - amount);
+            let key = (
+                self.store.intern(token),
+                self.store.intern(owner),
+                self.store.intern(spender),
+            );
+            self.erc20_allowances.insert(key, have - amount);
         }
         Ok(())
     }
@@ -833,7 +908,7 @@ impl Chain {
         approvals: Vec<Approval>,
         created: Option<Address>,
     ) -> TxId {
-        let id = self.txs.len() as TxId;
+        let id = self.store.len() as TxId;
         // Deterministic hash over the identifying fields. The preimage is
         // at most 4 + 20 + 20 + 32 + 8 = 84 bytes — a fixed stack buffer
         // instead of a heap allocation per transaction.
@@ -883,24 +958,174 @@ impl Chain {
             }
         };
 
-        let tx = Transaction {
-            id,
-            hash,
-            block,
-            timestamp: self.now,
-            from,
-            to,
-            value,
-            call,
-            transfers,
-            approvals,
-            created,
-        };
-        for address in tx.touched_addresses() {
-            self.history.push(address, id);
+        let recorded = self.store.push_tx(
+            hash, block, self.now, from, to, value, &call, &transfers, &approvals, created,
+        );
+        debug_assert_eq!(recorded, id);
+        let mut touched = Vec::with_capacity(2 + transfers.len() * 2);
+        self.store.touched_ids_into(id, &mut touched);
+        for addr_id in touched {
+            self.history.push(addr_id, id);
         }
-        self.txs.push(tx);
         id
+    }
+}
+
+// ----------------------------------------------------------------------
+// Serialization: the columnar layout flattens back to the exact bytes
+// the pre-columnar (`Vec<Transaction>` + address-keyed maps) derive
+// produced. Field order, entry sorting, and key encodings all match;
+// ids never appear on disk. Deserialization re-interns in tx order and
+// rebuilds the history index from the arena (it is fully derivable).
+// ----------------------------------------------------------------------
+
+impl Serialize for Chain {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::Error as _;
+        fn val<S: Serializer, T: Serialize + ?Sized>(v: &T) -> Result<Value, S::Error> {
+            serde::to_value(v).map_err(S::Error::custom)
+        }
+
+        // Materialized transactions: identical bytes to the old
+        // `Vec<Transaction>` field (one tx at a time — no full vector).
+        let mut txs = Vec::with_capacity(self.store.len());
+        for id in 0..self.store.len() as TxId {
+            txs.push(val::<S, _>(&self.store.to_transaction(id))?);
+        }
+
+        // Asset maps: resolve ids to addresses, then emit the same
+        // sorted entry lists the address-keyed ShardedMap/Set serialize
+        // to.
+        let mut balances: Vec<((Address, Address), &U256)> = self
+            .erc20_balances
+            .iter()
+            .map(|(&(t, h), v)| ((self.store.resolve(t), self.store.resolve(h)), v))
+            .collect();
+        balances.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut allowances: Vec<((Address, Address, Address), &U256)> = self
+            .erc20_allowances
+            .iter()
+            .map(|(&(t, o, s), v)| {
+                (
+                    (self.store.resolve(t), self.store.resolve(o), self.store.resolve(s)),
+                    v,
+                )
+            })
+            .collect();
+        allowances.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut owners: Vec<((Address, u64), Address)> = self
+            .nft_owners
+            .iter()
+            .map(|(&(t, id), &owner)| ((self.store.resolve(t), id), self.store.resolve(owner)))
+            .collect();
+        owners.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut operators: Vec<(Address, Address, Address)> = self
+            .nft_operators
+            .iter()
+            .map(|&(t, o, p)| (self.store.resolve(t), self.store.resolve(o), self.store.resolve(p)))
+            .collect();
+        operators.sort();
+
+        // History: the flat address-keyed map, entries sorted by the
+        // serialized key string (addresses serialize as lowercase hex,
+        // so string order == byte order) — exactly what the HashMap
+        // delegate emitted pre-refactor.
+        let mut history: Vec<(String, Value)> = Vec::with_capacity(self.history.accounts());
+        for (&id, txids) in self.history.iter() {
+            history.push((self.store.resolve(id).to_hex(), val::<S, _>(txids)?));
+        }
+        history.sort_by(|a, b| a.0.cmp(&b.0));
+
+        serializer.serialize_value(Value::Map(vec![
+            ("now".to_owned(), val::<S, _>(&self.now)?),
+            ("blocks".to_owned(), val::<S, _>(&self.blocks)?),
+            ("txs".to_owned(), Value::Seq(txs)),
+            ("accounts".to_owned(), val::<S, _>(&self.accounts)?),
+            ("tokens".to_owned(), val::<S, _>(&self.tokens)?),
+            ("erc20_balances".to_owned(), val::<S, _>(&balances)?),
+            ("erc20_allowances".to_owned(), val::<S, _>(&allowances)?),
+            ("nft_owners".to_owned(), val::<S, _>(&owners)?),
+            ("nft_operators".to_owned(), val::<S, _>(&operators)?),
+            ("history".to_owned(), Value::Map(history)),
+        ]))
+    }
+}
+
+impl<'de> Deserialize<'de> for Chain {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::de::Error as _;
+        let mut map =
+            serde::expect_map(deserializer.into_value()?, "Chain").map_err(D::Error::custom)?;
+        fn field<E: serde::de::Error, T: for<'a> Deserialize<'a>>(
+            map: &mut Vec<(String, Value)>,
+            name: &str,
+        ) -> Result<T, E> {
+            serde::take_field(map, name, "Chain")
+                .and_then(serde::from_value)
+                .map_err(E::custom)
+        }
+
+        let now: Timestamp = field::<D::Error, _>(&mut map, "now")?;
+        let blocks: Vec<BlockHeader> = field::<D::Error, _>(&mut map, "blocks")?;
+        let txs: Vec<Transaction> = field::<D::Error, _>(&mut map, "txs")?;
+        let accounts: DetMap<Address, AccountInfo> = field::<D::Error, _>(&mut map, "accounts")?;
+        let tokens: DetMap<Address, TokenMeta> = field::<D::Error, _>(&mut map, "tokens")?;
+        let balances: Vec<((Address, Address), U256)> =
+            field::<D::Error, _>(&mut map, "erc20_balances")?;
+        let allowances: Vec<((Address, Address, Address), U256)> =
+            field::<D::Error, _>(&mut map, "erc20_allowances")?;
+        let owners: Vec<((Address, u64), Address)> =
+            field::<D::Error, _>(&mut map, "nft_owners")?;
+        let operators: Vec<(Address, Address, Address)> =
+            field::<D::Error, _>(&mut map, "nft_operators")?;
+        // The serialized history is fully derivable from the tx arena;
+        // rebuilding it below guarantees index/arena consistency.
+        let _ = serde::take_field_opt(&mut map, "history");
+
+        let mut store = TxStore::from_transactions(txs);
+        let mut history = ShardedHistories::new();
+        let mut touched = Vec::new();
+        for id in 0..store.len() as TxId {
+            store.touched_ids_into(id, &mut touched);
+            for &addr_id in &touched {
+                history.push(addr_id, id);
+            }
+        }
+
+        let mut erc20_balances = ShardedMap::default();
+        for ((t, h), v) in balances {
+            erc20_balances.insert((store.intern(t), store.intern(h)), v);
+        }
+        let mut erc20_allowances = ShardedMap::default();
+        for ((t, o, s), v) in allowances {
+            erc20_allowances.insert((store.intern(t), store.intern(o), store.intern(s)), v);
+        }
+        let mut nft_owners = ShardedMap::default();
+        for ((t, id), owner) in owners {
+            let key = (store.intern(t), id);
+            let owner = store.intern(owner);
+            nft_owners.insert(key, owner);
+        }
+        let mut nft_operators = ShardedSet::default();
+        for (t, o, p) in operators {
+            nft_operators.insert((store.intern(t), store.intern(o), store.intern(p)));
+        }
+
+        Ok(Chain {
+            now,
+            blocks,
+            store,
+            accounts,
+            tokens,
+            erc20_balances,
+            erc20_allowances,
+            nft_owners,
+            nft_operators,
+            history,
+        })
     }
 }
 
@@ -942,13 +1167,13 @@ mod tests {
         assert_eq!(chain.eth_balance(operator), ether(12)); // 10 + 2
         assert_eq!(chain.eth_balance(affiliate), ether(9)); // 1 + 8
         let tx = chain.tx(id);
-        assert_eq!(tx.transfers.len(), 3);
+        assert_eq!(tx.transfer_count(), 3);
         // Fund flow out of the contract: exactly two transfers.
         let outgoing: Vec<_> = tx.transfers_from(contract).collect();
         assert_eq!(outgoing.len(), 2);
         assert_eq!(outgoing[0].amount, ether(2));
         assert_eq!(outgoing[1].amount, ether(8));
-        assert_eq!(tx.call.function.as_deref(), Some("Claim"));
+        assert_eq!(tx.function(), Some("Claim"));
     }
 
     #[test]
@@ -979,8 +1204,8 @@ mod tests {
             .unwrap();
         let id = chain.claim_eth(victim, contract, ether(2), affiliate).unwrap();
         let tx = chain.tx(id);
-        assert_eq!(tx.call.selector, None);
-        assert_eq!(tx.call.function, None);
+        assert_eq!(tx.selector(), None);
+        assert_eq!(tx.function(), None);
     }
 
     #[test]
@@ -1002,9 +1227,9 @@ mod tests {
         assert_eq!(chain.erc20_balance(token, affiliate), U256::from_u64(400_000));
         assert_eq!(chain.erc20_balance(token, victim), U256::from_u64(500_000));
         let tx = chain.tx(id);
-        assert_eq!(tx.transfers.len(), 2);
-        assert!(tx.transfers.iter().all(|t| t.from == victim));
-        assert_eq!(tx.call.function.as_deref(), Some("multicall"));
+        assert_eq!(tx.transfer_count(), 2);
+        assert!(tx.transfers().all(|t| t.from == victim));
+        assert_eq!(tx.function(), Some("multicall"));
     }
 
     #[test]
@@ -1057,9 +1282,9 @@ mod tests {
         // exposure does not apply to permit victims.
         assert_eq!(chain.erc20_allowance(token, victim, contract), U256::ZERO);
         let tx = chain.tx(id);
-        assert_eq!(tx.transfers.len(), 2);
-        assert_eq!(tx.approvals.len(), 1, "the permit shows in the trace");
-        assert_eq!(tx.approvals[0].amount, U256::from_u64(1_000_000));
+        assert_eq!(tx.transfer_count(), 2);
+        assert_eq!(tx.approval_count(), 1, "the permit shows in the trace");
+        assert_eq!(tx.approval(0).amount, U256::from_u64(1_000_000));
     }
 
     #[test]
@@ -1095,8 +1320,8 @@ mod tests {
 
         let id = chain.distribute_eth(operator, contract, ether(30), affiliate).unwrap();
         let tx = chain.tx(id);
-        assert_eq!(tx.transfers.len(), 2);
-        assert!(tx.transfers.iter().all(|t| t.from == contract));
+        assert_eq!(tx.transfer_count(), 2);
+        assert!(tx.transfers().all(|t| t.from == contract));
         assert_eq!(chain.eth_balance(operator), ether(16)); // 10 + 6
         assert_eq!(chain.eth_balance(affiliate), ether(25)); // 1 + 24
     }
@@ -1114,9 +1339,9 @@ mod tests {
             .unwrap();
         assert_eq!(chain.nft_owner(nft, 9), Some(contract));
         let tx = chain.tx(id);
-        assert_eq!(tx.transfers.len(), 1);
-        assert!(tx.approvals.is_empty());
-        assert_eq!(tx.value, U256::ZERO);
+        assert_eq!(tx.transfer_count(), 1);
+        assert_eq!(tx.approval_count(), 0);
+        assert_eq!(tx.value(), U256::ZERO);
         // Wrong owner now (the contract holds it) — fails.
         let err = chain
             .zero_value_order(operator, market, nft, 9, victim, contract)
@@ -1245,7 +1470,7 @@ mod tests {
         let id = chain
             .multi_transfer_eth(payer, &[(a, ether(1)), (b, ether(2)), (c, ether(3))])
             .unwrap();
-        assert_eq!(chain.tx(id).transfers.len(), 3);
+        assert_eq!(chain.tx(id).transfer_count(), 3);
         assert_eq!(chain.eth_balance(payer), ether(94));
         assert_eq!(chain.eth_balance(c), ether(3));
     }
@@ -1306,7 +1531,7 @@ mod tests {
         let (mut chain, _op, affiliate, victim, contract) = setup();
         let a = chain.claim_eth(victim, contract, ether(1), affiliate).unwrap();
         let b = chain.claim_eth(victim, contract, ether(1), affiliate).unwrap();
-        assert_ne!(chain.tx(a).hash, chain.tx(b).hash);
+        assert_ne!(chain.tx(a).hash(), chain.tx(b).hash());
     }
 
     #[test]

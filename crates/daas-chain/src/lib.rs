@@ -36,6 +36,7 @@ mod hash;
 mod labels;
 mod memo;
 mod shard;
+mod store;
 mod tx;
 
 pub use account::{AccountKind, ContractKind, EntryStyle, ProfitSharingSpec};
@@ -50,5 +51,6 @@ pub use error::ChainError;
 pub use hash::{DetMap, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use labels::{Label, LabelCategory, LabelSource, LabelStore};
 pub use memo::{MemoStats, ShardKey, ShardedMemo};
-pub use shard::{shard_index, ChainReader, ShardedHistories, DEFAULT_SHARDS};
+pub use shard::{shard_index, shard_index_id, ChainReader, ShardedHistories, DEFAULT_SHARDS};
+pub use store::{AssetRef, TransferColumns, TxStore, TxStoreIter, TxView};
 pub use tx::{Approval, CallInfo, Transaction, Transfer, TxId};

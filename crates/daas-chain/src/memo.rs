@@ -51,6 +51,13 @@ impl ShardKey for Address {
     }
 }
 
+impl ShardKey for eth_types::AddrId {
+    #[inline]
+    fn shard(&self, mask: usize) -> usize {
+        crate::shard::shard_index_id(*self, mask)
+    }
+}
+
 /// Aggregated memo counters — see [`ShardedMemo::stats`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MemoStats {

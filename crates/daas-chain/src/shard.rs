@@ -1,30 +1,31 @@
 //! Sharded account-history index and the cheap read-only chain view.
 //!
 //! The snowball sampler, the family clusterer, and the measurement
-//! analytics are all read-mostly walks over two structures: the tx arena
-//! (`Vec<Transaction>`, indexed by [`TxId`]) and the per-account history
-//! index. A single flat `HashMap<Address, Vec<TxId>>` serves every worker
-//! from one allocation, so multi-socket hosts bottleneck on shared cache
-//! lines. [`ShardedHistories`] splits the index into N power-of-two
-//! shards keyed by a deterministic address hash; each shard lives behind
-//! its own `Arc`, so a clone of the whole index is N pointer bumps and
-//! workers can hold an owned, `Sync` view without borrowing the chain.
+//! analytics are all read-mostly walks over two structures: the
+//! columnar tx arena ([`TxStore`], indexed by [`TxId`]) and the
+//! per-account history index. A single flat map serves every worker
+//! from one allocation, so multi-socket hosts bottleneck on shared
+//! cache lines. [`ShardedHistories`] splits the index into N
+//! power-of-two shards; each shard lives behind its own `Arc`, so a
+//! clone of the whole index is N pointer bumps and workers can hold an
+//! owned, `Sync` view without borrowing the chain.
 //!
-//! Serialization is **byte-identical** to the old flat map: the serde
-//! shim emits `HashMap` entries sorted by serialized key, and addresses
-//! serialize as lowercase `0x…` hex (string order == byte order), so
-//! flattening the shards back into one map at serialize time reproduces
-//! the released chain artifact exactly. The shard count is a memory
-//! layout, not data — it is never serialized.
+//! Since the columnar refactor the index is keyed by interned
+//! [`AddrId`]s: probes hash 4 bytes instead of 20 and shard placement
+//! is the id's low bits — no address hashing anywhere on the
+//! `record_tx` hot path. Ids never reach the serialized artifact: the
+//! chain's serializer resolves the index back to the address-keyed
+//! map the pre-columnar format used, byte-identically (and rebuilds
+//! the index from the tx arena on deserialize — the history is fully
+//! derivable). The shard count is a memory layout, not data.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use eth_types::Address;
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use eth_types::{AddrId, Address};
 
 use crate::hash::FxHashMap;
-use crate::tx::{Transaction, TxId};
+use crate::store::{TxStore, TxView};
+use crate::tx::TxId;
 
 /// Default shard count for the account-history index *and* the sharded
 /// memo caches built on [`shard_index`] (e.g. the detector's
@@ -48,18 +49,25 @@ pub fn shard_index(address: Address, mask: usize) -> usize {
     (u64::from_le_bytes(lo) as usize) & mask
 }
 
+/// Deterministic shard index for an interned id: its low bits. Ids are
+/// dense first-seen counters, so consecutive accounts spread evenly.
+#[inline]
+pub fn shard_index_id(id: AddrId, mask: usize) -> usize {
+    id.raw() as usize & mask
+}
+
 /// The account-history index, split into power-of-two `Arc`-backed
-/// shards. Cloning is cheap (one `Arc` bump per shard); mutation goes
-/// through copy-on-write (`Arc::make_mut`), so a clone taken by a worker
-/// pool is a stable snapshot.
+/// shards and keyed by interned [`AddrId`]. Cloning is cheap (one `Arc`
+/// bump per shard); mutation goes through copy-on-write
+/// (`Arc::make_mut`), so a clone taken by a worker pool is a stable
+/// snapshot.
 #[derive(Debug, Clone)]
 pub struct ShardedHistories {
     mask: usize,
     // Shard interiors use the deterministic Fx hash (`crate::hash`):
-    // `push` runs for every address a transaction touches, and the keys
-    // are keccak-derived, so SipHash buys nothing. Serialization still
-    // flattens into a default-hasher map, so the artifact is unchanged.
-    shards: Vec<Arc<FxHashMap<Address, Vec<TxId>>>>,
+    // `push` runs for every address a transaction touches; a 4-byte id
+    // hashes in one multiply.
+    shards: Vec<Arc<FxHashMap<AddrId, Vec<TxId>>>>,
 }
 
 impl Default for ShardedHistories {
@@ -93,19 +101,20 @@ impl ShardedHistories {
         self.shards.len()
     }
 
-    /// Transaction ids touching `address`, in chain order.
-    pub fn txs_of(&self, address: Address) -> &[TxId] {
-        self.shards[shard_index(address, self.mask)]
-            .get(&address)
+    /// Transaction ids touching the interned account, in chain order.
+    #[inline]
+    pub fn txs_of(&self, id: AddrId) -> &[TxId] {
+        self.shards[shard_index_id(id, self.mask)]
+            .get(&id)
             .map(Vec::as_slice)
             .unwrap_or(&[])
     }
 
-    /// Appends `id` to `address`'s history (copy-on-write if the shard is
-    /// shared with an outstanding clone).
-    pub fn push(&mut self, address: Address, id: TxId) {
-        let shard = &mut self.shards[shard_index(address, self.mask)];
-        Arc::make_mut(shard).entry(address).or_default().push(id);
+    /// Appends `tx` to the account's history (copy-on-write if the
+    /// shard is shared with an outstanding clone).
+    pub fn push(&mut self, id: AddrId, tx: TxId) {
+        let shard = &mut self.shards[shard_index_id(id, self.mask)];
+        Arc::make_mut(shard).entry(id).or_default().push(tx);
     }
 
     /// Total number of accounts with at least one history entry.
@@ -119,10 +128,10 @@ impl ShardedHistories {
         self.shards.iter().map(|s| s.len()).collect()
     }
 
-    /// Iterates every `(address, history)` entry across all shards, in
-    /// shard order then shard-internal (unspecified) order. Callers that
-    /// need determinism must sort.
-    pub fn iter(&self) -> impl Iterator<Item = (&Address, &Vec<TxId>)> {
+    /// Iterates every `(id, history)` entry across all shards, in shard
+    /// order then shard-internal (unspecified) order. Callers that need
+    /// determinism must sort.
+    pub fn iter(&self) -> impl Iterator<Item = (&AddrId, &Vec<TxId>)> {
         self.shards.iter().flat_map(|s| s.iter())
     }
 
@@ -130,17 +139,16 @@ impl ShardedHistories {
     /// unchanged — only the memory layout moves.
     pub fn resharded(&self, shards: usize) -> Self {
         let mut out = Self::with_shards(shards);
-        for (&addr, ids) in self.iter() {
-            let shard = &mut out.shards[shard_index(addr, out.mask)];
-            Arc::make_mut(shard).insert(addr, ids.clone());
+        for (&id, ids) in self.iter() {
+            let shard = &mut out.shards[shard_index_id(id, out.mask)];
+            Arc::make_mut(shard).insert(id, ids.clone());
         }
         out
     }
 
-    /// Flattens the shards into one map — the serialization (and
-    /// equality) representation.
-    fn flat(&self) -> HashMap<&Address, &Vec<TxId>> {
-        self.iter().collect()
+    /// Flattens the shards into one map — the equality representation.
+    fn flat(&self) -> FxHashMap<AddrId, &Vec<TxId>> {
+        self.iter().map(|(&id, v)| (id, v)).collect()
     }
 }
 
@@ -151,55 +159,46 @@ impl PartialEq for ShardedHistories {
     }
 }
 
-impl Serialize for ShardedHistories {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        // Delegate to the flat HashMap impl: the shim sorts entries by
-        // serialized key, so the artifact is identical to the pre-shard
-        // flat index.
-        self.flat().serialize(serializer)
-    }
-}
-
-impl<'de> Deserialize<'de> for ShardedHistories {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let flat = HashMap::<Address, Vec<TxId>>::deserialize(deserializer)?;
-        let mut out = Self::new();
-        for (addr, ids) in flat {
-            let shard = &mut out.shards[shard_index(addr, out.mask)];
-            Arc::make_mut(shard).insert(addr, ids);
-        }
-        Ok(out)
-    }
-}
-
 /// A copyable, `Sync` read-only view over the chain's two hot read
-/// paths: the tx arena and the sharded history index. Workers take a
-/// `ChainReader` by value instead of borrowing the whole [`Chain`],
-/// so the pool never contends on (or extends) the chain borrow.
+/// paths: the columnar tx arena and the sharded history index. Workers
+/// take a `ChainReader` by value instead of borrowing the whole
+/// [`Chain`](crate::Chain), so the pool never contends on (or extends)
+/// the chain borrow.
 #[derive(Debug, Clone, Copy)]
 pub struct ChainReader<'a> {
-    txs: &'a [Transaction],
+    store: &'a TxStore,
     histories: &'a ShardedHistories,
 }
 
 impl<'a> ChainReader<'a> {
-    pub(crate) fn new(txs: &'a [Transaction], histories: &'a ShardedHistories) -> Self {
-        ChainReader { txs, histories }
+    pub(crate) fn new(store: &'a TxStore, histories: &'a ShardedHistories) -> Self {
+        ChainReader { store, histories }
     }
 
     /// Looks up a transaction by id.
-    pub fn tx(&self, id: TxId) -> &'a Transaction {
-        &self.txs[id as usize]
+    #[inline]
+    pub fn tx(&self, id: TxId) -> TxView<'a> {
+        self.store.view(id)
     }
 
-    /// All transactions, in chain order.
-    pub fn transactions(&self) -> &'a [Transaction] {
-        self.txs
+    /// The columnar tx arena (all transactions, in chain order).
+    #[inline]
+    pub fn transactions(&self) -> &'a TxStore {
+        self.store
     }
 
     /// Transaction ids touching `address`, in chain order.
     pub fn txs_of(&self, address: Address) -> &'a [TxId] {
-        self.histories.txs_of(address)
+        match self.store.addr_id(address) {
+            Some(id) => self.histories.txs_of(id),
+            None => &[],
+        }
+    }
+
+    /// Transaction ids touching the interned account, in chain order.
+    #[inline]
+    pub fn txs_of_id(&self, id: AddrId) -> &'a [TxId] {
+        self.histories.txs_of(id)
     }
 
     /// The underlying sharded history index.
@@ -212,45 +211,49 @@ impl<'a> ChainReader<'a> {
 mod tests {
     use super::*;
 
-    fn addr(n: u8) -> Address {
-        Address([n; 20])
+    fn id(n: u32) -> AddrId {
+        let mut interner = eth_types::AddrInterner::new();
+        for i in 0..=n {
+            interner.intern(Address([i as u8; 20]));
+        }
+        interner.lookup(Address([n as u8; 20])).unwrap()
     }
 
     #[test]
     fn push_and_lookup() {
         let mut h = ShardedHistories::new();
-        h.push(addr(1), 10);
-        h.push(addr(1), 11);
-        h.push(addr(2), 12);
-        assert_eq!(h.txs_of(addr(1)), &[10, 11]);
-        assert_eq!(h.txs_of(addr(2)), &[12]);
-        assert_eq!(h.txs_of(addr(3)), &[] as &[TxId]);
+        h.push(id(1), 10);
+        h.push(id(1), 11);
+        h.push(id(2), 12);
+        assert_eq!(h.txs_of(id(1)), &[10, 11]);
+        assert_eq!(h.txs_of(id(2)), &[12]);
+        assert_eq!(h.txs_of(id(3)), &[] as &[TxId]);
         assert_eq!(h.accounts(), 2);
     }
 
     #[test]
     fn clone_is_snapshot() {
         let mut h = ShardedHistories::new();
-        h.push(addr(1), 10);
+        h.push(id(1), 10);
         let snap = h.clone();
-        h.push(addr(1), 11);
-        assert_eq!(snap.txs_of(addr(1)), &[10]);
-        assert_eq!(h.txs_of(addr(1)), &[10, 11]);
+        h.push(id(1), 11);
+        assert_eq!(snap.txs_of(id(1)), &[10]);
+        assert_eq!(h.txs_of(id(1)), &[10, 11]);
     }
 
     #[test]
     fn reshard_preserves_data_and_eq() {
         let mut h = ShardedHistories::new();
-        for n in 0..64u8 {
-            h.push(addr(n), n as TxId);
-            h.push(addr(n), 100 + n as TxId);
+        for n in 0..64u32 {
+            h.push(id(n), n);
+            h.push(id(n), 100 + n);
         }
         for shards in [1, 4, 16, 64] {
             let r = h.resharded(shards);
             assert_eq!(r.shard_count(), shards);
             assert_eq!(r, h);
-            for n in 0..64u8 {
-                assert_eq!(r.txs_of(addr(n)), h.txs_of(addr(n)));
+            for n in 0..64u32 {
+                assert_eq!(r.txs_of(id(n)), h.txs_of(id(n)));
             }
         }
     }
@@ -265,8 +268,12 @@ mod tests {
     #[test]
     fn shard_index_in_range() {
         for n in 0..255u8 {
-            assert!(shard_index(addr(n), DEFAULT_SHARDS - 1) < DEFAULT_SHARDS);
-            assert_eq!(shard_index(addr(n), 0), 0);
+            let addr = Address([n; 20]);
+            assert!(shard_index(addr, DEFAULT_SHARDS - 1) < DEFAULT_SHARDS);
+            assert_eq!(shard_index(addr, 0), 0);
+        }
+        for n in 0..255u32 {
+            assert!(shard_index_id(id(n), DEFAULT_SHARDS - 1) < DEFAULT_SHARDS);
         }
     }
 }

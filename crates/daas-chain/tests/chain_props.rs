@@ -160,10 +160,10 @@ proptest! {
         for tx in s.chain.transactions() {
             // The sender's history must contain the tx, and so must every
             // transfer endpoint's.
-            prop_assert!(s.chain.txs_of(tx.from).contains(&tx.id));
-            for t in &tx.transfers {
-                prop_assert!(s.chain.txs_of(t.from).contains(&tx.id));
-                prop_assert!(s.chain.txs_of(t.to).contains(&tx.id));
+            prop_assert!(s.chain.txs_of(tx.from()).contains(&tx.id()));
+            for t in tx.transfers() {
+                prop_assert!(s.chain.txs_of(t.from).contains(&tx.id()));
+                prop_assert!(s.chain.txs_of(t.to).contains(&tx.id()));
             }
         }
         // Histories are strictly ordered and deduplicated.
@@ -185,7 +185,7 @@ proptest! {
         prop_assert!(blocks.windows(2).all(|w| w[0].number < w[1].number));
         for b in blocks {
             for i in b.first_tx..b.first_tx + b.tx_count {
-                prop_assert_eq!(s.chain.tx(i).block, b.number);
+                prop_assert_eq!(s.chain.tx(i).block(), b.number);
             }
         }
     }

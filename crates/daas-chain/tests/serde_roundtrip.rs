@@ -40,7 +40,10 @@ fn json_roundtrip_preserves_everything() {
 
     assert_eq!(back.stats(), chain.stats());
     assert_eq!(back.now(), chain.now());
-    assert_eq!(back.transactions(), chain.transactions());
+    assert_eq!(back.transactions().len(), chain.transactions().len());
+    for (a, b) in back.transactions().iter().zip(chain.transactions().iter()) {
+        assert_eq!(a.to_transaction(), b.to_transaction());
+    }
     assert_eq!(back.blocks(), chain.blocks());
     for address in chain.addresses() {
         assert_eq!(back.eth_balance(address), chain.eth_balance(address));

@@ -286,10 +286,12 @@ fn to_json<T: serde::Serialize>(value: &T) -> Result<String, String> {
     serde_json::to_string(value).map_err(|e| e.to_string())
 }
 
-/// Publishes the per-stage wall clocks (`pipeline.stage_ms{stage=…}`)
-/// and the chain's history-shard occupancy (`shard.histories.len{shard}`)
-/// into the obs registry. The `--timings` line and the `--metrics-out`
-/// summary read these gauges instead of keeping their own books.
+/// Publishes the per-stage wall clocks (`pipeline.stage_ms{stage=…}`),
+/// the chain's history-shard occupancy (`shard.histories.len{shard}`),
+/// and the columnar arena's heap footprint
+/// (`chain.arena.bytes{column=…}`) into the obs registry. The
+/// `--timings` line and the `--metrics-out` summary read these gauges
+/// instead of keeping their own books.
 fn record_stage_obs(chain: &Chain, stages: &[(&str, Duration)]) {
     if !daas_obs::enabled() {
         return;
@@ -299,6 +301,9 @@ fn record_stage_obs(chain: &Chain, stages: &[(&str, Duration)]) {
     }
     for (i, len) in chain.reader().histories().shard_sizes().into_iter().enumerate() {
         daas_obs::gauge_l("shard.histories.len", "shard", &i.to_string(), len as f64);
+    }
+    for (column, bytes) in chain.transactions().column_bytes() {
+        daas_obs::gauge_l("chain.arena.bytes", "column", column, bytes as f64);
     }
 }
 

@@ -225,7 +225,7 @@ pub fn render_fig4(p: &Pipeline, m: &Measured<'_>) -> String {
         .ctx
         .incidents()
         .iter()
-        .filter(|i| matches!(p.world.chain.tx(i.tx).transfers.first().map(|t| t.asset), Some(daas_chain::Asset::Eth)))
+        .filter(|i| matches!(p.world.chain.tx(i.tx).transfers().next().map(|t| t.asset), Some(daas_chain::Asset::Eth)))
         .max_by(|a, b| a.usd.partial_cmp(&b.usd).expect("finite"))
     else {
         return "no incidents".into();
@@ -234,10 +234,10 @@ pub fn render_fig4(p: &Pipeline, m: &Measured<'_>) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "Figure 4 — Example Profit-sharing Transaction\n  tx {} at {}\n",
-        tx.hash,
-        format_date(tx.timestamp)
+        tx.hash(),
+        format_date(tx.timestamp())
     ));
-    for t in &tx.transfers {
+    for t in tx.transfers() {
         out.push_str(&format!(
             "  transfer {:>12} wei-units  {} -> {}\n",
             t.amount.to_string(),

@@ -53,13 +53,12 @@ pub fn contract_profile_with(
         let tx = chain.tx(txid);
         let Some(obs) = features.observation(txid) else { continue };
         match obs.asset {
-            Asset::Eth if !tx.value.is_zero() => {
-                *eth_names.entry(tx.call.function.clone()).or_default() += 1;
+            Asset::Eth if !tx.value().is_zero() => {
+                *eth_names.entry(tx.function().map(str::to_owned)).or_default() += 1;
             }
-            Asset::Erc20(_)
-                if tx.call.function.as_deref() == Some("multicall") => {
-                    saw_multicall = true;
-                }
+            Asset::Erc20(_) if tx.function() == Some("multicall") => {
+                saw_multicall = true;
+            }
             _ => {}
         }
     }

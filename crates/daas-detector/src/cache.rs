@@ -15,6 +15,7 @@
 //! cache per configuration.
 
 use std::fmt;
+use std::sync::Arc;
 
 use daas_chain::{Chain, MemoStats, ShardedMemo, TxId};
 use eth_types::Address;
@@ -22,8 +23,14 @@ use eth_types::Address;
 use crate::classify::{classify_tx, ClassifierConfig, PsObservation};
 
 /// Concurrent memo table for [`classify_tx`] verdicts.
+///
+/// Verdicts are stored as `Arc<PsObservation>`: the detector and the
+/// clusterer fan each positive observation out to several consumers
+/// (event log, window stats, family ingest), so a cache hit hands out a
+/// reference-count bump instead of cloning the ~200-byte observation
+/// per consumer.
 pub struct ClassificationCache {
-    memo: ShardedMemo<TxId, Option<PsObservation>>,
+    memo: ShardedMemo<TxId, Option<Arc<PsObservation>>>,
 }
 
 impl Default for ClassificationCache {
@@ -62,8 +69,8 @@ impl ClassificationCache {
         chain: &Chain,
         txid: TxId,
         cfg: &ClassifierConfig,
-    ) -> Option<PsObservation> {
-        self.memo.get_or_compute(txid, || classify_tx(chain.tx(txid), cfg))
+    ) -> Option<Arc<PsObservation>> {
+        self.memo.get_or_compute(txid, || classify_tx(chain.tx(txid), cfg).map(Arc::new))
     }
 
     /// Whether a verdict for `txid` is already cached.

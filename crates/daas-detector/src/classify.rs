@@ -1,7 +1,7 @@
 //! The profit-sharing transaction classifier (§4.3 / §5.1 step 2).
 
-use daas_chain::{Asset, Timestamp, Transaction, TxId};
-use eth_types::{Address, U256};
+use daas_chain::{Asset, AssetRef, Timestamp, TxId, TxView};
+use eth_types::{AddrId, Address, U256};
 use serde::{Deserialize, Serialize};
 
 /// The nine operator ratios observed in the wild (§4.3), in basis points.
@@ -67,16 +67,20 @@ pub struct PsObservation {
 /// * both transfers originate from the same account,
 /// * the amounts adhere to one of the known proportions, operator share
 ///   strictly the smaller one.
-pub fn classify_tx(tx: &Transaction, cfg: &ClassifierConfig) -> Option<PsObservation> {
-    let contract = tx.to?;
+pub fn classify_tx(tx: TxView<'_>, cfg: &ClassifierConfig) -> Option<PsObservation> {
+    let contract = tx.to_id().get()?;
+    let cols = tx.transfer_columns();
 
     // Zero-allocation fast path: a split needs at least two fungible,
-    // non-zero transfers; most transactions carry fewer.
-    let eligible = tx
-        .transfers
-        .iter()
-        .filter(|t| t.asset.is_fungible() && !t.amount.is_zero())
-        .count();
+    // non-zero transfers; most transactions carry fewer. This is a
+    // linear scan over the dense transfer columns — no pointer chasing,
+    // no address materialization.
+    let mut eligible = 0usize;
+    for i in 0..cols.asset.len() {
+        if cols.asset[i].is_fungible() && !cols.amount[i].is_zero() {
+            eligible += 1;
+        }
+    }
     if eligible < 2 {
         return None;
     }
@@ -84,13 +88,14 @@ pub fn classify_tx(tx: &Transaction, cfg: &ClassifierConfig) -> Option<PsObserva
     // Group outgoing transfers by (source, fungible asset), in
     // first-appearance order. Transfer lists are short, so a linear
     // scan beats hashing — and the order is deterministic, which the
-    // "first qualifying group wins" rule below relies on.
-    let mut groups: Vec<((Address, Asset), Vec<usize>)> = Vec::new();
-    for (i, t) in tx.transfers.iter().enumerate() {
-        if !t.asset.is_fungible() || t.amount.is_zero() {
+    // "first qualifying group wins" rule below relies on. Keys are
+    // interned (4-byte ids), so each probe is an integer compare.
+    let mut groups: Vec<((AddrId, AssetRef), Vec<usize>)> = Vec::new();
+    for i in 0..cols.asset.len() {
+        if !cols.asset[i].is_fungible() || cols.amount[i].is_zero() {
             continue;
         }
-        let key = (t.from, t.asset);
+        let key = (cols.from[i], cols.asset[i]);
         match groups.iter_mut().find(|(k, _)| *k == key) {
             Some((_, idxs)) => idxs.push(i),
             None => groups.push((key, vec![i])),
@@ -98,50 +103,51 @@ pub fn classify_tx(tx: &Transaction, cfg: &ClassifierConfig) -> Option<PsObserva
     }
 
     let mut best: Option<PsObservation> = None;
+    let mut best_from_contract = false;
     for ((source, asset), idxs) in groups {
         // The outer victim→contract deposit is part of the trace but not
         // of the *outgoing* split; a source with one transfer can never
         // qualify. In strict mode the source must have exactly two.
-        let pair: (usize, usize) = match idxs.len() {
+        let (a, b): (usize, usize) = match idxs.len() {
             2 => (idxs[0], idxs[1]),
             n if n > 2 && !cfg.strict_two_transfers => {
                 // Relaxed: take the two largest transfers.
                 let mut sorted = idxs.clone();
-                sorted.sort_by(|&a, &b| tx.transfers[b].amount.cmp(&tx.transfers[a].amount));
+                sorted.sort_by(|&a, &b| cols.amount[b].cmp(&cols.amount[a]));
                 (sorted[0], sorted[1])
             }
             _ => continue,
         };
-        let (a, b) = (&tx.transfers[pair.0], &tx.transfers[pair.1]);
         // Self-payments are not profit shares.
-        if a.to == b.to || a.to == source || b.to == source {
+        if cols.to[a] == cols.to[b] || cols.to[a] == source || cols.to[b] == source {
             continue;
         }
-        let (small, large) = if a.amount <= b.amount { (a, b) } else { (b, a) };
-        let total = small.amount.checked_add(large.amount)?;
-        let Some(ratio) = match_ratio(small.amount, total, &cfg.ratios_bps, cfg.tolerance) else {
+        let (small, large) =
+            if cols.amount[a] <= cols.amount[b] { (a, b) } else { (b, a) };
+        let total = cols.amount[small].checked_add(cols.amount[large])?;
+        let Some(ratio) = match_ratio(cols.amount[small], total, &cfg.ratios_bps, cfg.tolerance)
+        else {
             continue;
-        };
-        let obs = PsObservation {
-            tx: tx.id,
-            timestamp: tx.timestamp,
-            source,
-            contract,
-            operator: small.to,
-            affiliate: large.to,
-            operator_amount: small.amount,
-            affiliate_amount: large.amount,
-            ratio_bps: ratio,
-            asset,
         };
         // Prefer the group whose source is the invoked contract (the
         // canonical ETH-payout shape) if several qualify.
-        let better = match &best {
-            None => true,
-            Some(prev) => obs.source == contract && prev.source != contract,
-        };
-        if better {
-            best = Some(obs);
+        let is_contract_source = source == contract;
+        if best.is_none() || (is_contract_source && !best_from_contract) {
+            // Addresses materialize only here, on the rare positive.
+            let store = tx.store();
+            best = Some(PsObservation {
+                tx: tx.id(),
+                timestamp: tx.timestamp(),
+                source: store.resolve(source),
+                contract: store.resolve(contract),
+                operator: store.resolve(cols.to[small]),
+                affiliate: store.resolve(cols.to[large]),
+                operator_amount: cols.amount[small],
+                affiliate_amount: cols.amount[large],
+                ratio_bps: ratio,
+                asset: store.resolve_asset(asset),
+            });
+            best_from_contract = is_contract_source;
         }
     }
     best
@@ -171,7 +177,7 @@ fn match_ratio(small: U256, total: U256, ratios_bps: &[u32], tolerance: f64) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use daas_chain::{Approval, CallInfo, Transfer};
+    use daas_chain::{Approval, CallInfo, Transaction, Transfer, TxStore};
     use eth_types::H256;
 
     fn addr(n: u8) -> Address {
@@ -184,7 +190,7 @@ mod tests {
 
     fn tx_with(transfers: Vec<Transfer>, to: Address) -> Transaction {
         Transaction {
-            id: 1,
+            id: 0,
             hash: H256::ZERO,
             block: 0,
             timestamp: 100,
@@ -196,6 +202,13 @@ mod tests {
             approvals: Vec::<Approval>::new(),
             created: None,
         }
+    }
+
+    /// Loads one materialized transaction into an arena and classifies
+    /// its columnar view.
+    fn classify(tx: Transaction, cfg: &ClassifierConfig) -> Option<PsObservation> {
+        let store = TxStore::from_transactions(vec![tx]);
+        classify_tx(store.view(0), cfg)
     }
 
     fn t(from: Address, to: Address, amount: U256) -> Transfer {
@@ -214,7 +227,7 @@ mod tests {
             vec![t(victim, contract, value), t(contract, op, op_cut), t(contract, aff, aff_cut)],
             contract,
         );
-        let obs = classify_tx(&tx, &ClassifierConfig::default()).expect("classified");
+        let obs = classify(tx, &ClassifierConfig::default()).expect("classified");
         assert_eq!(obs.source, contract);
         assert_eq!(obs.contract, contract);
         assert_eq!(obs.operator, op);
@@ -235,7 +248,7 @@ mod tests {
             amount: U256::from_u64(amount),
         };
         let tx = tx_with(vec![mk(op, 150_000), mk(aff, 850_000)], contract);
-        let obs = classify_tx(&tx, &ClassifierConfig::default()).expect("classified");
+        let obs = classify(tx, &ClassifierConfig::default()).expect("classified");
         assert_eq!(obs.source, victim);
         assert_eq!(obs.ratio_bps, 1500);
         assert_eq!(obs.operator, op);
@@ -253,7 +266,7 @@ mod tests {
                 vec![t(contract, addr(3), small), t(contract, addr(4), large)],
                 contract,
             );
-            let obs = classify_tx(&tx, &ClassifierConfig::default())
+            let obs = classify(tx, &ClassifierConfig::default())
                 .unwrap_or_else(|| panic!("ratio {bps} unclassified"));
             assert_eq!(obs.ratio_bps, bps);
         }
@@ -266,7 +279,7 @@ mod tests {
             vec![t(contract, addr(3), eth(5)), t(contract, addr(4), eth(5))],
             contract,
         );
-        assert_eq!(classify_tx(&tx, &ClassifierConfig::default()), None);
+        assert_eq!(classify(tx, &ClassifierConfig::default()), None);
     }
 
     #[test]
@@ -277,9 +290,9 @@ mod tests {
             vec![t(contract, addr(3), eth(22)), t(contract, addr(4), eth(78))],
             contract,
         );
-        assert_eq!(classify_tx(&tx, &ClassifierConfig::default()), None);
+        assert_eq!(classify(tx.clone(), &ClassifierConfig::default()), None);
         let loose = ClassifierConfig { tolerance: 0.15, ..Default::default() };
-        assert!(classify_tx(&tx, &loose).is_some());
+        assert!(classify(tx, &loose).is_some());
     }
 
     #[test]
@@ -293,7 +306,7 @@ mod tests {
             vec![t(contract, addr(3), op_cut), t(contract, addr(4), aff_cut)],
             contract,
         );
-        let obs = classify_tx(&tx, &ClassifierConfig::default()).expect("classified");
+        let obs = classify(tx, &ClassifierConfig::default()).expect("classified");
         assert_eq!(obs.ratio_bps, 3300);
     }
 
@@ -301,7 +314,7 @@ mod tests {
     fn single_transfer_rejected() {
         let contract = addr(1);
         let tx = tx_with(vec![t(contract, addr(3), eth(1))], contract);
-        assert_eq!(classify_tx(&tx, &ClassifierConfig::default()), None);
+        assert_eq!(classify(tx, &ClassifierConfig::default()), None);
     }
 
     #[test]
@@ -313,10 +326,10 @@ mod tests {
             t(contract, addr(5), U256::from_u64(1)), // dust
         ];
         let tx = tx_with(transfers.clone(), contract);
-        assert_eq!(classify_tx(&tx, &ClassifierConfig::default()), None);
+        assert_eq!(classify(tx, &ClassifierConfig::default()), None);
         // Relaxed mode (A5) accepts the two largest.
         let relaxed = ClassifierConfig { strict_two_transfers: false, ..Default::default() };
-        let obs = classify_tx(&tx_with(transfers, contract), &relaxed).expect("classified");
+        let obs = classify(tx_with(transfers, contract), &relaxed).expect("classified");
         assert_eq!(obs.ratio_bps, 2000);
     }
 
@@ -325,7 +338,7 @@ mod tests {
         // DEX-like: two transfers, different sources.
         let dex = addr(1);
         let tx = tx_with(vec![t(addr(2), dex, eth(20)), t(dex, addr(2), eth(80))], dex);
-        assert_eq!(classify_tx(&tx, &ClassifierConfig::default()), None);
+        assert_eq!(classify(tx, &ClassifierConfig::default()), None);
     }
 
     #[test]
@@ -335,7 +348,7 @@ mod tests {
             vec![t(contract, addr(3), eth(20)), t(contract, addr(3), eth(80))],
             contract,
         );
-        assert_eq!(classify_tx(&tx, &ClassifierConfig::default()), None);
+        assert_eq!(classify(tx, &ClassifierConfig::default()), None);
     }
 
     #[test]
@@ -348,14 +361,14 @@ mod tests {
             amount: U256::ONE,
         };
         let tx = tx_with(vec![nft(addr(3)), nft(addr(4))], contract);
-        assert_eq!(classify_tx(&tx, &ClassifierConfig::default()), None);
+        assert_eq!(classify(tx, &ClassifierConfig::default()), None);
     }
 
     #[test]
     fn contract_creation_rejected() {
         let mut tx = tx_with(vec![], addr(1));
         tx.to = None;
-        assert_eq!(classify_tx(&tx, &ClassifierConfig::default()), None);
+        assert_eq!(classify(tx, &ClassifierConfig::default()), None);
     }
 
     #[test]
@@ -370,7 +383,7 @@ mod tests {
             amount: eth(8),
         };
         let tx = tx_with(vec![t(contract, addr(3), eth(2)), token_t], contract);
-        assert_eq!(classify_tx(&tx, &ClassifierConfig::default()), None);
+        assert_eq!(classify(tx, &ClassifierConfig::default()), None);
     }
 
     #[test]
@@ -388,7 +401,7 @@ mod tests {
             ],
             contract,
         );
-        let obs = classify_tx(&tx, &ClassifierConfig::default()).expect("classified");
+        let obs = classify(tx, &ClassifierConfig::default()).expect("classified");
         assert_eq!(obs.source, contract);
         assert_eq!(obs.ratio_bps, 1500);
     }
@@ -405,7 +418,7 @@ mod tests {
             contract,
         );
         // Zero transfer excluded → exactly two remain → classifies.
-        let obs = classify_tx(&tx, &ClassifierConfig::default()).expect("classified");
+        let obs = classify(tx, &ClassifierConfig::default()).expect("classified");
         assert_eq!(obs.ratio_bps, 2000);
     }
 }

@@ -18,7 +18,7 @@
 use std::collections::HashMap;
 
 use daas_chain::{Chain, MemoStats, ShardedMemo, Timestamp, TxId};
-use eth_types::Address;
+use eth_types::{AddrId, Address};
 
 use crate::classify::PsObservation;
 use crate::dataset::Dataset;
@@ -64,7 +64,10 @@ pub struct FeatureCache<'a> {
     /// Per-contract observation aggregates, replacing the
     /// `O(observations)` filter per contract.
     obs_stats: HashMap<Address, ObsStats>,
-    memo: ShardedMemo<Address, AccountFeatures>,
+    /// Keyed by interned id: probes hash 4 bytes and shard placement is
+    /// the id's low bits. Accounts the chain has never seen have no id —
+    /// their features are the default and are not memoised.
+    memo: ShardedMemo<AddrId, AccountFeatures>,
 }
 
 impl<'a> FeatureCache<'a> {
@@ -110,8 +113,14 @@ impl<'a> FeatureCache<'a> {
     }
 
     /// The memoised features of `account`, computing them on first use.
+    /// An account the chain has never interned has no history, no
+    /// approvals, and no observations — the default features, returned
+    /// without touching the memo.
     pub fn features(&self, account: Address) -> AccountFeatures {
-        self.memo.get_or_compute(account, || self.compute(account))
+        match self.chain.addr_id(account) {
+            Some(id) => self.memo.get_or_compute(id, || self.compute(account)),
+            None => AccountFeatures::default(),
+        }
     }
 
     /// `(observation count, first ts, last ts)` of `contract` across the
@@ -172,12 +181,12 @@ impl<'a> FeatureCache<'a> {
     fn compute(&self, account: Address) -> AccountFeatures {
         let reader = self.chain.reader();
         let history = reader.txs_of(account);
-        let first_tx_ts = history.first().map(|&id| reader.tx(id).timestamp);
-        let last_tx_ts = history.last().map(|&id| reader.tx(id).timestamp);
+        let first_tx_ts = history.first().map(|&id| reader.tx(id).timestamp());
+        let last_tx_ts = history.last().map(|&id| reader.tx(id).timestamp());
 
         let mut live: Vec<Address> = Vec::new();
         for &txid in history {
-            for appr in &reader.tx(txid).approvals {
+            for appr in reader.tx(txid).approvals() {
                 if appr.owner != account || !self.dataset.contracts.contains(&appr.spender) {
                     continue;
                 }
@@ -226,18 +235,22 @@ mod tests {
         assert!(cache.is_empty());
         let f = cache.features(Address([1; 20]));
         assert_eq!(f, AccountFeatures::default());
-        assert_eq!(cache.len(), 1, "memoised even for unknown accounts");
+        assert!(cache.is_empty(), "unknown accounts have no id and are not memoised");
         assert!(cache.observation(0).is_none());
     }
 
     #[test]
     fn prewarm_sequential_is_noop() {
-        let chain = Chain::new();
+        use eth_types::units::ether;
+        let mut chain = Chain::new();
+        let a = chain.create_eoa_funded(b"fc/a", ether(2)).unwrap();
+        let b = chain.create_eoa(b"fc/b").unwrap();
+        chain.transfer_eth(a, b, ether(1)).unwrap();
         let dataset = Dataset::default();
         let cache = FeatureCache::new(&chain, &dataset);
-        cache.prewarm(&[Address([1; 20])], 1);
+        cache.prewarm(&[a], 1);
         assert!(cache.is_empty());
-        cache.prewarm(&[Address([1; 20]), Address([2; 20])], 2);
+        cache.prewarm(&[a, b], 2);
         assert_eq!(cache.len(), 2);
     }
 }

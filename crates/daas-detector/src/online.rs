@@ -9,6 +9,14 @@
 //! newly admitted account's history so the maintained dataset converges
 //! to exactly what the batch construction would produce.
 //!
+//! Membership and prior-contact state are keyed by interned
+//! [`AddrId`]s, and each poll *batches* the member-contact probe: the
+//! window's member-touching transactions are enumerated once from the
+//! sharded history index (a `partition_point` per member), so the
+//! per-transaction loop only pays the full admissibility check for
+//! transactions that can actually change the dataset — everything else
+//! takes a seed-label-only fast path with zero membership probes.
+//!
 //! The poll-based shape (caller drives, detector returns the events
 //! since the last poll) follows the workspace's event-driven style.
 
@@ -16,10 +24,11 @@ use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 
 use daas_chain::{Chain, LabelStore, TxId};
-use eth_types::Address;
+use eth_types::{AddrId, Address};
 use serde::{Deserialize, Serialize};
 
 use crate::cache::ClassificationCache;
+use crate::classify::PsObservation;
 use crate::dataset::Dataset;
 use crate::snowball::SnowballConfig;
 
@@ -56,6 +65,35 @@ pub enum DetectorEvent {
     AffiliateObserved(Address),
 }
 
+/// The member-touching transactions of the current poll window, marked
+/// once up front from the history index instead of probed per
+/// transaction. Live only for the duration of one `poll_until` call.
+#[derive(Debug, Clone)]
+struct WindowMask {
+    base: TxId,
+    limit: TxId,
+    mask: Vec<bool>,
+}
+
+impl WindowMask {
+    /// Marks `member`'s window transactions at or after `from`.
+    fn mark(&mut self, history: &[TxId], from: TxId) {
+        let from = from.max(self.base);
+        let lo = history.partition_point(|&t| t < from);
+        for &t in &history[lo..] {
+            if t >= self.limit {
+                break;
+            }
+            self.mask[(t - self.base) as usize] = true;
+        }
+    }
+
+    #[inline]
+    fn marked(&self, txid: TxId) -> bool {
+        self.mask[(txid - self.base) as usize]
+    }
+}
+
 /// Incremental detector state.
 #[derive(Debug, Clone)]
 pub struct OnlineDetector {
@@ -63,32 +101,30 @@ pub struct OnlineDetector {
     dataset: Dataset,
     cursor: TxId,
     cache: Arc<ClassificationCache>,
-    /// For each address: the earliest confirmed transaction that touches
-    /// both it and a *current* dataset member other than the address
-    /// itself. This is the expansion guard's "prior dataset contact",
-    /// maintained incrementally (as the cursor passes each transaction,
-    /// and by a one-time history walk when a member joins) so the guard
-    /// is an O(1) lookup instead of an O(history) rescan per candidate.
-    touch_min: txgraph::CowMap<Address, TxId>,
-    /// Flat union of the dataset's contract/operator/affiliate sets —
-    /// the per-transaction membership probe is one hash lookup instead
-    /// of three B-tree searches. Maintained by [`Self::absorb_noting`],
-    /// the only place the detector's dataset grows.
-    members: txgraph::FxHashSet<Address>,
+    /// For each interned address: the earliest confirmed transaction
+    /// that touches both it and a *current* dataset member other than
+    /// the address itself. This is the expansion guard's "prior dataset
+    /// contact", maintained incrementally (as the cursor passes each
+    /// transaction, and by a one-time history walk when a member joins)
+    /// so the guard is an O(1) lookup instead of an O(history) rescan
+    /// per candidate.
+    touch_min: txgraph::CowMap<AddrId, TxId>,
+    /// Flat union of the dataset's contract/operator/affiliate sets as
+    /// interned ids — the membership probe hashes 4 bytes. Maintained by
+    /// [`Self::absorb_noting`], the only place the detector's dataset
+    /// grows.
+    members: txgraph::FxHashSet<AddrId>,
+    /// Present only while a poll is in flight (see [`WindowMask`]).
+    window: Option<WindowMask>,
+    /// Scratch buffer for touched-id extraction, reused across
+    /// transactions.
+    touched_scratch: Vec<AddrId>,
 }
 
 impl OnlineDetector {
     /// Creates a detector starting at the chain's first transaction.
     pub fn new(cfg: SnowballConfig) -> Self {
-        let cache = Arc::new(ClassificationCache::new());
-        OnlineDetector {
-            cfg,
-            dataset: Dataset::default(),
-            cursor: 0,
-            cache,
-            touch_min: txgraph::CowMap::new(),
-            members: txgraph::FxHashSet::default(),
-        }
+        Self::with_cache(cfg, Arc::new(ClassificationCache::new()))
     }
 
     /// Creates a detector sharing a classification cache — typically
@@ -103,6 +139,8 @@ impl OnlineDetector {
             cache,
             touch_min: txgraph::CowMap::new(),
             members: txgraph::FxHashSet::default(),
+            window: None,
+            touched_scratch: Vec::new(),
         }
     }
 
@@ -134,15 +172,47 @@ impl OnlineDetector {
         let _poll_span =
             daas_obs::span!("detector.poll", from = self.cursor, to = limit);
         let mut events = Vec::new();
-        while self.cursor < limit {
-            let txid = self.cursor;
-            self.cursor += 1;
-            let touched = chain.tx(txid).touched_addresses();
-            self.step_tx(chain, labels, txid, &touched, &mut events);
-            // Index this transaction's dataset contacts *after* its own
-            // admission decision — the guard requires a contact strictly
-            // before the surfacing transaction.
-            self.note_tx(txid, &touched);
+        if self.cursor < limit {
+            let base = self.cursor;
+            let window = (limit - base) as usize;
+            // Batch the membership probe when the window is large enough
+            // to amortise it: one history `partition_point` per member
+            // marks every member-touching transaction up front. For tiny
+            // windows over a big member set (block-by-block delivery
+            // late in a run) the per-tx probe is cheaper — fall through
+            // with no mask and probe inline.
+            if self.members.len() <= window.saturating_mul(4) {
+                let mut win = WindowMask { base, limit, mask: vec![false; window] };
+                for &m in self.members.iter() {
+                    win.mark(chain.txs_of_id(m), base);
+                }
+                self.window = Some(win);
+            }
+            let store = chain.transactions();
+            let mut scratch = std::mem::take(&mut self.touched_scratch);
+            while self.cursor < limit {
+                let txid = self.cursor;
+                self.cursor += 1;
+                // With a mask: unmarked transactions touch no member, so
+                // only the seed rule can apply — check the public flag
+                // and skip all membership work otherwise.
+                let marked = self.window.as_ref().is_none_or(|w| w.marked(txid));
+                if !marked {
+                    let Some(to_id) = store.view(txid).to_id().get() else { continue };
+                    let to = store.resolve(to_id);
+                    if !(labels.publicly_flagged(to) && chain.is_contract(to)) {
+                        continue;
+                    }
+                }
+                store.touched_ids_into(txid, &mut scratch);
+                self.step_tx(chain, labels, txid, &scratch, &mut events);
+                // Index this transaction's dataset contacts *after* its
+                // own admission decision — the guard requires a contact
+                // strictly before the surfacing transaction.
+                self.note_tx(txid, &scratch);
+            }
+            self.touched_scratch = scratch;
+            self.window = None;
         }
         daas_obs::add("detector.events", events.len() as u64);
         events
@@ -154,7 +224,7 @@ impl OnlineDetector {
         chain: &Chain,
         labels: &LabelStore,
         txid: TxId,
-        touched: &[Address],
+        touched: &[AddrId],
         events: &mut Vec<DetectorEvent>,
     ) {
         // Pre-filter before paying for classification: the classifier's
@@ -163,10 +233,11 @@ impl OnlineDetector {
         // needs a touched member besides the contract plus the O(1)
         // prior-contact guard, seed needs a public flag. Anything else
         // cannot change the dataset regardless of the verdict.
-        let Some(to) = chain.tx(txid).to else { return };
+        let Some(to_id) = chain.tx(txid).to_id().get() else { return };
+        let to = chain.resolve_addr(to_id);
         let admissible = self.dataset.contracts.contains(&to)
-            || (touched.iter().any(|&a| a != to && self.members.contains(&a))
-                && (!self.cfg.expansion_guard || self.prior_contact(to, txid)))
+            || (touched.iter().any(|&a| a != to_id && self.members.contains(&a))
+                && (!self.cfg.expansion_guard || self.prior_contact_id(to_id, txid)))
             || (labels.publicly_flagged(to) && chain.is_contract(to));
         if !admissible {
             return;
@@ -177,7 +248,7 @@ impl OnlineDetector {
         let contract = obs.contract;
 
         if self.dataset.contracts.contains(&contract) {
-            self.absorb_and_backfill(chain, obs, events);
+            self.absorb_and_backfill(chain, &obs, events);
             return;
         }
 
@@ -187,10 +258,12 @@ impl OnlineDetector {
         // in the dataset, and the contract has a *prior* interaction
         // with the dataset (identical to the batch guard).
         let expansion = !seed && {
-            let touches_dataset =
-                touched.iter().any(|&a| a != contract && self.members.contains(&a));
+            let contract_id = chain.addr_id(contract);
+            let touches_dataset = touched
+                .iter()
+                .any(|&a| Some(a) != contract_id && self.members.contains(&a));
             touches_dataset
-                && (!self.cfg.expansion_guard || self.prior_contact(contract, txid))
+                && (!self.cfg.expansion_guard || self.prior_contact(chain, contract, txid))
         };
         if !(seed || expansion) {
             return;
@@ -200,23 +273,29 @@ impl OnlineDetector {
             contract,
             via: if seed { Admission::SeedLabel } else { Admission::Expansion },
         });
-        self.absorb_and_backfill(chain, obs, events);
+        self.absorb_and_backfill(chain, &obs, events);
         // Backfill the contract's own earlier history (step 2 on the
         // just-admitted contract), bounded by what has confirmed.
         self.backfill_account(chain, contract, &mut *events);
     }
 
-    /// The expansion guard: has `contract` a dataset contact strictly
-    /// before `surfacing_tx`, against the *current* dataset? O(1) via
-    /// the incrementally maintained first-contact index.
-    fn prior_contact(&self, contract: Address, surfacing_tx: TxId) -> bool {
+    /// The expansion guard: has the interned contract a dataset contact
+    /// strictly before `surfacing_tx`, against the *current* dataset?
+    /// O(1) via the incrementally maintained first-contact index.
+    fn prior_contact_id(&self, contract: AddrId, surfacing_tx: TxId) -> bool {
         self.touch_min.get(&contract).is_some_and(|&t| t < surfacing_tx)
+    }
+
+    /// [`Self::prior_contact_id`] from an address (an address the chain
+    /// has never interned can have no contacts at all).
+    fn prior_contact(&self, chain: &Chain, contract: Address, surfacing_tx: TxId) -> bool {
+        chain.addr_id(contract).is_some_and(|id| self.prior_contact_id(id, surfacing_tx))
     }
 
     /// Records `txid` as a dataset contact for every address it touches
     /// alongside a current member (rule 1 of the index: transactions are
     /// indexed once, as the cursor passes them).
-    fn note_tx(&mut self, txid: TxId, touched: &[Address]) {
+    fn note_tx(&mut self, txid: TxId, touched: &[AddrId]) {
         let members = touched.iter().filter(|a| self.members.contains(a)).count();
         if members == 0 {
             return;
@@ -232,20 +311,28 @@ impl OnlineDetector {
     /// A new dataset member: every already-confirmed transaction in its
     /// history becomes a dataset contact for the other parties (rule 2
     /// of the index: one bounded walk per join covers the member's past;
-    /// rule 1 covers its future).
-    fn note_member(&mut self, chain: &Chain, member: Address) {
-        let history: Vec<TxId> =
-            chain.txs_of(member).iter().copied().filter(|&id| id < self.cursor).collect();
-        for txid in history {
-            for a in chain.tx(txid).touched_addresses() {
+    /// rule 1 covers its future). Mid-poll, the member's *upcoming*
+    /// window transactions are marked too, so the batched mask stays an
+    /// over-approximation of "touches a member".
+    fn note_member(&mut self, chain: &Chain, member: AddrId) {
+        let store = chain.transactions();
+        let history = chain.txs_of_id(member);
+        let confirmed = &history[..history.partition_point(|&id| id < self.cursor)];
+        let mut scratch = Vec::new();
+        for &txid in confirmed {
+            store.touched_ids_into(txid, &mut scratch);
+            for &a in &scratch {
                 if a != member {
                     self.note_touch(a, txid);
                 }
             }
         }
+        if let Some(win) = self.window.as_mut() {
+            win.mark(history, self.cursor);
+        }
     }
 
-    fn note_touch(&mut self, addr: Address, txid: TxId) {
+    fn note_touch(&mut self, addr: AddrId, txid: TxId) {
         let slot = self.touch_min.get_or_insert_with(addr, || txid);
         if *slot > txid {
             *slot = txid;
@@ -254,25 +341,24 @@ impl OnlineDetector {
 
     /// [`Dataset::absorb`] plus first-contact index maintenance for any
     /// member the observation introduced.
-    fn absorb_noting(&mut self, chain: &Chain, obs: crate::classify::PsObservation) -> bool {
+    fn absorb_noting(&mut self, chain: &Chain, obs: &PsObservation) -> bool {
         let (c, o, a) = (obs.contract, obs.operator, obs.affiliate);
         let new_c = !self.dataset.contracts.contains(&c);
         let new_o = !self.dataset.operators.contains(&o);
         let new_a = !self.dataset.affiliates.contains(&a);
-        if !self.dataset.absorb(obs) {
+        if !self.dataset.absorb_ref(obs) {
             return false;
         }
-        if new_c {
-            self.members.insert(c);
-            self.note_member(chain, c);
-        }
-        if new_o {
-            self.members.insert(o);
-            self.note_member(chain, o);
-        }
-        if new_a {
-            self.members.insert(a);
-            self.note_member(chain, a);
+        for (is_new, addr) in [(new_c, c), (new_o, o), (new_a, a)] {
+            if !is_new {
+                continue;
+            }
+            // Members come from a classified transaction, so the chain
+            // has interned them.
+            if let Some(id) = chain.addr_id(addr) {
+                self.members.insert(id);
+                self.note_member(chain, id);
+            }
         }
         true
     }
@@ -283,7 +369,7 @@ impl OnlineDetector {
     fn absorb_and_backfill(
         &mut self,
         chain: &Chain,
-        obs: crate::classify::PsObservation,
+        obs: &PsObservation,
         events: &mut Vec<DetectorEvent>,
     ) {
         let mut queue: VecDeque<Address> = VecDeque::new();
@@ -338,7 +424,7 @@ impl OnlineDetector {
             let known = self.dataset.contracts.contains(&contract);
             if !known {
                 let guard_ok =
-                    !self.cfg.expansion_guard || self.prior_contact(contract, txid);
+                    !self.cfg.expansion_guard || self.prior_contact(chain, contract, txid);
                 if !guard_ok {
                     continue;
                 }
@@ -350,7 +436,7 @@ impl OnlineDetector {
             let (op, aff) = (obs.operator, obs.affiliate);
             let new_op = !self.dataset.operators.contains(&op);
             let new_aff = !self.dataset.affiliates.contains(&aff);
-            if self.absorb_noting(chain, obs) {
+            if self.absorb_noting(chain, &obs) {
                 events.push(DetectorEvent::PsTransaction { tx: txid, contract });
                 if new_op {
                     events.push(DetectorEvent::OperatorObserved(op));

@@ -104,7 +104,7 @@ pub fn build_dataset_with_cache(
     for contract in candidates {
         let observations = qualify_contract(chain, contract, cfg, cache);
         for obs in observations {
-            dataset.absorb(obs);
+            dataset.absorb_ref(&obs);
         }
     }
     dataset.seed = dataset.counts();
@@ -151,7 +151,7 @@ pub fn build_dataset_with_cache(
                 if dataset.contracts.contains(&contract) {
                     // Known contract: absorb the transaction anyway so
                     // the dataset's transaction set converges.
-                    absorb_and_enqueue(&mut dataset, obs, &mut queue, &mut processed);
+                    absorb_and_enqueue(&mut dataset, &obs, &mut queue, &mut processed);
                     continue;
                 }
                 if rejected.contains(&contract) {
@@ -167,7 +167,7 @@ pub fn build_dataset_with_cache(
                     continue;
                 }
                 for o in observations {
-                    absorb_and_enqueue(&mut dataset, o, &mut queue, &mut processed);
+                    absorb_and_enqueue(&mut dataset, &o, &mut queue, &mut processed);
                 }
             }
         }
@@ -188,12 +188,12 @@ pub fn build_dataset_with_cache(
 
 fn absorb_and_enqueue(
     dataset: &mut Dataset,
-    obs: PsObservation,
+    obs: &PsObservation,
     queue: &mut VecDeque<Address>,
     processed: &mut HashSet<Address>,
 ) {
     let (op, aff) = (obs.operator, obs.affiliate);
-    if dataset.absorb(obs) {
+    if dataset.absorb_ref(obs) {
         for account in [op, aff] {
             if processed.insert(account) {
                 queue.push_back(account);
@@ -211,10 +211,13 @@ fn qualify_contract(
     contract: Address,
     cfg: &SnowballConfig,
     cache: &ClassificationCache,
-) -> Vec<PsObservation> {
+) -> Vec<std::sync::Arc<PsObservation>> {
     let mut observations = Vec::new();
+    // The contract appears in its own history, so it is interned; the
+    // invoked-target filter compares interned ids without resolving.
+    let contract_id = chain.addr_id(contract);
     for &txid in chain.txs_of(contract) {
-        if chain.tx(txid).to != Some(contract) {
+        if chain.tx(txid).to_id().get() != contract_id {
             continue;
         }
         if let Some(obs) = cache.classify(chain, txid, &cfg.classifier) {
@@ -241,13 +244,16 @@ fn previously_interacted(
     contract: Address,
     surfacing_tx: daas_chain::TxId,
 ) -> bool {
+    let store = chain.transactions();
+    let contract_id = chain.addr_id(contract);
+    let mut touched: Vec<eth_types::AddrId> = Vec::new();
     for &txid in chain.txs_of(contract) {
         if txid >= surfacing_tx {
             break; // histories are in chain order
         }
-        let tx = chain.tx(txid);
-        for address in tx.touched_addresses() {
-            if address != contract && dataset.contains(address) {
+        store.touched_ids_into(txid, &mut touched);
+        for &id in &touched {
+            if Some(id) != contract_id && dataset.contains(store.resolve(id)) {
                 return true;
             }
         }

@@ -1,8 +1,8 @@
 //! Property-based tests for the profit-sharing classifier: soundness and
 //! completeness of the ratio rule over randomly generated fund flows.
 
-use daas_chain::{Approval, Asset, CallInfo, Transaction, Transfer};
-use daas_detector::{classify_tx, ClassifierConfig, DEFAULT_RATIOS_BPS};
+use daas_chain::{Approval, Asset, CallInfo, Transaction, Transfer, TxStore};
+use daas_detector::{classify_tx, ClassifierConfig, PsObservation, DEFAULT_RATIOS_BPS};
 use eth_types::{Address, H256, U256};
 use proptest::prelude::*;
 
@@ -10,9 +10,16 @@ fn addr(n: u8) -> Address {
     Address::from_key_seed(&[b'c', n])
 }
 
+/// Classifies a free-standing transaction through a single-entry
+/// columnar arena, the only shape [`classify_tx`] reads.
+fn classify(tx: Transaction, cfg: &ClassifierConfig) -> Option<PsObservation> {
+    let store = TxStore::from_transactions(vec![tx]);
+    classify_tx(store.view(0), cfg)
+}
+
 fn tx_with(transfers: Vec<Transfer>) -> Transaction {
     Transaction {
-        id: 1,
+        id: 0,
         hash: H256::ZERO,
         block: 0,
         timestamp: 1_000,
@@ -48,7 +55,7 @@ proptest! {
             Transfer { asset: Asset::Eth, from: addr(0), to: addr(op), amount: small },
             Transfer { asset: Asset::Eth, from: addr(0), to: addr(aff), amount: large },
         ]);
-        let obs = classify_tx(&t, &ClassifierConfig::default());
+        let obs = classify(t, &ClassifierConfig::default());
         prop_assert!(obs.is_some(), "exact {bps}bps split of {total} unclassified");
         let obs = obs.unwrap();
         prop_assert_eq!(obs.ratio_bps, bps);
@@ -72,8 +79,8 @@ proptest! {
             Transfer { asset: Asset::Eth, from: addr(0), to: addr(2), amount: large },
             Transfer { asset: Asset::Eth, from: addr(0), to: addr(1), amount: small },
         ]);
-        let a = classify_tx(&fwd, &ClassifierConfig::default());
-        let b = classify_tx(&rev, &ClassifierConfig::default());
+        let a = classify(fwd, &ClassifierConfig::default());
+        let b = classify(rev, &ClassifierConfig::default());
         prop_assert_eq!(a.clone().map(|o| (o.operator, o.affiliate, o.ratio_bps)),
                         b.map(|o| (o.operator, o.affiliate, o.ratio_bps)));
         prop_assert!(a.is_some());
@@ -98,7 +105,7 @@ proptest! {
             Transfer { asset: Asset::Eth, from: addr(0), to: addr(1), amount: small },
             Transfer { asset: Asset::Eth, from: addr(0), to: addr(2), amount: large },
         ]);
-        prop_assert!(classify_tx(&t, &ClassifierConfig::default()).is_none(),
+        prop_assert!(classify(t, &ClassifierConfig::default()).is_none(),
             "off-ratio {bps}bps classified");
     }
 
@@ -118,7 +125,7 @@ proptest! {
                 amount: U256::from_u64(amount),
             })
             .collect();
-        let _ = classify_tx(&tx_with(transfers), &ClassifierConfig::default());
+        let _ = classify(tx_with(transfers), &ClassifierConfig::default());
     }
 
     #[test]
@@ -141,7 +148,7 @@ proptest! {
         let mut last: Option<bool> = None;
         for tol in [0.001, 0.005, 0.02, 0.1] {
             let cfg = ClassifierConfig { tolerance: tol, ..Default::default() };
-            let hit = classify_tx(&t, &cfg).is_some();
+            let hit = classify(t.clone(), &cfg).is_some();
             if let Some(prev) = last {
                 prop_assert!(!prev || hit, "tolerance not monotone");
             }

@@ -167,7 +167,7 @@ pub(crate) fn measure_observation(
     let affiliate_usd = value_usd(obs.affiliate_amount);
     MeasuredIncident {
         tx: obs.tx,
-        timestamp: tx.timestamp,
+        timestamp: tx.timestamp(),
         victim,
         contract: obs.contract,
         operator: obs.operator,
@@ -190,15 +190,15 @@ fn attribute_victim(chain: &Chain, obs: &daas_detector::PsObservation) -> Addres
         return obs.source; // transferFrom sweep: source is the victim
     }
     let tx = chain.tx(obs.tx);
-    if !tx.value.is_zero() {
-        return tx.from; // payable entry: the depositor
+    if !tx.value().is_zero() {
+        return tx.from(); // payable entry: the depositor
     }
     // NFT liquidation payout: find the latest inbound NFT before this tx.
     let history = chain.txs_of(obs.contract);
     let pos = history.partition_point(|&id| id < obs.tx);
     for &txid in history[..pos].iter().rev() {
         let prior = chain.tx(txid);
-        for t in &prior.transfers {
+        for t in prior.transfers() {
             if matches!(t.asset, Asset::Erc721 { .. }) && t.to == obs.contract {
                 return t.from;
             }
@@ -206,7 +206,7 @@ fn attribute_victim(chain: &Chain, obs: &daas_detector::PsObservation) -> Addres
     }
     // Fallback: no NFT inbound found (shouldn't happen on well-formed
     // traces) — attribute to the caller.
-    tx.from
+    tx.from()
 }
 
 #[cfg(test)]

@@ -52,7 +52,7 @@ impl<'a> MeasureCtx<'a> {
         for &op in self.dataset.operators.iter() {
             for &txid in self.chain.txs_of(op) {
                 let tx = self.chain.tx(txid);
-                for t in &tx.transfers {
+                for t in tx.transfers() {
                     if t.from != op || t.asset != Asset::Eth || t.to == op {
                         continue;
                     }
@@ -98,7 +98,7 @@ impl<'a> MeasureCtx<'a> {
                     continue;
                 }
                 let tx = self.chain.tx(txid);
-                for t in &tx.transfers {
+                for t in tx.transfers() {
                     if t.asset == Asset::Eth {
                         graph.add_transfer(t.from, t.to, t.amount.low_u128());
                     }

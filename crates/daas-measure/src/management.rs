@@ -68,7 +68,7 @@ impl<'a> MeasureCtx<'a> {
                     continue;
                 }
                 let tx = self.chain.tx(txid);
-                for t in &tx.transfers {
+                for t in tx.transfers() {
                     if t.asset == Asset::Eth && t.from == op && affs.contains(&t.to) {
                         transfers += 1;
                         total = total.saturating_add(t.amount);

@@ -57,7 +57,7 @@ impl<'a> MeasureCtx<'a> {
         for &op in &ops {
             for &txid in self.chain.txs_of(op) {
                 let tx = self.chain.tx(txid);
-                for t in &tx.transfers {
+                for t in tx.transfers() {
                     if t.from == op && ops.contains(&t.to) && t.to != op {
                         let (a, b) = if t.from < t.to { (t.from, t.to) } else { (t.to, t.from) };
                         pairs.insert((a, b));

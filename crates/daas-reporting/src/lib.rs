@@ -15,7 +15,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use daas_chain::{Chain, LabelSource, LabelStore, Timestamp, Transaction};
+use daas_chain::{Chain, LabelSource, LabelStore, Timestamp};
 use daas_detector::Dataset;
 use eth_types::Address;
 use serde::{Deserialize, Serialize};
@@ -105,15 +105,15 @@ impl Blocklist {
     /// Would a wallet enforcing this list refuse `tx`? It blocks when
     /// the outer call target or any transfer recipient is listed, and
     /// the transaction post-dates the list.
-    pub fn would_block(&self, tx: &Transaction) -> bool {
-        if tx.timestamp < self.effective_from {
+    pub fn would_block(&self, tx: daas_chain::TxView<'_>) -> bool {
+        if tx.timestamp() < self.effective_from {
             return false;
         }
-        if tx.to.is_some_and(|to| self.blocked.contains(&to)) {
+        if tx.to().is_some_and(|to| self.blocked.contains(&to)) {
             return true;
         }
-        tx.transfers.iter().any(|t| self.blocked.contains(&t.to))
-            || tx.approvals.iter().any(|a| self.blocked.contains(&a.spender))
+        tx.transfers().any(|t| self.blocked.contains(&t.to))
+            || tx.approvals().any(|a| self.blocked.contains(&a.spender))
     }
 
     /// The counterfactual: of the dataset's profit-sharing transactions,
@@ -124,7 +124,7 @@ impl Blocklist {
         let mut total_after = 0;
         for &txid in &dataset.ps_txs {
             let tx = chain.tx(txid);
-            if tx.timestamp < self.effective_from {
+            if tx.timestamp() < self.effective_from {
                 continue;
             }
             total_after += 1;

@@ -25,11 +25,13 @@
 mod address;
 mod hash;
 mod hexcodec;
+mod intern;
 pub mod rlp;
 mod u256;
 pub mod units;
 
 pub use address::Address;
+pub use intern::{AddrId, AddrInterner};
 pub use hash::{keccak256, H256};
 pub use hexcodec::{decode_hex, encode_hex, HexError};
 pub use u256::{ParseU256Error, U256};

@@ -3,7 +3,7 @@
 
 use std::collections::HashSet;
 
-use daas_chain::{Asset, Chain, Transaction};
+use daas_chain::{Asset, Chain};
 use daas_detector::{classify_tx, ClassifierConfig};
 use eth_types::Address;
 use serde::{Deserialize, Serialize};
@@ -159,8 +159,8 @@ impl WalletGuard {
                     return SimulationVerdict::SimulationFailed { reason: e.to_string() }
                 }
             };
-            let tx: &Transaction = scratch.tx(tx_id);
-            for transfer in &tx.transfers {
+            let tx = scratch.tx(tx_id);
+            for transfer in tx.transfers() {
                 if transfer.to != sender && self.blocklist.contains(&transfer.to) {
                     return SimulationVerdict::Blocked { account: transfer.to };
                 }

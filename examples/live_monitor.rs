@@ -22,11 +22,11 @@ fn main() {
 
     // Deliver in ~30-day batches, like a collector polling an archive
     // node; print a digest per batch that found something.
-    let mut cursor_ts = txs.first().map(|t| t.timestamp).unwrap_or_default();
+    let mut cursor_ts = txs.timestamps().first().copied().unwrap_or_default();
     let mut idx = 0u32;
     while (idx as usize) < txs.len() {
         cursor_ts += 30 * 86_400;
-        let upto = txs.partition_point(|t| t.timestamp < cursor_ts) as u32;
+        let upto = txs.timestamps().partition_point(|&t| t < cursor_ts) as u32;
         if upto == idx {
             continue;
         }

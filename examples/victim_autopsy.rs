@@ -36,8 +36,8 @@ fn main() {
 
     for inc in incidents {
         let tx = world.chain.tx(inc.tx);
-        println!("incident on {} (tx {}):", format_date(tx.timestamp), tx.hash);
-        for approval in &tx.approvals {
+        println!("incident on {} (tx {}):", format_date(tx.timestamp()), tx.hash());
+        for approval in tx.approvals() {
             println!(
                 "  approval: {} granted {} spending rights on token {}",
                 approval.owner.short(),
@@ -45,7 +45,7 @@ fn main() {
                 approval.token.short()
             );
         }
-        for transfer in &tx.transfers {
+        for transfer in tx.transfers() {
             let amount = match transfer.asset {
                 daas_lab::chain::Asset::Eth => format!("{} ETH", format_ether(transfer.amount, 4)),
                 daas_lab::chain::Asset::Erc20(token) => {

@@ -9,7 +9,7 @@ fn run(seed: u64) -> (String, usize, Vec<String>) {
     let world = World::build(&WorldConfig::tiny(seed)).expect("world");
     let dataset = build_dataset(&world.chain, &world.labels, &SnowballConfig::default());
     let clustering = cluster(&world.chain, &world.labels, &dataset);
-    let last_hash = world.chain.transactions().last().unwrap().hash.to_hex();
+    let last_hash = world.chain.transactions().last().unwrap().hash().to_hex();
     let names = clustering.families.iter().map(|f| f.name.clone()).collect();
     (last_hash, dataset.counts().ps_txs, names)
 }

@@ -58,8 +58,8 @@ fn config_json_roundtrip() {
     let w2 = World::build(&WorldConfig { scale: 0.01, ..back }).unwrap();
     assert_eq!(w1.chain.stats(), w2.chain.stats());
     assert_eq!(
-        w1.chain.transactions().last().unwrap().hash,
-        w2.chain.transactions().last().unwrap().hash
+        w1.chain.transactions().last().unwrap().hash(),
+        w2.chain.transactions().last().unwrap().hash()
     );
 }
 
