@@ -43,6 +43,14 @@ rm -rf "$OBS_TMP"
 #      so the verdict is stable across machine speeds). ----
 DAAS_SCALE=0.05 cargo run -q --release -p daas-bench --bin live_smoke
 
+# ---- Serve gate: a real daas-serve daemon on a scale-0.05 world
+#      ingests half the chain, checkpoints, is hard-killed, restores in
+#      a fresh process, finishes the stream while answering ≥1000
+#      concurrent address-risk queries across ≥2 snapshot epochs — and
+#      its final artifact must be byte-identical to the one-shot batch
+#      pipeline run in-process. ----
+cargo test -q --release -p daas-serve --test serve_gate -- --ignored --test-threads 1
+
 # ---- Scale-sweep smoke: the columnar arena must complete a multi-×
 #      run with bounded memory. A small multiplier keeps the smoke
 #      fast; the RSS ceiling (generous for the 0.25 world, which peaks
@@ -82,6 +90,7 @@ if [[ "${CI_FULL_SCALE:-1}" == "1" ]]; then
   cargo test -q --release -p daas-measure --test live_equivalence -- --ignored --test-threads 1
   cargo test -q --release --test live_equivalence -- --ignored --test-threads 1
   cargo test -q --release --test columnar_equivalence -- --ignored --test-threads 1
+  cargo test -q --release -p daas-serve --test checkpoint_restore -- --ignored --test-threads 1
 fi
 
 # ---- Throughput tracking: writes BENCH_<group>.json (see BENCH_OUT_DIR)

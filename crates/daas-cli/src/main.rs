@@ -60,6 +60,7 @@ fn main() -> ExitCode {
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut live = false;
+    let mut verify = true;
     let mut window_blocks = 7_200u64;
     let mut experiments: Vec<String> = Vec::new();
     let mut export: Option<String> = None;
@@ -103,6 +104,7 @@ fn main() -> ExitCode {
                 None => return usage("--metrics-out needs a file path"),
             },
             "--live" => live = true,
+            "--no-verify" => verify = false,
             "--window" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(v) if v > 0 => window_blocks = v,
                 _ => return usage("--window needs a positive block count"),
@@ -194,7 +196,7 @@ fn main() -> ExitCode {
     eprintln!("building world (seed {seed}, scale {scale}) …");
     let snowball = SnowballConfig { threads, ..Default::default() };
     if live {
-        let code = run_live(&config, &snowball, shards, window_blocks, threads);
+        let code = run_live(&config, &snowball, shards, window_blocks, threads, verify);
         return match finish_obs(obs_on, timings, trace_out.as_deref(), metrics_out.as_deref()) {
             Ok(()) => code,
             Err(e) => {
@@ -347,14 +349,16 @@ fn run_live(
     shards: usize,
     window_blocks: u64,
     threads: usize,
+    verify: bool,
 ) -> ExitCode {
     let measure_cfg = MeasureConfig { threads };
-    let run = match daas_cli::Pipeline::live(
+    let run = match daas_cli::Pipeline::live_opts(
         config,
         snowball,
         shards,
         window_blocks,
         &measure_cfg,
+        verify,
         |w| {
             if w.new_ps_txs > 0 || w.new_contracts > 0 {
                 eprintln!(
@@ -409,7 +413,10 @@ fn run_live(
         "measurement: {} victims, ${:.0} stolen",
         run.reports.victims.victims, run.reports.victims.total_usd,
     );
-    if run.batch_matches {
+    if !verify {
+        println!("batch equivalence: skipped (--no-verify)");
+        ExitCode::SUCCESS
+    } else if run.batch_matches {
         println!("batch equivalence: OK (dataset, clustering and reports byte-identical)");
         ExitCode::SUCCESS
     } else {
@@ -427,7 +434,7 @@ fn usage(error: &str) -> ExitCode {
         eprintln!("error: {error}\n");
     }
     eprintln!(
-        "usage: daas-lab [--seed N] [--scale F] [--threads N] [--config FILE] [--dump-config FILE] [--export FILE] [--live] [--window N] [--timings] [--trace-out FILE] [--metrics-out FILE] [--exp NAME]...\n       experiments: {} all",
+        "usage: daas-lab [--seed N] [--scale F] [--threads N] [--config FILE] [--dump-config FILE] [--export FILE] [--live] [--no-verify] [--window N] [--timings] [--trace-out FILE] [--metrics-out FILE] [--exp NAME]...\n       experiments: {} all",
         ALL_EXPERIMENTS.join(" ")
     );
     if error.is_empty() {

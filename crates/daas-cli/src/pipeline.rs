@@ -4,25 +4,23 @@
 //! Two drivers share every stage implementation:
 //! * [`run_pipeline`] / [`run_pipeline_sharded`] — the one-shot batch
 //!   run the paper's tables are rendered from;
-//! * [`Pipeline::live`] — the streaming replay: the chain is delivered
-//!   in block windows through the online detector, the incremental
-//!   clusterer and the live measurement accumulators, then re-verified
-//!   against the batch pipeline over the same classification memo
-//!   (DESIGN.md §10).
+//! * [`Pipeline::live`] — the streaming replay, now a thin client over
+//!   the [`daas_serve::Engine`] (the chain delivered in block windows
+//!   through the online detector, incremental clusterer and live
+//!   measurement accumulators), then re-verified against the batch
+//!   pipeline over the same classification memo (DESIGN.md §10, §13).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use daas_chain::{Chain, Timestamp, TxId};
-use daas_cluster::{
-    cluster_with, ClusterConfig, Clustering, FamilyForensics, OnlineClusterer,
-    OnlineClustererStats,
-};
-use daas_detector::{
-    build_dataset_with_cache, ClassificationCache, Dataset, OnlineDetector, SnowballConfig,
-};
-use daas_measure::{LiveMeasure, MeasureConfig, MeasureCtx, MeasureReports};
+use daas_chain::{Chain, Timestamp};
+use daas_cluster::{cluster_with, ClusterConfig, Clustering, FamilyForensics, OnlineClustererStats};
+use daas_detector::{build_dataset_with_cache, ClassificationCache, Dataset, SnowballConfig};
+use daas_measure::{MeasureConfig, MeasureCtx, MeasureReports};
+use daas_serve::Engine;
 use daas_world::{collection_end, World, WorldConfig};
+
+pub use daas_serve::LiveWindowStats;
 
 /// Everything downstream experiments need, built once.
 pub struct Pipeline {
@@ -78,37 +76,6 @@ impl Pipeline {
     }
 }
 
-/// Per-window progress of a [`Pipeline::live`] replay.
-#[derive(Debug, Clone)]
-pub struct LiveWindowStats {
-    /// Zero-based window index.
-    pub index: usize,
-    /// First block height in the window.
-    pub first_block: u64,
-    /// Last block height in the window (inclusive).
-    pub last_block: u64,
-    /// Transaction watermark after this window.
-    pub watermark: TxId,
-    /// Contracts admitted this window.
-    pub new_contracts: usize,
-    /// Operators observed this window.
-    pub new_operators: usize,
-    /// Affiliates observed this window.
-    pub new_affiliates: usize,
-    /// Profit-sharing transactions classified this window.
-    pub new_ps_txs: usize,
-    /// Families after this window's clustering snapshot.
-    pub families: usize,
-    /// USD stolen across the window's new incidents.
-    pub usd_delta: f64,
-    /// Detector poll latency.
-    pub detect_time: Duration,
-    /// Clusterer ingest + snapshot latency.
-    pub cluster_time: Duration,
-    /// Measurement ingest latency.
-    pub measure_time: Duration,
-}
-
 /// The result of a full streaming replay, plus the batch re-verification
 /// verdict.
 pub struct LiveRun {
@@ -125,7 +92,9 @@ pub struct LiveRun {
     /// Incremental-clusterer counters (merges, rebuilds, cache reuse).
     pub clusterer_stats: OnlineClustererStats,
     /// `true` when dataset, clustering and reports are byte-identical to
-    /// a one-shot batch run over the same classification memo.
+    /// a one-shot batch run over the same classification memo
+    /// (vacuously `true` when verification was skipped via
+    /// [`Pipeline::live_opts`]).
     pub batch_matches: bool,
     /// Wall-clock cost of (world, streaming replay, final reports,
     /// batch re-verification).
@@ -149,120 +118,75 @@ impl Pipeline {
         shards: usize,
         window_blocks: u64,
         measure_cfg: &MeasureConfig,
+        on_window: impl FnMut(&LiveWindowStats),
+    ) -> Result<LiveRun, String> {
+        Self::live_opts(config, snowball, shards, window_blocks, measure_cfg, true, on_window)
+    }
+
+    /// [`Pipeline::live`] with the batch re-verification behind a flag.
+    /// A plain replay (`verify = false`) skips the full second snowball
+    /// + clustering + measurement pass entirely — the equivalence gate
+    /// stays where it belongs (tests, the CI matrix, explicit `--live`
+    /// runs) instead of taxing every streaming consumer.
+    pub fn live_opts(
+        config: &WorldConfig,
+        snowball: &SnowballConfig,
+        shards: usize,
+        window_blocks: u64,
+        measure_cfg: &MeasureConfig,
+        verify: bool,
         mut on_window: impl FnMut(&LiveWindowStats),
     ) -> Result<LiveRun, String> {
         if window_blocks == 0 {
             return Err("window must span at least one block".into());
         }
         let t0 = Instant::now();
-        let world = World::build_opts(config, snowball.threads, shards)?;
+        let mut engine = Engine::new(config, snowball, shards)?;
         let t1 = Instant::now();
 
-        let cache = Arc::new(if shards == 0 {
-            ClassificationCache::new()
-        } else {
-            ClassificationCache::with_shards(shards)
-        });
-        let mut detector = OnlineDetector::with_cache(snowball.clone(), Arc::clone(&cache));
-        let mut clusterer =
-            OnlineClusterer::with_cache(snowball.classifier.clone(), Arc::clone(&cache));
-        let mut measure =
-            LiveMeasure::with_cache(snowball.classifier.clone(), Arc::clone(&cache));
-
-        let total_txs = world.chain.transactions().len() as TxId;
-        let blocks = world.chain.blocks();
         let mut windows = Vec::new();
-        let mut start = 0usize;
-        while start < blocks.len() {
-            let end = (start + window_blocks as usize).min(blocks.len());
-            let last = &blocks[end - 1];
-            let watermark = last.first_tx + last.tx_count;
-            let _window_span =
-                daas_obs::span!("live.window", index = windows.len(), watermark = watermark);
-
-            let before = detector.dataset().counts();
-            let td = Instant::now();
-            let events = detector.poll_until(&world.chain, &world.labels, watermark);
-            let detect_time = td.elapsed();
-            let after = detector.dataset().counts();
-
-            let tc = Instant::now();
-            clusterer.ingest(&world.chain, &world.labels, detector.dataset(), &events, watermark);
-            let families = clusterer.clustering(&world.labels).families.len();
-            let cluster_time = tc.elapsed();
-
-            let tm = Instant::now();
-            let delta = measure.ingest(&world.chain, &world.oracle, &events);
-            let measure_time = tm.elapsed();
-
-            if daas_obs::enabled() {
-                daas_obs::inc("live.windows");
-                let ms = |d: Duration| d.as_secs_f64() * 1e3;
-                daas_obs::observe_ms_l("live.window.update_ms", "stage", "detect", ms(detect_time));
-                daas_obs::observe_ms_l("live.window.update_ms", "stage", "cluster", ms(cluster_time));
-                daas_obs::observe_ms_l("live.window.update_ms", "stage", "measure", ms(measure_time));
-            }
-
-            let stats = LiveWindowStats {
-                index: windows.len(),
-                first_block: blocks[start].number,
-                last_block: last.number,
-                watermark,
-                new_contracts: after.contracts - before.contracts,
-                new_operators: after.operators - before.operators,
-                new_affiliates: after.affiliates - before.affiliates,
-                new_ps_txs: after.ps_txs - before.ps_txs,
-                families,
-                usd_delta: delta.usd,
-                detect_time,
-                cluster_time,
-                measure_time,
-            };
+        while let Some(stats) = engine.ingest_window(window_blocks) {
             on_window(&stats);
             windows.push(stats);
-            start = end;
         }
-        // Drain any tail past the last sealed block (also covers empty
-        // worlds): idempotent when the windows already reached the end.
-        let events = detector.poll(&world.chain, &world.labels);
-        clusterer.ingest(&world.chain, &world.labels, detector.dataset(), &events, total_txs);
-        measure.ingest(&world.chain, &world.oracle, &events);
-        let clustering = clusterer.clustering(&world.labels);
+        engine.finish_stream();
+        let clustering = engine.clustering();
         let t2 = Instant::now();
 
-        let dataset = detector.dataset().clone();
-        let reports = measure.reports(
-            &world.chain,
-            &dataset,
-            &world.oracle,
-            &world.labels,
-            30 * 86_400,
-            collection_end(),
-            measure_cfg,
-        );
+        let dataset = engine.dataset().clone();
+        let reports = engine.reports(measure_cfg);
         let t3 = Instant::now();
 
+        let clusterer_stats = engine.clusterer_stats();
+        let cache = Arc::clone(engine.cache());
+        let world = engine.into_world();
+
         // Batch re-verification over the same classification memo.
-        let batch_dataset =
-            build_dataset_with_cache(&world.chain, &world.labels, snowball, &cache);
-        let batch_clustering = cluster_with(
-            &world.chain,
-            &world.labels,
-            &batch_dataset,
-            &ClusterConfig { threads: snowball.threads },
-        );
-        let batch_reports = MeasureCtx::new(&world.chain, &batch_dataset, &world.oracle).reports(
-            &world.labels,
-            30 * 86_400,
-            collection_end(),
-            measure_cfg,
-        );
-        let batch_matches = dataset.contracts == batch_dataset.contracts
-            && dataset.operators == batch_dataset.operators
-            && dataset.affiliates == batch_dataset.affiliates
-            && dataset.ps_txs == batch_dataset.ps_txs
-            && to_json(&clustering)? == to_json(&batch_clustering)?
-            && to_json(&reports)? == to_json(&batch_reports)?;
+        let batch_matches = if verify {
+            let batch_dataset =
+                build_dataset_with_cache(&world.chain, &world.labels, snowball, &cache);
+            let batch_clustering = cluster_with(
+                &world.chain,
+                &world.labels,
+                &batch_dataset,
+                &ClusterConfig { threads: snowball.threads },
+            );
+            let batch_reports =
+                MeasureCtx::new(&world.chain, &batch_dataset, &world.oracle).reports(
+                    &world.labels,
+                    30 * 86_400,
+                    collection_end(),
+                    measure_cfg,
+                );
+            dataset.contracts == batch_dataset.contracts
+                && dataset.operators == batch_dataset.operators
+                && dataset.affiliates == batch_dataset.affiliates
+                && dataset.ps_txs == batch_dataset.ps_txs
+                && to_json(&clustering)? == to_json(&batch_clustering)?
+                && to_json(&reports)? == to_json(&batch_reports)?
+        } else {
+            true
+        };
         let t4 = Instant::now();
         record_stage_obs(
             &world.chain,
@@ -275,7 +199,7 @@ impl Pipeline {
             clustering,
             reports,
             windows,
-            clusterer_stats: clusterer.stats(),
+            clusterer_stats,
             batch_matches,
             live_timings: (t1 - t0, t2 - t1, t3 - t2, t4 - t3),
         })

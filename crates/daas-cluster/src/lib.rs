@@ -35,7 +35,7 @@ mod online;
 mod profile;
 
 pub use families::{cluster, cluster_prefix, cluster_with, ClusterConfig, Clustering, Family};
-pub use online::{OnlineClusterer, OnlineClustererStats};
+pub use online::{ClustererCheckpoint, CompCheckpoint, OnlineClusterer, OnlineClustererStats};
 pub use forensics::{family_forensics, FamilyForensics};
 pub use lifecycle::{primary_lifecycles, primary_lifecycles_with, LifecycleStats};
 pub use profile::{contract_profile, contract_profile_with, ContractProfile};

@@ -48,13 +48,14 @@ use std::sync::Arc;
 use daas_chain::{Chain, LabelStore, TxId};
 use daas_detector::{ClassificationCache, ClassifierConfig, Dataset, DetectorEvent};
 use eth_types::Address;
+use serde::{Deserialize, Serialize};
 use txgraph::{CowMap, CowSet, UnionFind};
 
 use crate::families::{family_name, is_labeled_phishing, Clustering, Family};
 
 /// Counters describing how much incremental work the clusterer did —
 /// the observable evidence that snapshots reuse prior state.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OnlineClustererStats {
     /// Component merges (edges that actually joined two components).
     pub merges: usize,
@@ -104,6 +105,71 @@ type Target = (u8, Address);
 
 const T_CONTRACT: u8 = 0;
 const T_AFFILIATE: u8 = 1;
+
+/// One component in a [`ClustererCheckpoint`]. Member and edge *order*
+/// is preserved verbatim — a scoped rebuild's part enumeration follows
+/// it, so restoring must not re-sort what the live state kept in
+/// arrival order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompCheckpoint {
+    /// Stable component id.
+    pub cid: u64,
+    /// Smallest member (the batch tie-break key).
+    pub key: Address,
+    /// Member operators, in live (arrival) order.
+    pub members: Vec<Address>,
+    /// Internal direct edges, in live order.
+    pub edges: Vec<(Address, Address)>,
+    /// Labeled-phish accounts owned by this component (sorted).
+    pub phish: Vec<Address>,
+    /// Vote-assigned contracts (sorted).
+    pub contracts: Vec<Address>,
+    /// Vote-assigned affiliates (sorted).
+    pub affiliates: Vec<Address>,
+}
+
+/// Serialized [`OnlineClusterer`] state (DESIGN.md §13).
+///
+/// Everything is address-keyed (no interned ids), so the checkpoint is
+/// portable across process restarts; unordered copy-on-write shards are
+/// sorted by key on export so checkpoint bytes are deterministic, while
+/// order-bearing vectors (vote multisets, member/edge lists, the
+/// `txs_new` splice queue) are preserved verbatim. The assembled-family
+/// cache is *not* serialized: it is a pure performance cache, rebuilt
+/// lazily by the first snapshot after restore.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClustererCheckpoint {
+    /// Transactions ingested (exclusive upper bound).
+    pub watermark: TxId,
+    /// Next component id to allocate (ids are never reused).
+    pub next_cid: u64,
+    /// Live components, sorted by id.
+    pub comps: Vec<CompCheckpoint>,
+    /// Global direct-edge dedup set, sorted.
+    pub direct_edges: Vec<(Address, Address)>,
+    /// Phish account → touching operators (sorted by account).
+    pub phish_touch: Vec<(Address, Vec<Address>)>,
+    /// Contract vote multisets, inner order preserved.
+    pub contract_ops: Vec<(Address, Vec<Address>)>,
+    /// Affiliate vote multisets, inner order preserved.
+    pub affiliate_ops: Vec<(Address, Vec<Address>)>,
+    /// Profit-sharing transactions per contract.
+    pub contract_txs: Vec<(Address, Vec<TxId>)>,
+    /// Operator → targets it voted for.
+    pub op_votes: Vec<(Address, Vec<(u8, Address)>)>,
+    /// Target → assigned component id.
+    pub target_assign: Vec<((u8, Address), u64)>,
+    /// Targets whose votes changed since the last snapshot.
+    pub dirty_targets: Vec<(u8, Address)>,
+    /// Components whose cached assembly was invalid.
+    pub dirty_comps: Vec<u64>,
+    /// Pending (contract, tx) splices, in arrival order.
+    pub txs_new: Vec<(Address, TxId)>,
+    /// Components owed a scoped rebuild.
+    pub pending_rebuild: Vec<u64>,
+    /// Incremental-work counters at the checkpoint.
+    pub stats: OnlineClustererStats,
+}
 
 /// Incremental §7.1 clusterer. See the module docs for the invariants.
 #[derive(Debug, Clone)]
@@ -192,6 +258,124 @@ impl OnlineClusterer {
     /// Incremental-work counters.
     pub fn stats(&self) -> OnlineClustererStats {
         self.stats
+    }
+
+    /// Exports the clusterer's full retained state. See
+    /// [`ClustererCheckpoint`] for the ordering contract; the operator
+    /// membership set and the operator→component index are derivable
+    /// from the component records and are rebuilt on restore.
+    pub fn checkpoint(&self) -> ClustererCheckpoint {
+        fn sorted_map<V: Clone>(map: &CowMap<Address, V>) -> Vec<(Address, V)> {
+            let mut out: Vec<(Address, V)> =
+                map.iter().map(|(&k, v)| (k, v.clone())).collect();
+            out.sort_unstable_by_key(|&(k, _)| k);
+            out
+        }
+        let mut comps: Vec<CompCheckpoint> = self
+            .comps
+            .iter()
+            .map(|(&cid, c)| CompCheckpoint {
+                cid,
+                key: c.key,
+                members: c.members.clone(),
+                edges: c.edges.clone(),
+                phish: c.phish.iter().copied().collect(),
+                contracts: c.contracts.iter().copied().collect(),
+                affiliates: c.affiliates.iter().copied().collect(),
+            })
+            .collect();
+        comps.sort_unstable_by_key(|c| c.cid);
+        let mut direct_edges: Vec<(Address, Address)> =
+            self.direct_edges.iter().copied().collect();
+        direct_edges.sort_unstable();
+        let mut target_assign: Vec<(Target, Cid)> =
+            self.target_assign.iter().map(|(&t, &cid)| (t, cid)).collect();
+        target_assign.sort_unstable();
+        ClustererCheckpoint {
+            watermark: self.watermark,
+            next_cid: self.next_cid,
+            comps,
+            direct_edges,
+            phish_touch: sorted_map(&self.phish_touch)
+                .into_iter()
+                .map(|(k, v)| (k, v.into_iter().collect()))
+                .collect(),
+            contract_ops: sorted_map(&self.contract_ops),
+            affiliate_ops: sorted_map(&self.affiliate_ops),
+            contract_txs: sorted_map(&self.contract_txs)
+                .into_iter()
+                .map(|(k, v)| (k, v.into_iter().collect()))
+                .collect(),
+            op_votes: sorted_map(&self.op_votes)
+                .into_iter()
+                .map(|(k, v)| (k, v.into_iter().collect()))
+                .collect(),
+            target_assign,
+            dirty_targets: self.dirty_targets.iter().copied().collect(),
+            dirty_comps: self.dirty_comps.iter().copied().collect(),
+            txs_new: self.txs_new.clone(),
+            pending_rebuild: self.pending_rebuild.iter().copied().collect(),
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuilds a clusterer from a checkpoint. The assembled-family
+    /// cache starts empty (the next [`Self::clustering`] re-assembles
+    /// lazily — identical output, the work counters just attribute the
+    /// assemblies to the post-restore snapshot). `classifier` and
+    /// `cache` follow the same contract as [`Self::with_cache`].
+    pub fn restore(
+        classifier: ClassifierConfig,
+        cache: Arc<ClassificationCache>,
+        ckpt: &ClustererCheckpoint,
+    ) -> Self {
+        let mut c = Self::with_cache(classifier, cache);
+        c.watermark = ckpt.watermark;
+        c.next_cid = ckpt.next_cid;
+        for comp in &ckpt.comps {
+            for &m in &comp.members {
+                c.operators.insert(m);
+                c.op_comp.insert(m, comp.cid);
+            }
+            c.comps.insert(
+                comp.cid,
+                CompState {
+                    key: comp.key,
+                    members: comp.members.clone(),
+                    edges: comp.edges.clone(),
+                    phish: comp.phish.iter().copied().collect(),
+                    contracts: comp.contracts.iter().copied().collect(),
+                    affiliates: comp.affiliates.iter().copied().collect(),
+                },
+            );
+        }
+        for &edge in &ckpt.direct_edges {
+            c.direct_edges.insert(edge);
+        }
+        for (k, v) in &ckpt.phish_touch {
+            c.phish_touch.insert(*k, v.iter().copied().collect());
+        }
+        for (k, v) in &ckpt.contract_ops {
+            c.contract_ops.insert(*k, v.clone());
+        }
+        for (k, v) in &ckpt.affiliate_ops {
+            c.affiliate_ops.insert(*k, v.clone());
+        }
+        for (k, v) in &ckpt.contract_txs {
+            c.contract_txs.insert(*k, v.iter().copied().collect());
+        }
+        for (k, v) in &ckpt.op_votes {
+            c.op_votes.insert(*k, v.iter().copied().collect());
+        }
+        for &(t, cid) in &ckpt.target_assign {
+            c.target_assign.insert(t, cid);
+        }
+        c.dirty_targets = ckpt.dirty_targets.iter().copied().collect();
+        c.dirty_comps = ckpt.dirty_comps.iter().copied().collect();
+        c.txs_new = ckpt.txs_new.clone();
+        c.pending_rebuild = ckpt.pending_rebuild.iter().copied().collect();
+        c.stats = ckpt.stats;
+        c
     }
 
     /// Ingests one poll: the detector's events plus the transaction

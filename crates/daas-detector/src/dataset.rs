@@ -29,7 +29,7 @@ impl DatasetCounts {
 }
 
 /// The discovered DaaS dataset.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Dataset {
     /// Profit-sharing contracts.
     pub contracts: BTreeSet<Address>,

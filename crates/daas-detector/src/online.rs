@@ -94,6 +94,25 @@ impl WindowMask {
     }
 }
 
+/// Serialized [`OnlineDetector`] state (DESIGN.md §13).
+///
+/// Every field is *address*-keyed: interned [`AddrId`]s are instance-
+/// local to one chain arena and never appear in a checkpoint. On save,
+/// ids are resolved to addresses; on restore, the (deterministically
+/// rebuilt) chain re-interns them, so the restored detector is
+/// byte-equivalent to the one that was checkpointed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectorCheckpoint {
+    /// Transactions processed so far (exclusive upper bound).
+    pub cursor: TxId,
+    /// The maintained dataset at the cursor.
+    pub dataset: Dataset,
+    /// The first-contact index, resolved to addresses and sorted by
+    /// address (the in-memory map shards are unordered; sorting makes
+    /// checkpoint bytes deterministic).
+    pub touch_min: Vec<(Address, TxId)>,
+}
+
 /// Incremental detector state.
 #[derive(Debug, Clone)]
 pub struct OnlineDetector {
@@ -147,6 +166,60 @@ impl OnlineDetector {
     /// The dataset maintained so far.
     pub fn dataset(&self) -> &Dataset {
         &self.dataset
+    }
+
+    /// Exports the detector's full live state as an address-keyed
+    /// checkpoint. Never call mid-poll (the window mask is transient
+    /// poll state); between polls the mask is absent and the detector
+    /// is exactly (cursor, dataset, touch_min) — the member set is the
+    /// interned union of the dataset's role sets and is rebuilt on
+    /// restore rather than serialized.
+    pub fn checkpoint(&self, chain: &Chain) -> DetectorCheckpoint {
+        debug_assert!(self.window.is_none(), "checkpoint taken mid-poll");
+        let mut touch_min: Vec<(Address, TxId)> = self
+            .touch_min
+            .iter()
+            .map(|(&id, &tx)| (chain.resolve_addr(id), tx))
+            .collect();
+        touch_min.sort_unstable();
+        DetectorCheckpoint { cursor: self.cursor, dataset: self.dataset.clone(), touch_min }
+    }
+
+    /// Rebuilds a detector from a checkpoint against a chain that must
+    /// be (a deterministic rebuild of) the chain the checkpoint was
+    /// taken on — every address in the checkpoint re-interns to the id
+    /// it had, so the restored state is byte-equivalent. `cfg` and
+    /// `cache` follow the same contract as [`Self::with_cache`].
+    pub fn restore(
+        cfg: SnowballConfig,
+        cache: Arc<ClassificationCache>,
+        chain: &Chain,
+        ckpt: &DetectorCheckpoint,
+    ) -> Result<Self, String> {
+        let mut detector = Self::with_cache(cfg, cache);
+        detector.cursor = ckpt.cursor;
+        detector.dataset = ckpt.dataset.clone();
+        for (addr, tx) in &ckpt.touch_min {
+            let id = chain
+                .addr_id(*addr)
+                .ok_or_else(|| format!("checkpoint address {addr} is not interned"))?;
+            detector.touch_min.insert(id, *tx);
+        }
+        // Members are exactly the interned union of the role sets (the
+        // only writer is `absorb_noting`, which inserts every role
+        // address the chain has interned).
+        let roles = ckpt
+            .dataset
+            .contracts
+            .iter()
+            .chain(&ckpt.dataset.operators)
+            .chain(&ckpt.dataset.affiliates);
+        for &addr in roles {
+            if let Some(id) = chain.addr_id(addr) {
+                detector.members.insert(id);
+            }
+        }
+        Ok(detector)
     }
 
     /// Transactions processed so far.

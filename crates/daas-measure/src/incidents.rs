@@ -9,7 +9,7 @@ use eth_types::Address;
 use serde::{Deserialize, Serialize};
 
 /// One profit-sharing transaction, attributed and valued.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MeasuredIncident {
     /// The profit-sharing transaction.
     pub tx: TxId,

@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 mod affiliates;
+mod bundle;
 mod family_table;
 mod incidents;
 mod laundering;
@@ -30,10 +31,11 @@ mod stats;
 mod victims;
 
 pub use affiliates::{AffiliateReport, AFFILIATE_PROFIT_BUCKETS};
+pub use bundle::{stat_bundle, StatBundle};
 pub use family_table::{dominant_share, family_table, FamilyRow};
 pub use incidents::{MeasureCtx, MeasuredIncident};
 pub use laundering::{LaunderingReport, SinkKind};
-pub use live::{LiveDelta, LiveMeasure};
+pub use live::{LiveDelta, LiveMeasure, MeasureCheckpoint, MonthCheckpoint};
 pub use management::{RewardReport, TierCensus};
 pub use timeline::MonthRow;
 pub use operators::{OperatorLifecycles, OperatorReport};

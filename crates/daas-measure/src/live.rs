@@ -31,6 +31,7 @@ use daas_chain::{format_year_month, Chain, LabelStore, Timestamp, TxId};
 use daas_detector::{ClassificationCache, ClassifierConfig, Dataset, DetectorEvent};
 use daas_pricing::Oracle;
 use eth_types::Address;
+use serde::{Deserialize, Serialize};
 
 use crate::incidents::{measure_observation, MeasureCtx, MeasuredIncident};
 use crate::ratios::{ratio_rows, RatioRow};
@@ -48,6 +49,50 @@ pub struct LiveDelta {
     pub new_victims: usize,
     /// USD stolen across the new incidents.
     pub usd: f64,
+}
+
+/// One month's accumulator in a [`MeasureCheckpoint`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonthCheckpoint {
+    /// `YYYY-MM` key.
+    pub month: String,
+    /// Distinct victims that month (sorted).
+    pub victims: Vec<Address>,
+    /// Incident count.
+    pub incidents: usize,
+    /// USD stolen (exact running value — the JSON float round-trips
+    /// bit-for-bit through the workspace serializer).
+    pub usd: f64,
+}
+
+/// Serialized [`LiveMeasure`] state (DESIGN.md §13).
+///
+/// The float accumulators depend on event-arrival order, so they are
+/// serialized *exactly* rather than recomputed: the workspace JSON
+/// shim renders `f64` with shortest-round-trip formatting and parses it
+/// back bit-for-bit, which makes a restored accumulator — including the
+/// monitoring-grade running views — indistinguishable from one that
+/// never stopped.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasureCheckpoint {
+    /// Attributed incidents, sorted by transaction id.
+    pub incidents: Vec<MeasuredIncident>,
+    /// Per-victim running losses (sorted by address).
+    pub loss_per_victim: Vec<(Address, f64)>,
+    /// Per-operator running profits.
+    pub profit_per_operator: Vec<(Address, f64)>,
+    /// Per-affiliate running profits.
+    pub profit_per_affiliate: Vec<(Address, f64)>,
+    /// Ratio histogram counters.
+    pub ratio_counts: Vec<(u32, usize)>,
+    /// Monthly accumulators.
+    pub by_month: Vec<MonthCheckpoint>,
+    /// Earliest incident timestamp (`u64::MAX` when empty).
+    pub first_ts: u64,
+    /// Latest incident timestamp.
+    pub last_ts: u64,
+    /// Running USD total.
+    pub total_usd: f64,
 }
 
 /// Incremental measurement accumulators over a detector event stream.
@@ -138,6 +183,73 @@ impl LiveMeasure {
             self.rev += 1;
         }
         delta
+    }
+
+    /// An O(shards) copy-on-write clone of the incident set — the cheap
+    /// handle a published reader snapshot holds (daas-serve); readers
+    /// derive their lazy per-epoch indices from it without touching the
+    /// accumulator again.
+    pub fn incidents_snapshot(&self) -> txgraph::CowMap<TxId, MeasuredIncident> {
+        self.incidents.clone()
+    }
+
+    /// Exports the accumulator's full state. See [`MeasureCheckpoint`]
+    /// for the float-exactness contract.
+    pub fn checkpoint(&self) -> MeasureCheckpoint {
+        let mut incidents: Vec<MeasuredIncident> = self.incidents.values().cloned().collect();
+        incidents.sort_unstable_by_key(|inc| inc.tx);
+        MeasureCheckpoint {
+            incidents,
+            loss_per_victim: self.loss_per_victim.iter().map(|(&a, &v)| (a, v)).collect(),
+            profit_per_operator: self.profit_per_operator.iter().map(|(&a, &v)| (a, v)).collect(),
+            profit_per_affiliate: self.profit_per_affiliate.iter().map(|(&a, &v)| (a, v)).collect(),
+            ratio_counts: self.ratio_counts.iter().map(|(&r, &n)| (r, n)).collect(),
+            by_month: self
+                .by_month
+                .iter()
+                .map(|(month, (victims, incidents, usd))| {
+                    let mut victims: Vec<Address> = victims.iter().copied().collect();
+                    victims.sort_unstable();
+                    MonthCheckpoint {
+                        month: month.clone(),
+                        victims,
+                        incidents: *incidents,
+                        usd: *usd,
+                    }
+                })
+                .collect(),
+            first_ts: self.first_ts,
+            last_ts: self.last_ts,
+            total_usd: self.total_usd,
+        }
+    }
+
+    /// Rebuilds an accumulator from a checkpoint. `cfg` and `cache`
+    /// follow the same contract as [`Self::with_cache`].
+    pub fn restore(
+        cfg: ClassifierConfig,
+        cache: Arc<ClassificationCache>,
+        ckpt: &MeasureCheckpoint,
+    ) -> Self {
+        let mut live = Self::with_cache(cfg, cache);
+        for inc in &ckpt.incidents {
+            live.incidents.insert(inc.tx, inc.clone());
+        }
+        live.rev = ckpt.incidents.len() as u64;
+        live.loss_per_victim = ckpt.loss_per_victim.iter().copied().collect();
+        live.profit_per_operator = ckpt.profit_per_operator.iter().copied().collect();
+        live.profit_per_affiliate = ckpt.profit_per_affiliate.iter().copied().collect();
+        live.ratio_counts = ckpt.ratio_counts.iter().copied().collect();
+        for m in &ckpt.by_month {
+            live.by_month.insert(
+                m.month.clone(),
+                (m.victims.iter().copied().collect(), m.incidents, m.usd),
+            );
+        }
+        live.first_ts = ckpt.first_ts;
+        live.last_ts = ckpt.last_ts;
+        live.total_usd = ckpt.total_usd;
+        live
     }
 
     /// Measured incidents so far.

@@ -1,15 +1,19 @@
 //! Typed metrics: counters, gauges and fixed-bucket histograms.
 //!
-//! Every recording call lands in a thread-local aggregate (no locks, no
-//! contention on the hot path). Locals merge into one global pending
-//! aggregate when their thread exits — crossbeam-scoped workers always
-//! exit before the scope joins — and the draining thread flushes its
-//! own local first, so [`drain_metrics`](crate::metrics) sees
-//! everything. Merging is commutative and associative per metric type
-//! (sum, max, bucket-wise add), which makes the drained snapshot a pure
-//! function of the multiset of recording calls: the thread schedule can
-//! change *who* held a partial aggregate, never the merged result
-//! (asserted by the merge-determinism unit test).
+//! Every recording call lands in a thread-local slot (one uncontended
+//! mutex lock; no cross-thread contention on the hot path). Each slot
+//! is also registered in a global list the moment its thread first
+//! records, and [`drain_metrics`](crate::metrics) merges directly from
+//! that list — so a drain sees every recording that happened before it,
+//! regardless of whether the recording thread has fully exited.
+//! (Flushing from TLS destructors instead is a trap: `thread::scope`
+//! unblocks when a worker's closure returns, *before* its TLS
+//! destructors run, so a drain right after the scope could miss the
+//! worker's flush.) Merging is commutative and associative per metric
+//! type (sum, max, bucket-wise add), which makes the drained snapshot a
+//! pure function of the multiset of recording calls: the thread
+//! schedule can change *who* held a partial aggregate, never the merged
+//! result (asserted by the merge-determinism unit test).
 //!
 //! Gauges merge by **max**: the pipeline uses them for set-once sizes
 //! and stage durations, where the maximum is both deterministic and the
@@ -17,9 +21,8 @@
 //! ([`MS_BUCKETS`]) so every `_ms` series is comparable across runs and
 //! stages.
 
-use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::enabled;
 
@@ -107,36 +110,32 @@ impl Aggregate {
     }
 }
 
-/// Aggregates flushed by exited threads, awaiting drain.
-static PENDING: Mutex<Option<Aggregate>> = Mutex::new(None);
+/// One thread's slot: the registry and the owning thread's TLS share it
+/// via `Arc`. The mutex is uncontended except while a drain sweeps.
+struct Slot(Mutex<Aggregate>);
 
-/// Thread-local aggregate that merges itself into [`PENDING`] on thread
-/// exit (TLS destructors run before a scoped join returns).
-struct LocalMetrics(RefCell<Aggregate>);
-
-impl Drop for LocalMetrics {
-    fn drop(&mut self) {
-        flush_into_pending(self.0.take());
-    }
-}
+/// Every slot ever handed to a recording thread. A slot outlives its
+/// thread (the registry keeps it alive), so recordings made by a worker
+/// that exited before the drain are still merged; drains prune slots
+/// whose thread is gone and whose aggregate has been taken.
+static REGISTRY: Mutex<Vec<Arc<Slot>>> = Mutex::new(Vec::new());
 
 thread_local! {
-    static LOCAL: LocalMetrics = LocalMetrics(RefCell::new(Aggregate::default()));
-}
-
-fn flush_into_pending(aggregate: Aggregate) {
-    if aggregate.is_empty() {
-        return;
-    }
-    let mut pending = PENDING.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
-    pending.get_or_insert_with(Aggregate::default).merge_from(aggregate);
+    static LOCAL: Arc<Slot> = {
+        let slot = Arc::new(Slot(Mutex::new(Aggregate::default())));
+        REGISTRY
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .push(Arc::clone(&slot));
+        slot
+    };
 }
 
 fn with_local(f: impl FnOnce(&mut Aggregate)) {
     // If the TLS slot is already destroyed (thread teardown), the
-    // recording is dropped — only metrics recorded after the thread's
-    // own flush could be affected, and no pipeline code records there.
-    let _ = LOCAL.try_with(|local| f(&mut local.0.borrow_mut()));
+    // recording is dropped — no pipeline code records there.
+    let _ = LOCAL
+        .try_with(|slot| f(&mut slot.0.lock().unwrap_or_else(|poisoned| poisoned.into_inner())));
 }
 
 /// Increments counter `name` by 1. No-op while the recorder is off.
@@ -294,18 +293,24 @@ fn render_key((name, label): &Key) -> String {
     }
 }
 
-/// Flushes the calling thread's locals, takes the global pending
-/// aggregate and renders the sorted snapshot. Clears everything.
+/// Takes every registered thread's aggregate and renders the sorted
+/// snapshot. Clears everything; slots of exited threads are pruned.
 pub(crate) fn drain_metrics() -> MetricsSnapshot {
-    let mut flushed = Aggregate::default();
-    let _ = LOCAL.try_with(|local| flushed = local.0.take());
-    flush_into_pending(flushed);
-
-    let Some(aggregate) =
-        PENDING.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).take()
-    else {
+    let mut aggregate = Aggregate::default();
+    {
+        let mut registry = REGISTRY.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        registry.retain(|slot| {
+            let taken =
+                std::mem::take(&mut *slot.0.lock().unwrap_or_else(|p| p.into_inner()));
+            aggregate.merge_from(taken);
+            // strong_count == 1 means the owning thread's TLS handle is
+            // gone; its (now empty) slot can be dropped.
+            Arc::strong_count(slot) > 1
+        });
+    }
+    if aggregate.is_empty() {
         return MetricsSnapshot::default();
-    };
+    }
     let mut snapshot = MetricsSnapshot::default();
     for (key, value) in &aggregate.counters {
         snapshot.counters.insert(render_key(key), *value);
@@ -453,6 +458,25 @@ mod tests {
         assert_eq!(sequential.counter("merge.labeled{shard=3}"), 48);
         assert_eq!(sequential.gauge("merge.gauge"), Some(23.0), "gauges merge by max");
         assert_eq!(sequential.histograms["merge.hist_ms"].count, 24);
+    }
+
+    #[test]
+    fn drain_right_after_scope_sees_worker_recordings() {
+        let _guard = crate::test_lock();
+        // `thread::scope` unblocks when a worker's closure returns,
+        // which may be before the worker thread has fully exited — a
+        // drain on the very next line must still see its recordings.
+        for _ in 0..50 {
+            reset();
+            crate::set_enabled(true);
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    scope.spawn(|| inc("scope.count"));
+                }
+            });
+            crate::set_enabled(false);
+            assert_eq!(crate::drain().metrics.counter("scope.count"), 4);
+        }
     }
 
     #[test]

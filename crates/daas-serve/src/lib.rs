@@ -1,0 +1,34 @@
+//! The live DaaS pipeline as a long-running intelligence service.
+//!
+//! [`Engine`] owns the full streaming chain — online detector,
+//! incremental clusterer, live measurement, the chain arena and the
+//! shared classification memo — ingests sealed-block windows, and
+//! publishes an immutable [`Snapshot`] per epoch through the
+//! lock-lite [`SnapshotCell`]. Readers (the daemon's socket threads,
+//! wallet-guard's live client, tests) answer address-risk, family,
+//! victim-loss and §6-stat queries from snapshots without ever blocking
+//! the ingest thread.
+//!
+//! [`EngineCheckpoint`] serializes the engine's entire retained state
+//! keyed by address; a restarted daemon restores it against a
+//! deterministically regenerated world and converges to artifacts
+//! byte-identical to an uninterrupted run (DESIGN.md §13).
+//!
+//! The `daas-serve` binary wraps all of this in a JSONL protocol over
+//! stdin/stdout and an optional Unix socket ([`protocol`], [`serve`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checkpoint;
+mod engine;
+pub mod protocol;
+mod server;
+mod snapshot;
+
+pub use checkpoint::EngineCheckpoint;
+pub use engine::{Engine, LiveWindowStats};
+pub use server::{handle_control, restore_from, serve, ServeOptions};
+pub use snapshot::{
+    AddressRisk, Snapshot, SnapshotCell, ROLE_AFFILIATE, ROLE_CONTRACT, ROLE_OPERATOR,
+};

@@ -1,0 +1,168 @@
+//! daas-serve — the DaaS intelligence daemon.
+//!
+//! ```text
+//! daas-serve [--seed N] [--scale F] [--preset paper|small|tiny|micro]
+//!            [--threads N] [--shards N] [--window BLOCKS]
+//!            [--socket PATH] [--readers N]
+//!            [--restore CKPT.json] [--metrics-out PATH]
+//! ```
+//!
+//! Speaks the JSONL protocol (see `protocol.rs`) on stdin/stdout and,
+//! when `--socket` is given, on a Unix socket served by a reader pool.
+//! `--restore` resumes from an [`daas_serve::EngineCheckpoint`] instead
+//! of starting at transaction 0; diagnostics go to stderr so stdout
+//! stays a clean protocol channel.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use daas_detector::SnowballConfig;
+use daas_serve::{serve, Engine, ServeOptions};
+use daas_world::WorldConfig;
+
+fn main() -> ExitCode {
+    let mut seed = 42u64;
+    let mut scale = 0.1f64;
+    let mut preset = String::from("paper");
+    let mut threads = 0usize;
+    let mut shards = 0usize;
+    let mut window = 64u64;
+    let mut socket: Option<PathBuf> = None;
+    let mut readers = 2usize;
+    let mut restore: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut seed_set = false;
+    let mut scale_set = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        macro_rules! operand {
+            ($name:literal) => {
+                match args.next() {
+                    Some(v) => v,
+                    None => return usage(concat!($name, " needs a value")),
+                }
+            };
+        }
+        match arg.as_str() {
+            "--seed" => match operand!("--seed").parse() {
+                Ok(v) => {
+                    seed = v;
+                    seed_set = true;
+                }
+                Err(_) => return usage("--seed needs an integer"),
+            },
+            "--scale" => match operand!("--scale").parse() {
+                Ok(v) if v > 0.0 => {
+                    scale = v;
+                    scale_set = true;
+                }
+                _ => return usage("--scale needs a positive number"),
+            },
+            "--preset" => preset = operand!("--preset"),
+            "--threads" => match operand!("--threads").parse() {
+                Ok(v) => threads = v,
+                Err(_) => return usage("--threads needs an integer"),
+            },
+            "--shards" => match operand!("--shards").parse() {
+                Ok(v) => shards = v,
+                Err(_) => return usage("--shards needs an integer"),
+            },
+            "--window" => match operand!("--window").parse() {
+                Ok(v) if v > 0 => window = v,
+                _ => return usage("--window needs a positive block count"),
+            },
+            "--socket" => socket = Some(PathBuf::from(operand!("--socket"))),
+            "--readers" => match operand!("--readers").parse() {
+                Ok(v) if v > 0 => readers = v,
+                _ => return usage("--readers needs a positive integer"),
+            },
+            "--restore" => restore = Some(PathBuf::from(operand!("--restore"))),
+            "--metrics-out" => metrics_out = Some(PathBuf::from(operand!("--metrics-out"))),
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    if metrics_out.is_some() {
+        daas_obs::set_enabled(true);
+    }
+
+    let engine = match &restore {
+        Some(path) => daas_serve::restore_from(path),
+        None => {
+            let mut config = match preset.as_str() {
+                "paper" => WorldConfig::paper_scale(seed),
+                "small" => WorldConfig::small(seed),
+                "tiny" => WorldConfig::tiny(seed),
+                "micro" => WorldConfig::micro(seed),
+                other => return usage(&format!("unknown preset {other:?}")),
+            };
+            if seed_set {
+                config.seed = seed;
+            }
+            if scale_set || preset == "paper" {
+                config.scale = scale;
+            }
+            if let Err(e) = config.validate() {
+                eprintln!("daas-serve: invalid configuration: {e}");
+                return ExitCode::FAILURE;
+            }
+            let snowball = SnowballConfig { threads, ..Default::default() };
+            Engine::new(&config, &snowball, shards)
+        }
+    };
+    let engine = match engine {
+        Ok(engine) => engine,
+        Err(e) => {
+            eprintln!("daas-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "daas-serve: ready epoch={} watermark={} blocks={}/{}{}",
+        engine.epoch(),
+        engine.watermark(),
+        engine.snapshot().blocks_ingested,
+        engine.snapshot().total_blocks,
+        socket
+            .as_ref()
+            .map(|p| format!(" socket={}", p.display()))
+            .unwrap_or_default(),
+    );
+
+    let opts = ServeOptions {
+        socket,
+        readers,
+        window_blocks: window,
+        ..ServeOptions::default()
+    };
+    let result = serve(engine, opts);
+
+    if let Some(path) = &metrics_out {
+        let report = daas_obs::drain();
+        if let Err(e) = std::fs::write(path, daas_obs::summary_json(&report)) {
+            eprintln!("daas-serve: metrics write failed: {e}");
+        }
+    }
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("daas-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("daas-serve: {error}");
+    }
+    eprintln!(
+        "usage: daas-serve [--seed N] [--scale F] [--preset paper|small|tiny|micro]\n\
+         \x20                 [--threads N] [--shards N] [--window BLOCKS]\n\
+         \x20                 [--socket PATH] [--readers N] [--restore CKPT.json]\n\
+         \x20                 [--metrics-out PATH]"
+    );
+    if error.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE }
+}

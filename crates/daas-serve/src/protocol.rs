@@ -1,0 +1,273 @@
+//! The daemon's JSONL wire protocol — one request object per line, one
+//! response object per line, identical over stdin/stdout and the Unix
+//! socket.
+//!
+//! Requests name a command plus optional operands:
+//!
+//! ```json
+//! {"cmd":"status"}
+//! {"cmd":"risk","address":"0x5a3f…"}
+//! {"cmd":"family","id":3}            // or {"cmd":"family","address":…}
+//! {"cmd":"victim","address":"0x…"}
+//! {"cmd":"stats"}
+//! {"cmd":"ingest","blocks":64}
+//! {"cmd":"run","window":64}
+//! {"cmd":"reports"}
+//! {"cmd":"artifact"}
+//! {"cmd":"checkpoint","path":"/tmp/ckpt.json"}
+//! {"cmd":"shutdown"}
+//! ```
+//!
+//! Responses carry `"ok":true` plus the payload, or
+//! `{"ok":false,"error":…}`. Query commands (`status`, `risk`,
+//! `family`, `victim`, `stats`) are answered by any reader thread from
+//! the published snapshot — [`answer_query`] — and never touch the
+//! engine; everything else is a control command the server forwards to
+//! the single engine thread.
+
+use std::str::FromStr;
+use std::time::Instant;
+
+use eth_types::Address;
+use serde::{Deserialize, Serialize};
+
+use crate::snapshot::Snapshot;
+
+/// One parsed request line. Unused operands are simply `None`.
+#[derive(Debug, Clone, Deserialize)]
+pub struct Request {
+    /// The command verb.
+    pub cmd: String,
+    /// Address operand (`risk`, `family`, `victim`), `0x…` hex.
+    #[serde(default)]
+    pub address: Option<String>,
+    /// Family id operand (`family`).
+    #[serde(default)]
+    pub id: Option<usize>,
+    /// Window size in blocks (`ingest`).
+    #[serde(default)]
+    pub blocks: Option<u64>,
+    /// Window size in blocks (`run`).
+    #[serde(default)]
+    pub window: Option<u64>,
+    /// Filesystem path operand (`checkpoint`).
+    #[serde(default)]
+    pub path: Option<String>,
+}
+
+impl Request {
+    /// Parses one JSONL request line.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        serde_json::from_str(line).map_err(|e| format!("bad request: {e}"))
+    }
+
+    /// `true` when this command reads the snapshot only (answerable by
+    /// any reader thread without involving the engine).
+    pub fn is_query(&self) -> bool {
+        matches!(self.cmd.as_str(), "status" | "risk" | "family" | "victim" | "stats")
+    }
+}
+
+/// Escapes a string for embedding in a JSON literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The uniform failure response.
+pub fn error_response(message: &str) -> String {
+    format!("{{\"ok\":false,\"error\":\"{}\"}}", json_escape(message))
+}
+
+#[derive(Serialize)]
+struct StatusResponse {
+    ok: bool,
+    epoch: u64,
+    watermark: u64,
+    blocks_ingested: u64,
+    total_blocks: u64,
+    done: bool,
+    contracts: usize,
+    operators: usize,
+    affiliates: usize,
+    ps_txs: usize,
+    families: usize,
+    incidents: usize,
+    total_usd: f64,
+}
+
+#[derive(Serialize)]
+struct RiskResponse {
+    ok: bool,
+    epoch: u64,
+    address: String,
+    is_daas: bool,
+    roles: Vec<String>,
+    family: Option<usize>,
+    family_name: Option<String>,
+}
+
+#[derive(Serialize)]
+struct VictimResponse {
+    ok: bool,
+    epoch: u64,
+    address: String,
+    is_victim: bool,
+    incidents: usize,
+    usd: f64,
+}
+
+fn parse_address(field: &Option<String>) -> Result<Address, String> {
+    let raw = field.as_deref().ok_or("missing \"address\"")?;
+    Address::from_str(raw).map_err(|_| format!("bad address {raw:?}"))
+}
+
+fn to_line<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string(value).unwrap_or_else(|e| error_response(&e.to_string()))
+}
+
+/// Answers a query command from a published snapshot; `None` when the
+/// command is a control command for the engine thread. Latency lands in
+/// the `serve.query_ms{endpoint=…}` histogram.
+pub fn answer_query(snap: &Snapshot, req: &Request) -> Option<String> {
+    if !req.is_query() {
+        return None;
+    }
+    let t0 = Instant::now();
+    let line = match req.cmd.as_str() {
+        "status" => to_line(&StatusResponse {
+            ok: true,
+            epoch: snap.epoch,
+            watermark: snap.watermark as u64,
+            blocks_ingested: snap.blocks_ingested,
+            total_blocks: snap.total_blocks,
+            done: snap.done,
+            contracts: snap.counts.contracts,
+            operators: snap.counts.operators,
+            affiliates: snap.counts.affiliates,
+            ps_txs: snap.counts.ps_txs,
+            families: snap.families.len(),
+            incidents: snap.incidents.len(),
+            total_usd: snap.total_usd,
+        }),
+        "risk" => match parse_address(&req.address) {
+            Ok(address) => {
+                let risk = snap.risk(address);
+                to_line(&RiskResponse {
+                    ok: true,
+                    epoch: snap.epoch,
+                    address: address.to_string(),
+                    is_daas: risk.is_daas,
+                    roles: risk.role_names().iter().map(|r| r.to_string()).collect(),
+                    family: risk.family,
+                    family_name: risk.family_name,
+                })
+            }
+            Err(e) => error_response(&e),
+        },
+        "family" => {
+            let id = match (req.id, &req.address) {
+                (Some(id), _) => Ok(Some(id)),
+                (None, Some(_)) => parse_address(&req.address).map(|a| snap.family_of(a)),
+                (None, None) => Err("family needs \"id\" or \"address\"".to_string()),
+            };
+            match id {
+                Ok(Some(id)) => match snap.family(id) {
+                    Some(family) => format!(
+                        "{{\"ok\":true,\"epoch\":{},\"family\":{}}}",
+                        snap.epoch,
+                        serde_json::to_string(&**family)
+                            .unwrap_or_else(|e| error_response(&e.to_string())),
+                    ),
+                    None => error_response(&format!("no family {id}")),
+                },
+                Ok(None) => format!(
+                    "{{\"ok\":true,\"epoch\":{},\"family\":null}}",
+                    snap.epoch
+                ),
+                Err(e) => error_response(&e),
+            }
+        }
+        "victim" => match parse_address(&req.address) {
+            Ok(address) => {
+                let (usd, incidents) =
+                    snap.victim_losses().get(&address).copied().unwrap_or((0.0, 0));
+                to_line(&VictimResponse {
+                    ok: true,
+                    epoch: snap.epoch,
+                    address: address.to_string(),
+                    is_victim: incidents > 0,
+                    incidents,
+                    usd,
+                })
+            }
+            Err(e) => error_response(&e),
+        },
+        "stats" => format!(
+            "{{\"ok\":true,\"epoch\":{},\"stats\":{}}}",
+            snap.epoch,
+            serde_json::to_string(snap.stat_bundle())
+                .unwrap_or_else(|e| error_response(&e.to_string())),
+        ),
+        _ => unreachable!("is_query gates the command set"),
+    };
+    if daas_obs::enabled() {
+        daas_obs::observe_ms_l(
+            "serve.query_ms",
+            "endpoint",
+            &req.cmd,
+            t0.elapsed().as_secs_f64() * 1e3,
+        );
+    }
+    Some(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_requests_with_optional_operands() {
+        let req = Request::parse("{\"cmd\":\"status\"}").unwrap();
+        assert_eq!(req.cmd, "status");
+        assert!(req.is_query());
+        let req =
+            Request::parse("{\"cmd\":\"ingest\",\"blocks\":64}").unwrap();
+        assert_eq!(req.blocks, Some(64));
+        assert!(!req.is_query());
+        assert!(Request::parse("not json").is_err());
+    }
+
+    #[test]
+    fn empty_snapshot_answers_status_and_risk() {
+        let snap = Snapshot::empty(0);
+        let line = answer_query(&snap, &Request::parse("{\"cmd\":\"status\"}").unwrap()).unwrap();
+        assert!(line.contains("\"ok\":true"), "{line}");
+        assert!(line.contains("\"done\":true"), "{line}");
+        let addr = Address::from_key_seed(&[7]);
+        let line = answer_query(
+            &snap,
+            &Request::parse(&format!("{{\"cmd\":\"risk\",\"address\":\"{addr}\"}}")).unwrap(),
+        )
+        .unwrap();
+        assert!(line.contains("\"is_daas\":false"), "{line}");
+        // Control commands are not answered here.
+        assert!(answer_query(&snap, &Request::parse("{\"cmd\":\"reports\"}").unwrap()).is_none());
+    }
+
+    #[test]
+    fn escapes_json_strings() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

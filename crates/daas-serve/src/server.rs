@@ -1,0 +1,332 @@
+//! The daemon runtime: one engine thread owning all mutable state, a
+//! small pool of reader threads on a Unix socket, and a stdin/stdout
+//! JSONL loop — std only, no async runtime.
+//!
+//! Queries never block ingestion: readers answer `status` / `risk` /
+//! `family` / `victim` / `stats` from the epoch-swapped snapshot cell.
+//! Control commands (`ingest`, `run`, `reports`, `artifact`,
+//! `checkpoint`, `shutdown`) are forwarded over an mpsc channel to the
+//! engine thread, which executes them serially — the engine is
+//! single-writer by construction.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use daas_measure::MeasureConfig;
+
+use crate::checkpoint::EngineCheckpoint;
+use crate::engine::Engine;
+use crate::protocol::{answer_query, error_response, json_escape, Request};
+use crate::snapshot::SnapshotCell;
+
+/// Daemon settings.
+pub struct ServeOptions {
+    /// Unix socket to listen on (`None` = stdin/stdout only).
+    pub socket: Option<PathBuf>,
+    /// Reader threads accepting socket connections.
+    pub readers: usize,
+    /// Default window size in blocks for `ingest` / `run` when the
+    /// request doesn't name one.
+    pub window_blocks: u64,
+    /// Measurement settings for `reports` / `artifact`.
+    pub measure: MeasureConfig,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            socket: None,
+            readers: 2,
+            window_blocks: 64,
+            measure: MeasureConfig::sequential(),
+        }
+    }
+}
+
+struct Control {
+    req: Request,
+    reply: Sender<String>,
+}
+
+/// Runs the daemon until a `shutdown` command arrives (from stdin or
+/// the socket) or stdin reaches EOF with no socket configured. Blocks
+/// the calling thread.
+pub fn serve(engine: Engine, opts: ServeOptions) -> Result<(), String> {
+    let cell = engine.snapshot_cell();
+    let (ctl_tx, ctl_rx) = channel::<Control>();
+    let window_blocks = opts.window_blocks;
+    let measure = opts.measure.clone();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let engine_stop = Arc::clone(&stop);
+    let engine_thread = thread::Builder::new()
+        .name("daas-serve-engine".into())
+        .spawn(move || engine_loop(engine, ctl_rx, window_blocks, &measure, &engine_stop))
+        .map_err(|e| e.to_string())?;
+
+    if let Some(path) = &opts.socket {
+        let listener = bind_socket(path)?;
+        for i in 0..opts.readers.max(1) {
+            let listener = Arc::clone(&listener);
+            let cell = Arc::clone(&cell);
+            let ctl_tx = ctl_tx.clone();
+            let stop = Arc::clone(&stop);
+            thread::Builder::new()
+                .name(format!("daas-serve-reader-{i}"))
+                .spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        match listener.accept() {
+                            Ok((stream, _)) => handle_conn(stream, &cell, &ctl_tx, &stop),
+                            Err(_) => break,
+                        }
+                    }
+                })
+                .map_err(|e| e.to_string())?;
+        }
+    }
+
+    {
+        let cell = Arc::clone(&cell);
+        let ctl_tx = ctl_tx.clone();
+        thread::Builder::new()
+            .name("daas-serve-stdin".into())
+            .spawn(move || {
+                let stdin = std::io::stdin();
+                for line in stdin.lock().lines() {
+                    let Ok(line) = line else { break };
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let reply = dispatch(&line, &cell, &ctl_tx);
+                    let mut out = std::io::stdout().lock();
+                    let _ = writeln!(out, "{reply}");
+                    let _ = out.flush();
+                }
+            })
+            .map_err(|e| e.to_string())?;
+    }
+    // The server's own senders die here; with no socket readers, stdin
+    // EOF therefore shuts the engine loop down.
+    drop(ctl_tx);
+
+    engine_thread.join().map_err(|_| "engine thread panicked".to_string())?;
+    // Give reader threads a beat to flush the shutdown reply before the
+    // process (and its blocked accept/stdin threads) goes away.
+    thread::sleep(Duration::from_millis(100));
+    if let Some(path) = &opts.socket {
+        let _ = std::fs::remove_file(path);
+    }
+    Ok(())
+}
+
+fn bind_socket(path: &Path) -> Result<Arc<UnixListener>, String> {
+    if path.exists() {
+        std::fs::remove_file(path).map_err(|e| format!("remove stale socket: {e}"))?;
+    }
+    let listener =
+        UnixListener::bind(path).map_err(|e| format!("bind {}: {e}", path.display()))?;
+    Ok(Arc::new(listener))
+}
+
+/// Parses one line and answers it: queries from the snapshot cell,
+/// control commands via the engine channel.
+fn dispatch(line: &str, cell: &SnapshotCell, ctl_tx: &Sender<Control>) -> String {
+    let req = match Request::parse(line) {
+        Ok(req) => req,
+        Err(e) => return error_response(&e),
+    };
+    if let Some(reply) = answer_query(&cell.load(), &req) {
+        return reply;
+    }
+    let (reply_tx, reply_rx) = channel();
+    if ctl_tx.send(Control { req, reply: reply_tx }).is_err() {
+        return error_response("engine is shut down");
+    }
+    reply_rx.recv().unwrap_or_else(|_| error_response("engine is shut down"))
+}
+
+fn handle_conn(
+    stream: UnixStream,
+    cell: &SnapshotCell,
+    ctl_tx: &Sender<Control>,
+    stop: &AtomicBool,
+) {
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut writer = stream;
+    let reader = BufReader::new(read_half);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = dispatch(&line, cell, ctl_tx);
+        if writeln!(writer, "{reply}").and_then(|_| writer.flush()).is_err() {
+            break;
+        }
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+    }
+}
+
+fn engine_loop(
+    mut engine: Engine,
+    ctl_rx: Receiver<Control>,
+    default_window: u64,
+    measure: &MeasureConfig,
+    stop: &AtomicBool,
+) {
+    while let Ok(Control { req, reply }) = ctl_rx.recv() {
+        let (line, shutdown) = handle_control(&mut engine, &req, default_window, measure);
+        if shutdown {
+            stop.store(true, Ordering::Relaxed);
+        }
+        let _ = reply.send(line);
+        if shutdown {
+            break;
+        }
+    }
+}
+
+/// Executes one control command against the engine. Returns the reply
+/// line and whether the daemon should shut down.
+pub fn handle_control(
+    engine: &mut Engine,
+    req: &Request,
+    default_window: u64,
+    measure: &MeasureConfig,
+) -> (String, bool) {
+    match req.cmd.as_str() {
+        "ingest" => {
+            let window = req.blocks.unwrap_or(default_window);
+            match engine.ingest_window(window) {
+                Some(stats) => (
+                    format!(
+                        "{{\"ok\":true,\"window\":{},\"first_block\":{},\"last_block\":{},\
+                         \"watermark\":{},\"epoch\":{},\"new_ps_txs\":{},\"families\":{},\
+                         \"done\":{}}}",
+                        stats.index,
+                        stats.first_block,
+                        stats.last_block,
+                        stats.watermark,
+                        engine.epoch(),
+                        stats.new_ps_txs,
+                        stats.families,
+                        engine.done(),
+                    ),
+                    false,
+                ),
+                None => {
+                    engine.finish_stream();
+                    (
+                        format!(
+                            "{{\"ok\":true,\"done\":true,\"watermark\":{},\"epoch\":{}}}",
+                            engine.watermark(),
+                            engine.epoch(),
+                        ),
+                        false,
+                    )
+                }
+            }
+        }
+        "run" => {
+            let window = req.window.or(req.blocks).unwrap_or(default_window);
+            let windows = engine.run_to_end(window, |_| {});
+            (
+                format!(
+                    "{{\"ok\":true,\"windows\":{},\"watermark\":{},\"epoch\":{},\"done\":true}}",
+                    windows.len(),
+                    engine.watermark(),
+                    engine.epoch(),
+                ),
+                false,
+            )
+        }
+        "reports" => {
+            let reports = engine.reports(measure);
+            match serde_json::to_string(&reports) {
+                Ok(json) => (
+                    format!("{{\"ok\":true,\"epoch\":{},\"reports\":{json}}}", engine.epoch()),
+                    false,
+                ),
+                Err(e) => (error_response(&e.to_string()), false),
+            }
+        }
+        "artifact" => {
+            // The batch-comparable artifact is defined at stream end;
+            // finishing first is idempotent. It carries exactly the
+            // fields the live-vs-batch equivalence contract compares
+            // (DESIGN.md §10): the dataset's role sets and transaction
+            // set (not stream-order bookkeeping like `observations` or
+            // the seed-stage counts), the clustering and the reports.
+            engine.finish_stream();
+            let dataset = engine.dataset().clone();
+            let clustering = engine.clustering();
+            let reports = engine.reports(measure);
+            let parts = (
+                serde_json::to_string(&dataset.contracts),
+                serde_json::to_string(&dataset.operators),
+                serde_json::to_string(&dataset.affiliates),
+                serde_json::to_string(&dataset.ps_txs),
+                serde_json::to_string(&clustering),
+                serde_json::to_string(&reports),
+            );
+            match parts {
+                (Ok(co), Ok(op), Ok(af), Ok(tx), Ok(c), Ok(r)) => (
+                    format!(
+                        "{{\"ok\":true,\"epoch\":{},\"artifact\":{{\"contracts\":{co},\
+                         \"operators\":{op},\"affiliates\":{af},\"ps_txs\":{tx},\
+                         \"clustering\":{c},\"reports\":{r}}}}}",
+                        engine.epoch(),
+                    ),
+                    false,
+                ),
+                (co, op, af, tx, c, r) => {
+                    let e = [co.err(), op.err(), af.err(), tx.err(), c.err(), r.err()]
+                        .into_iter()
+                        .flatten()
+                        .next()
+                        .map(|e| e.to_string())
+                        .unwrap_or_default();
+                    (error_response(&e), false)
+                }
+            }
+        }
+        "checkpoint" => match &req.path {
+            Some(path) => {
+                let ckpt = engine.checkpoint();
+                match ckpt.save(Path::new(path)) {
+                    Ok(bytes) => (
+                        format!(
+                            "{{\"ok\":true,\"path\":\"{}\",\"bytes\":{},\"epoch\":{},\
+                             \"watermark\":{}}}",
+                            json_escape(path),
+                            bytes,
+                            engine.epoch(),
+                            engine.watermark(),
+                        ),
+                        false,
+                    ),
+                    Err(e) => (error_response(&e), false),
+                }
+            }
+            None => (error_response("checkpoint needs \"path\""), false),
+        },
+        "shutdown" => (
+            format!("{{\"ok\":true,\"shutdown\":true,\"epoch\":{}}}", engine.epoch()),
+            true,
+        ),
+        other => (error_response(&format!("unknown command {other:?}")), false),
+    }
+}
+
+/// Restores an engine from a checkpoint file (the `--restore` path).
+pub fn restore_from(path: &Path) -> Result<Engine, String> {
+    Engine::restore(&EngineCheckpoint::load(path)?)
+}

@@ -1,0 +1,292 @@
+//! Immutable engine snapshots and the epoch-swapped publication cell.
+//!
+//! After every ingested window the engine publishes a new [`Snapshot`]
+//! into the shared [`SnapshotCell`]. Readers clone the `Arc` out of the
+//! cell (the lock is held only for the pointer copy, never while a
+//! query runs) and answer everything from that immutable view, so no
+//! reader ever blocks the ingest thread and every answer is internally
+//! consistent: all fields of one snapshot describe the same watermark.
+//!
+//! Query-side indices (address → risk, victim → loss, the §6 stat
+//! bundle) are *lazy*: built by the first reader that needs them via
+//! `OnceLock`, shared by every later reader of the same epoch, and
+//! never paid for by the ingest thread.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use daas_chain::TxId;
+use daas_cluster::Family;
+use daas_detector::DatasetCounts;
+use daas_measure::{stat_bundle, MeasuredIncident, StatBundle};
+use eth_types::Address;
+use txgraph::CowMap;
+
+/// Role flags in a [`AddressRisk`] (an address can hold several).
+pub const ROLE_CONTRACT: u8 = 1;
+/// Operator role flag.
+pub const ROLE_OPERATOR: u8 = 2;
+/// Affiliate role flag.
+pub const ROLE_AFFILIATE: u8 = 4;
+
+/// The answer to an address-risk query, resolved against one epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddressRisk {
+    /// `true` when the address holds any DaaS role at this watermark.
+    pub is_daas: bool,
+    /// Bitwise OR of `ROLE_*` flags.
+    pub roles: u8,
+    /// Index (= dense id) of the family containing the address.
+    pub family: Option<usize>,
+    /// Name of that family.
+    pub family_name: Option<String>,
+}
+
+impl AddressRisk {
+    /// Role names in canonical order.
+    pub fn role_names(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        if self.roles & ROLE_CONTRACT != 0 {
+            out.push("contract");
+        }
+        if self.roles & ROLE_OPERATOR != 0 {
+            out.push("operator");
+        }
+        if self.roles & ROLE_AFFILIATE != 0 {
+            out.push("affiliate");
+        }
+        out
+    }
+}
+
+/// One immutable view of the engine's intelligence at a watermark.
+///
+/// Construction is cheap by design: the family vector and the role sets
+/// are `Arc`-shared with the engine (role sets are refreshed only when
+/// a dataset count actually changed), and the incident map is a
+/// copy-on-write clone (O(shards), not O(incidents)).
+pub struct Snapshot {
+    /// Publication sequence number (strictly increasing per engine).
+    pub epoch: u64,
+    /// Transactions ingested (exclusive upper bound).
+    pub watermark: TxId,
+    /// Blocks fully ingested.
+    pub blocks_ingested: u64,
+    /// Blocks in the replayed chain.
+    pub total_blocks: u64,
+    /// `true` once the whole chain (including the tail drain) is in.
+    pub done: bool,
+    /// Dataset row counts at the watermark (Table 1's unit).
+    pub counts: DatasetCounts,
+    /// Families sorted by transaction count descending; `families[i].id
+    /// == i`.
+    pub families: Arc<Vec<Arc<Family>>>,
+    /// Profit-sharing contracts discovered so far.
+    pub contracts: Arc<BTreeSet<Address>>,
+    /// Operator accounts discovered so far.
+    pub operators: Arc<BTreeSet<Address>>,
+    /// Affiliate accounts discovered so far.
+    pub affiliates: Arc<BTreeSet<Address>>,
+    /// Measured incidents keyed by transaction id.
+    pub incidents: CowMap<TxId, MeasuredIncident>,
+    /// Running USD total (the engine's order-dependent accumulator).
+    pub total_usd: f64,
+    risk_index: OnceLock<HashMap<Address, (u8, Option<usize>)>>,
+    canonical: OnceLock<Vec<MeasuredIncident>>,
+    victim_losses: OnceLock<BTreeMap<Address, (f64, usize)>>,
+    stats: OnceLock<StatBundle>,
+}
+
+impl Snapshot {
+    /// Builds a snapshot from the engine's shared parts. Lazy indices
+    /// start empty.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        epoch: u64,
+        watermark: TxId,
+        blocks_ingested: u64,
+        total_blocks: u64,
+        done: bool,
+        counts: DatasetCounts,
+        families: Arc<Vec<Arc<Family>>>,
+        contracts: Arc<BTreeSet<Address>>,
+        operators: Arc<BTreeSet<Address>>,
+        affiliates: Arc<BTreeSet<Address>>,
+        incidents: CowMap<TxId, MeasuredIncident>,
+        total_usd: f64,
+    ) -> Self {
+        Snapshot {
+            epoch,
+            watermark,
+            blocks_ingested,
+            total_blocks,
+            done,
+            counts,
+            families,
+            contracts,
+            operators,
+            affiliates,
+            incidents,
+            total_usd,
+            risk_index: OnceLock::new(),
+            canonical: OnceLock::new(),
+            victim_losses: OnceLock::new(),
+            stats: OnceLock::new(),
+        }
+    }
+
+    /// An empty pre-ingest snapshot (epoch 0).
+    pub fn empty(total_blocks: u64) -> Self {
+        Snapshot::new(
+            0,
+            0,
+            0,
+            total_blocks,
+            total_blocks == 0,
+            DatasetCounts::default(),
+            Arc::new(Vec::new()),
+            Arc::new(BTreeSet::new()),
+            Arc::new(BTreeSet::new()),
+            Arc::new(BTreeSet::new()),
+            CowMap::new(),
+            0.0,
+        )
+    }
+
+    fn risk_index(&self) -> &HashMap<Address, (u8, Option<usize>)> {
+        self.risk_index.get_or_init(|| {
+            let mut index: HashMap<Address, (u8, Option<usize>)> = HashMap::with_capacity(
+                self.contracts.len() + self.operators.len() + self.affiliates.len(),
+            );
+            for (&addr, flag) in self
+                .contracts
+                .iter()
+                .map(|a| (a, ROLE_CONTRACT))
+                .chain(self.operators.iter().map(|a| (a, ROLE_OPERATOR)))
+                .chain(self.affiliates.iter().map(|a| (a, ROLE_AFFILIATE)))
+            {
+                index.entry(addr).or_insert((0, None)).0 |= flag;
+            }
+            for family in self.families.iter() {
+                for addr in family
+                    .operators
+                    .iter()
+                    .chain(&family.contracts)
+                    .chain(&family.affiliates)
+                {
+                    index.entry(*addr).or_insert((0, None)).1 = Some(family.id);
+                }
+            }
+            index
+        })
+    }
+
+    /// Resolves one address against this epoch.
+    pub fn risk(&self, address: Address) -> AddressRisk {
+        match self.risk_index().get(&address) {
+            Some(&(roles, family)) => AddressRisk {
+                is_daas: true,
+                roles,
+                family,
+                family_name: family
+                    .and_then(|id| self.families.get(id))
+                    .map(|f| f.name.clone()),
+            },
+            None => AddressRisk { is_daas: false, roles: 0, family: None, family_name: None },
+        }
+    }
+
+    /// Family by dense id.
+    pub fn family(&self, id: usize) -> Option<&Arc<Family>> {
+        self.families.get(id)
+    }
+
+    /// Family containing the address (any role).
+    pub fn family_of(&self, address: Address) -> Option<usize> {
+        self.risk_index().get(&address).and_then(|&(_, family)| family)
+    }
+
+    /// Incidents in canonical (transaction-id) order — the order every
+    /// deterministic derived view sums in.
+    pub fn canonical_incidents(&self) -> &[MeasuredIncident] {
+        self.canonical.get_or_init(|| {
+            let mut incidents: Vec<MeasuredIncident> =
+                self.incidents.values().cloned().collect();
+            incidents.sort_unstable_by_key(|inc| inc.tx);
+            incidents
+        })
+    }
+
+    /// (USD lost, incident count) per victim, summed in canonical order.
+    pub fn victim_losses(&self) -> &BTreeMap<Address, (f64, usize)> {
+        self.victim_losses.get_or_init(|| {
+            let mut losses: BTreeMap<Address, (f64, usize)> = BTreeMap::new();
+            for inc in self.canonical_incidents() {
+                let entry = losses.entry(inc.victim).or_insert((0.0, 0));
+                entry.0 += inc.usd;
+                entry.1 += 1;
+            }
+            losses
+        })
+    }
+
+    /// The §6 quick-stat bundle for this epoch.
+    pub fn stat_bundle(&self) -> &StatBundle {
+        self.stats.get_or_init(|| stat_bundle(self.canonical_incidents()))
+    }
+}
+
+/// The epoch-swapped publication point: a mutex around an `Arc` (std
+/// has no atomic `Arc` swap). The lock is held only long enough to
+/// clone or replace the pointer — readers and the ingest thread never
+/// contend on anything O(data).
+pub struct SnapshotCell {
+    inner: Mutex<Arc<Snapshot>>,
+}
+
+impl SnapshotCell {
+    /// A cell seeded with the given snapshot.
+    pub fn new(snapshot: Snapshot) -> Self {
+        SnapshotCell { inner: Mutex::new(Arc::new(snapshot)) }
+    }
+
+    /// Clones the current snapshot pointer out of the cell.
+    pub fn load(&self) -> Arc<Snapshot> {
+        self.inner.lock().expect("snapshot cell poisoned").clone()
+    }
+
+    /// Publishes a new snapshot (readers holding the old epoch keep it
+    /// alive until they drop their `Arc`).
+    pub fn store(&self, snapshot: Snapshot) {
+        *self.inner.lock().expect("snapshot cell poisoned") = Arc::new(snapshot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_snapshot_answers_clean() {
+        let snap = Snapshot::empty(0);
+        assert!(snap.done);
+        let risk = snap.risk(Address::from_key_seed(&[1]));
+        assert!(!risk.is_daas);
+        assert!(risk.role_names().is_empty());
+        assert!(snap.victim_losses().is_empty());
+        assert_eq!(snap.stat_bundle().incidents, 0);
+    }
+
+    #[test]
+    fn cell_swaps_epochs() {
+        let cell = SnapshotCell::new(Snapshot::empty(4));
+        let old = cell.load();
+        assert_eq!(old.epoch, 0);
+        let mut next = Snapshot::empty(4);
+        next.epoch = 1;
+        cell.store(next);
+        assert_eq!(cell.load().epoch, 1);
+        // The reader that loaded epoch 0 still holds a live view.
+        assert_eq!(old.epoch, 0);
+    }
+}

@@ -19,14 +19,21 @@
 //! The module also ships the two reference dApp behaviours the test
 //! needs: a drainer (asks for everything, routed to its profit-sharing
 //! contract) and an honest checkout (asks for one bounded payment).
+//!
+//! When a `daas-serve` daemon is running, [`LiveGuardClient`] upgrades
+//! the static blocklist to a live one: each pre-signing check resolves
+//! the recipient against the daemon's latest snapshot epoch (family
+//! membership + drainer-contract lookup) over its Unix socket.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod behavior;
 mod guard;
+mod live;
 
 pub use behavior::{DappBehavior, DrainerBehavior, HonestCheckout, Holding, SignRequest};
 pub use guard::{
     multi_account_test, DomainVerdict, MultiAccountVerdict, SimulationVerdict, WalletGuard,
 };
+pub use live::{LiveGuardClient, LiveRisk, LiveStatus};

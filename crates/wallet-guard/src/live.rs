@@ -1,0 +1,134 @@
+//! The snapshot-backed live risk check: a wallet-side client for the
+//! `daas-serve` daemon's Unix socket.
+//!
+//! Where [`crate::WalletGuard`] works from a static blocklist baked in
+//! at construction, [`LiveGuardClient`] asks the running intelligence
+//! daemon — every answer is resolved against the daemon's latest
+//! published snapshot epoch, so a contract that entered the dataset a
+//! window ago is already flagged here. The client is plain std
+//! (`UnixStream` + one JSON line per query) and holds no daas-serve
+//! types, so wallet code depends only on the wire protocol.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use eth_types::Address;
+use serde::Deserialize;
+
+/// The daemon's answer to one address-risk query.
+#[derive(Debug, Clone, Deserialize)]
+pub struct LiveRisk {
+    /// Snapshot epoch the answer was resolved against.
+    pub epoch: u64,
+    /// `true` when the address holds any DaaS role at that epoch.
+    pub is_daas: bool,
+    /// Role names (`"contract"`, `"operator"`, `"affiliate"`).
+    #[serde(default)]
+    pub roles: Vec<String>,
+    /// Dense id of the containing family, if clustered.
+    #[serde(default)]
+    pub family: Option<usize>,
+    /// Name of that family.
+    #[serde(default)]
+    pub family_name: Option<String>,
+}
+
+impl LiveRisk {
+    /// `true` when the address is a known profit-sharing (drainer)
+    /// contract — the strongest pre-signing signal: a transaction whose
+    /// recipient is one of these is a drain in progress.
+    pub fn is_drainer_contract(&self) -> bool {
+        self.roles.iter().any(|r| r == "contract")
+    }
+}
+
+/// Daemon stream-position summary (the `status` endpoint).
+#[derive(Debug, Clone, Deserialize)]
+pub struct LiveStatus {
+    /// Snapshot epoch.
+    pub epoch: u64,
+    /// Transactions ingested.
+    pub watermark: u64,
+    /// Blocks ingested.
+    pub blocks_ingested: u64,
+    /// Blocks in the replayed chain.
+    pub total_blocks: u64,
+    /// `true` once the whole chain is in.
+    pub done: bool,
+    /// Families at this epoch.
+    pub families: usize,
+    /// Known drainer contracts at this epoch.
+    pub contracts: usize,
+}
+
+#[derive(Debug, Clone, Deserialize)]
+struct ErrorEnvelope {
+    ok: bool,
+    #[serde(default)]
+    error: Option<String>,
+}
+
+/// A connected wallet-side client of the `daas-serve` socket.
+pub struct LiveGuardClient {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl LiveGuardClient {
+    /// Connects to a daemon socket.
+    pub fn connect(socket: &Path) -> Result<Self, String> {
+        let stream = UnixStream::connect(socket)
+            .map_err(|e| format!("connect {}: {e}", socket.display()))?;
+        let reader = BufReader::new(
+            stream.try_clone().map_err(|e| format!("clone stream: {e}"))?,
+        );
+        Ok(LiveGuardClient { reader, writer: stream })
+    }
+
+    fn round_trip(&mut self, request: &str) -> Result<String, String> {
+        writeln!(self.writer, "{request}").map_err(|e| format!("send: {e}"))?;
+        self.writer.flush().map_err(|e| format!("send: {e}"))?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).map_err(|e| format!("recv: {e}"))?;
+        if n == 0 {
+            return Err("daemon closed the connection".into());
+        }
+        let envelope: ErrorEnvelope =
+            serde_json::from_str(&line).map_err(|e| format!("bad response: {e}"))?;
+        if !envelope.ok {
+            return Err(envelope.error.unwrap_or_else(|| "daemon error".into()));
+        }
+        Ok(line)
+    }
+
+    /// Sends one raw protocol line and returns the daemon's response
+    /// line (error responses become `Err`). The typed helpers below
+    /// cover the wallet-side queries; this escape hatch reaches the
+    /// operator commands (`run`, `checkpoint`, `shutdown`, …).
+    pub fn command(&mut self, request: &str) -> Result<String, String> {
+        self.round_trip(request)
+    }
+
+    /// Resolves one address against the daemon's latest snapshot:
+    /// family membership plus the drainer-contract flag.
+    pub fn check_address(&mut self, address: Address) -> Result<LiveRisk, String> {
+        let line =
+            self.round_trip(&format!("{{\"cmd\":\"risk\",\"address\":\"{address}\"}}"))?;
+        serde_json::from_str(&line).map_err(|e| format!("bad risk response: {e}"))
+    }
+
+    /// The daemon's current stream position.
+    pub fn status(&mut self) -> Result<LiveStatus, String> {
+        let line = self.round_trip("{\"cmd\":\"status\"}")?;
+        serde_json::from_str(&line).map_err(|e| format!("bad status response: {e}"))
+    }
+
+    /// Pre-signing check: refuse when the transaction's recipient is a
+    /// known drainer contract or any clustered DaaS account. Returns
+    /// the risk record so callers can render family context.
+    pub fn check_recipient(&mut self, recipient: Address) -> Result<(bool, LiveRisk), String> {
+        let risk = self.check_address(recipient)?;
+        Ok((!risk.is_daas, risk))
+    }
+}
