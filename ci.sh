@@ -51,6 +51,14 @@ DAAS_SCALE=0.05 cargo run -q --release -p daas-bench --bin live_smoke
 #      pipeline run in-process. ----
 cargo test -q --release -p daas-serve --test serve_gate -- --ignored --test-threads 1
 
+# ---- Scrape gate: two scale-0.05 daemons drive the identical command
+#      sequence — one polled on /metrics + /healthz for the whole
+#      ingest (obs query validated against obs_snapshot.schema.json),
+#      one with no scrape listener — and the artifact plus the drained
+#      metrics summary must be identical: the telemetry read path
+#      records nothing (DESIGN.md §15). ----
+cargo test -q --release -p daas-serve --test scrape_gate -- --ignored --test-threads 1
+
 # ---- Scale-sweep smoke: the columnar arena must complete a multi-×
 #      run with bounded memory. A small multiplier keeps the smoke
 #      fast; the RSS ceiling (generous for the 0.25 world, which peaks

@@ -306,6 +306,13 @@ fn finish_obs(
         daas_obs::write_trace_jsonl(&report, &mut out).map_err(|e| format!("{path}: {e}"))?;
         std::io::Write::flush(&mut out).map_err(|e| format!("{path}: {e}"))?;
         eprintln!("trace written to {path} ({} spans)", report.spans.len());
+        if report.dropped_spans > 0 {
+            eprintln!(
+                "trace truncated: {} spans evicted from the ring buffer this run \
+                 ({} over the process lifetime)",
+                report.dropped_spans, report.evicted_total,
+            );
+        }
     }
     if let Some(path) = metrics_out {
         std::fs::write(path, daas_obs::summary_json(&report)).map_err(|e| format!("{path}: {e}"))?;

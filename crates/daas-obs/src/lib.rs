@@ -38,7 +38,9 @@
 
 pub mod json;
 pub mod metrics;
+pub mod rolling;
 pub mod sink;
+pub mod slo;
 pub mod span;
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -49,7 +51,9 @@ pub use metrics::{
     add, add_l, gauge, gauge_l, inc, observe_ms, observe_ms_l, HistogramSnapshot,
     MetricsSnapshot, MS_BUCKETS,
 };
-pub use sink::{human_summary, prometheus_text, summary_json, write_trace_jsonl};
+pub use rolling::{RollingWindow, WindowView};
+pub use sink::{human_summary, metrics_json, prometheus_text, summary_json, write_trace_jsonl};
+pub use slo::{SloEvaluation, SloOutcome, SloRule, SloSpec, SloStat, SloVerdict};
 pub use span::{SpanGuard, SpanRecord};
 
 /// Global recorder switch. Default off: every instrumentation site costs
@@ -91,6 +95,10 @@ pub struct ObsReport {
     pub spans: Vec<SpanRecord>,
     /// Spans evicted from the ring buffer before this drain.
     pub dropped_spans: u64,
+    /// Spans evicted over the whole process lifetime (never reset).
+    pub evicted_total: u64,
+    /// Per-thread metric slots registered at drain time.
+    pub thread_slots: usize,
     /// Merged counters, gauges and histograms.
     pub metrics: MetricsSnapshot,
 }
@@ -100,8 +108,23 @@ pub struct ObsReport {
 /// worker threads flush on exit, so drain after joining them).
 pub fn drain() -> ObsReport {
     let (spans, dropped_spans) = span::drain_spans();
-    let metrics = metrics::drain_metrics();
-    ObsReport { spans, dropped_spans, metrics }
+    let (metrics, thread_slots) = metrics::drain_metrics();
+    ObsReport { spans, dropped_spans, evicted_total: span::evicted_total(), thread_slots, metrics }
+}
+
+/// A **non-destructive** interval snapshot of the merged metrics: every
+/// per-thread slot is merged without being reset, so `drain()`'s
+/// end-of-run semantics are untouched no matter how many snapshots were
+/// taken or on what schedule. This is the live-scrape path (`daas-serve`
+/// renders it as Prometheus text); per-slot locking guarantees no
+/// histogram is ever torn (`count` == Σ buckets + overflow).
+pub fn snapshot() -> MetricsSnapshot {
+    metrics::snapshot_metrics().0
+}
+
+/// [`snapshot`] plus the number of per-thread metric slots swept.
+pub fn snapshot_with_slots() -> (MetricsSnapshot, usize) {
+    metrics::snapshot_metrics()
 }
 
 /// Starts a span when the recorder is enabled; a no-op guard otherwise.

@@ -105,6 +105,22 @@ impl Aggregate {
         }
     }
 
+    /// Non-consuming merge: the source slot keeps its aggregate (the
+    /// interval-snapshot path — [`snapshot_metrics`] must leave every
+    /// recording in place for the eventual [`drain_metrics`]).
+    fn merge_ref(&mut self, other: &Aggregate) {
+        for (key, value) in &other.counters {
+            *self.counters.entry(key.clone()).or_insert(0) += value;
+        }
+        for (key, value) in &other.gauges {
+            let slot = self.gauges.entry(key.clone()).or_insert(f64::NEG_INFINITY);
+            *slot = slot.max(*value);
+        }
+        for (key, hist) in &other.histograms {
+            self.histograms.entry(key.clone()).or_insert_with(Histogram::new).merge(hist);
+        }
+    }
+
     fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
@@ -293,21 +309,8 @@ fn render_key((name, label): &Key) -> String {
     }
 }
 
-/// Takes every registered thread's aggregate and renders the sorted
-/// snapshot. Clears everything; slots of exited threads are pruned.
-pub(crate) fn drain_metrics() -> MetricsSnapshot {
-    let mut aggregate = Aggregate::default();
-    {
-        let mut registry = REGISTRY.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
-        registry.retain(|slot| {
-            let taken =
-                std::mem::take(&mut *slot.0.lock().unwrap_or_else(|p| p.into_inner()));
-            aggregate.merge_from(taken);
-            // strong_count == 1 means the owning thread's TLS handle is
-            // gone; its (now empty) slot can be dropped.
-            Arc::strong_count(slot) > 1
-        });
-    }
+/// Renders a merged aggregate as the sorted public snapshot.
+fn to_snapshot(aggregate: &Aggregate) -> MetricsSnapshot {
     if aggregate.is_empty() {
         return MetricsSnapshot::default();
     }
@@ -334,9 +337,59 @@ pub(crate) fn drain_metrics() -> MetricsSnapshot {
     snapshot
 }
 
+/// Takes every registered thread's aggregate and renders the sorted
+/// snapshot, plus the slot count swept. Clears everything; slots of
+/// exited threads are pruned.
+pub(crate) fn drain_metrics() -> (MetricsSnapshot, usize) {
+    let mut aggregate = Aggregate::default();
+    let slots;
+    {
+        let mut registry = REGISTRY.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        slots = registry.len();
+        registry.retain(|slot| {
+            let taken =
+                std::mem::take(&mut *slot.0.lock().unwrap_or_else(|p| p.into_inner()));
+            aggregate.merge_from(taken);
+            // strong_count == 1 means the owning thread's TLS handle is
+            // gone; its (now empty) slot can be dropped.
+            Arc::strong_count(slot) > 1
+        });
+    }
+    (to_snapshot(&aggregate), slots)
+}
+
+/// Merges every registered thread's aggregate **without resetting
+/// anything** — the interval-snapshot path behind
+/// [`snapshot`](crate::snapshot). A later [`drain_metrics`] still sees
+/// every recording, so end-of-run `drain()` summaries are independent
+/// of how many snapshots were taken in between.
+///
+/// Consistency: each per-thread slot is cloned under its own lock, so a
+/// histogram can never be torn (its `count` always equals the sum of
+/// its bucket counts plus overflow). Across slots the merge is a
+/// point-in-time sweep — recordings that land on an unswept slot while
+/// the sweep runs appear in the next snapshot.
+pub(crate) fn snapshot_metrics() -> (MetricsSnapshot, usize) {
+    // Clone the Arc list first so recording threads never wait on the
+    // registry lock while slots are being merged.
+    let slots: Vec<Arc<Slot>> = REGISTRY
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .iter()
+        .map(Arc::clone)
+        .collect();
+    let mut aggregate = Aggregate::default();
+    for slot in &slots {
+        let guard = slot.0.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        aggregate.merge_ref(&guard);
+    }
+    (to_snapshot(&aggregate), slots.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::Ordering;
 
     fn reset() {
         crate::set_enabled(false);
@@ -488,6 +541,110 @@ mod tests {
         crate::set_enabled(false);
         assert_eq!(crate::drain().metrics.counter("drain.once"), 1);
         assert!(crate::drain().metrics.counters.is_empty(), "second drain is empty");
+    }
+
+    #[test]
+    fn snapshot_is_non_destructive_and_preserves_drain() {
+        let _guard = crate::test_lock();
+        reset();
+        crate::set_enabled(true);
+        add("snap.c", 3);
+        gauge("snap.g", 2.0);
+        observe_ms("snap.h_ms", 1.5);
+
+        // Two consecutive snapshots see the same merged state.
+        let (first, slots) = snapshot_metrics();
+        assert!(slots >= 1);
+        assert_eq!(first.counter("snap.c"), 3);
+        assert_eq!(first.gauge("snap.g"), Some(2.0));
+        assert_eq!(first.histograms["snap.h_ms"].count, 1);
+        let (second, _) = snapshot_metrics();
+        assert_eq!(first, second, "snapshot must not consume slot state");
+
+        // Recording continues to accumulate on top.
+        add("snap.c", 4);
+        let (third, _) = snapshot_metrics();
+        assert_eq!(third.counter("snap.c"), 7);
+
+        // The eventual drain sees everything, exactly as if no snapshot
+        // had ever been taken.
+        crate::set_enabled(false);
+        let drained = crate::drain().metrics;
+        assert_eq!(drained.counter("snap.c"), 7);
+        assert_eq!(drained.histograms["snap.h_ms"].count, 1);
+        assert!(crate::drain().metrics.counters.is_empty(), "drain still clears");
+    }
+
+    #[test]
+    fn drain_after_snapshots_matches_drain_without() {
+        let _guard = crate::test_lock();
+        // The same deterministic multiset of recordings drains to the
+        // same snapshot whether or not interval snapshots were taken —
+        // the end-of-run summary is schedule- and scrape-independent.
+        let run = |snapshots: bool| {
+            reset();
+            crate::set_enabled(true);
+            std::thread::scope(|scope| {
+                for t in 0..4 {
+                    scope.spawn(move || {
+                        for i in 0..8 {
+                            add("purity.count", t + 1);
+                            observe_ms("purity.h_ms", ((t * 8 + i) % 5) as f64);
+                            if snapshots && i % 3 == 0 {
+                                let _ = snapshot_metrics();
+                            }
+                        }
+                    });
+                }
+                if snapshots {
+                    for _ in 0..16 {
+                        let _ = snapshot_metrics();
+                    }
+                }
+            });
+            crate::set_enabled(false);
+            crate::drain().metrics
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn concurrent_snapshots_never_see_torn_histograms() {
+        let _guard = crate::test_lock();
+        reset();
+        crate::set_enabled(true);
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for t in 0..3 {
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        observe_ms("torn.h_ms", ((t * 31 + i) % 13) as f64);
+                        add("torn.c", 1);
+                        i += 1;
+                    }
+                });
+            }
+            for _ in 0..200 {
+                let (snap, _) = snapshot_metrics();
+                if let Some(hist) = snap.histograms.get("torn.h_ms") {
+                    let bucket_total: u64 =
+                        hist.buckets.iter().map(|&(_, n)| n).sum::<u64>() + hist.overflow;
+                    assert_eq!(
+                        hist.count, bucket_total,
+                        "histogram torn: count {} vs buckets {}",
+                        hist.count, bucket_total
+                    );
+                    assert!(hist.sum_ms >= 0.0);
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        crate::set_enabled(false);
+        let drained = crate::drain().metrics;
+        let hist = &drained.histograms["torn.h_ms"];
+        assert_eq!(hist.count, drained.counter("torn.c"), "drain saw every recording");
     }
 
     #[test]

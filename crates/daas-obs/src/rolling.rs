@@ -1,0 +1,255 @@
+//! Rolling-window views over interval metric snapshots.
+//!
+//! The registry's counters and histograms are cumulative, which is the
+//! right shape for Prometheus scrapes but useless for "what happened in
+//! the last N seconds" questions asked of a long-running daemon. A
+//! [`RollingWindow`] keeps a short ring of timestamped
+//! [`MetricsSnapshot`]s (produced by [`snapshot`](crate::snapshot) on an
+//! interval) and derives a [`WindowView`]: per-counter deltas and rates,
+//! and per-histogram *window* distributions (bucket-wise difference
+//! between the newest sample and the window baseline), over which the
+//! usual quantile estimates apply.
+//!
+//! The window never feeds back into the registry — it is pure
+//! arithmetic over snapshots, so taking views cannot perturb `drain()`
+//! semantics any more than the snapshots themselves (which are
+//! non-destructive by contract).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot, MS_BUCKETS};
+
+/// A bounded ring of timestamped cumulative snapshots covering roughly
+/// the last `window_ms` milliseconds.
+#[derive(Debug, Default)]
+pub struct RollingWindow {
+    window_ms: u64,
+    samples: VecDeque<(u64, MetricsSnapshot)>,
+}
+
+impl RollingWindow {
+    /// A window covering the last `window_ms` milliseconds (minimum 1).
+    pub fn new(window_ms: u64) -> Self {
+        RollingWindow { window_ms: window_ms.max(1), samples: VecDeque::new() }
+    }
+
+    /// The configured horizon in milliseconds.
+    pub fn window_ms(&self) -> u64 {
+        self.window_ms
+    }
+
+    /// Retained samples (baseline included).
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no sample has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Appends one interval sample. Timestamps must be monotonic
+    /// (samples older than the newest are ignored). The oldest samples
+    /// are evicted, but one sample at or before the window start is
+    /// always retained as the delta baseline.
+    pub fn push(&mut self, t_ms: u64, snapshot: MetricsSnapshot) {
+        if let Some(&(last, _)) = self.samples.back() {
+            if t_ms < last {
+                return;
+            }
+        }
+        self.samples.push_back((t_ms, snapshot));
+        let start = t_ms.saturating_sub(self.window_ms);
+        while self.samples.len() > 2 && self.samples[1].0 <= start {
+            self.samples.pop_front();
+        }
+    }
+
+    /// The delta view between the window baseline and the newest
+    /// sample; `None` until two samples exist.
+    pub fn view(&self) -> Option<WindowView> {
+        let (from_ms, baseline) = self.samples.front()?;
+        let (to_ms, newest) = self.samples.back()?;
+        if self.samples.len() < 2 {
+            return None;
+        }
+        let span_ms = to_ms.saturating_sub(*from_ms).max(1);
+        let mut counter_deltas = BTreeMap::new();
+        let mut rates_per_s = BTreeMap::new();
+        for (key, &value) in &newest.counters {
+            let delta = value.saturating_sub(baseline.counter(key));
+            counter_deltas.insert(key.clone(), delta);
+            rates_per_s.insert(key.clone(), delta as f64 * 1e3 / span_ms as f64);
+        }
+        let mut histograms = BTreeMap::new();
+        for (key, hist) in &newest.histograms {
+            let delta = match baseline.histograms.get(key) {
+                Some(base) => delta_histogram(base, hist),
+                None => hist.clone(),
+            };
+            if delta.count > 0 {
+                histograms.insert(key.clone(), delta);
+            }
+        }
+        Some(WindowView {
+            from_ms: *from_ms,
+            to_ms: *to_ms,
+            counter_deltas,
+            rates_per_s,
+            gauges: newest.gauges.clone(),
+            histograms,
+        })
+    }
+}
+
+/// What happened between the window baseline and the newest sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowView {
+    /// Baseline sample timestamp (ms, caller's clock).
+    pub from_ms: u64,
+    /// Newest sample timestamp (ms).
+    pub to_ms: u64,
+    /// Counter increments over the window.
+    pub counter_deltas: BTreeMap<String, u64>,
+    /// Counter increments per second over the window.
+    pub rates_per_s: BTreeMap<String, f64>,
+    /// Newest gauge values (gauges are point-in-time, not deltas).
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram distributions of the window's observations only
+    /// (cumulative newest minus baseline, bucket by bucket). Quantile
+    /// estimates via [`HistogramSnapshot::quantile_ms`] describe the
+    /// window, not the whole run.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// Bucket-wise `newest - baseline`. Min/max are not recoverable from
+/// cumulative extremes, so they are re-derived from the window's
+/// occupied buckets (lower bound of the first, upper bound of the last;
+/// the observed-run max when the overflow bucket grew) — which keeps
+/// the quantile estimator's clamping semantics sound for window views.
+fn delta_histogram(base: &HistogramSnapshot, newest: &HistogramSnapshot) -> HistogramSnapshot {
+    let mut buckets = Vec::with_capacity(newest.buckets.len());
+    for (i, &(le, count)) in newest.buckets.iter().enumerate() {
+        let base_count = base.buckets.get(i).map(|&(_, n)| n).unwrap_or(0);
+        buckets.push((le, count.saturating_sub(base_count)));
+    }
+    let overflow = newest.overflow.saturating_sub(base.overflow);
+    let count = newest.count.saturating_sub(base.count);
+    let sum_ms = (newest.sum_ms - base.sum_ms).max(0.0);
+    let mut min_ms = 0.0;
+    let mut max_ms = 0.0;
+    let mut lower = 0.0;
+    for &(le, n) in &buckets {
+        if n > 0 {
+            if max_ms == 0.0 && min_ms == 0.0 && lower > 0.0 {
+                min_ms = lower;
+            }
+            max_ms = le;
+        }
+        lower = le;
+    }
+    if overflow > 0 {
+        max_ms = newest.max_ms;
+        if count == overflow {
+            min_ms = MS_BUCKETS[MS_BUCKETS.len() - 1];
+        }
+    }
+    HistogramSnapshot { count, sum_ms, min_ms, max_ms, buckets, overflow }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(counters: &[(&str, u64)], hist: &[(&str, &[f64])]) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::default();
+        for &(key, value) in counters {
+            out.counters.insert(key.to_string(), value);
+        }
+        for &(key, values) in hist {
+            let mut buckets: Vec<(f64, u64)> = MS_BUCKETS.iter().map(|&b| (b, 0)).collect();
+            let mut overflow = 0;
+            let mut sum = 0.0;
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            for &v in values {
+                match MS_BUCKETS.iter().position(|&b| v <= b) {
+                    Some(i) => buckets[i].1 += 1,
+                    None => overflow += 1,
+                }
+                sum += v;
+                min = min.min(v);
+                max = max.max(v);
+            }
+            out.histograms.insert(
+                key.to_string(),
+                HistogramSnapshot {
+                    count: values.len() as u64,
+                    sum_ms: sum,
+                    min_ms: if values.is_empty() { 0.0 } else { min },
+                    max_ms: if values.is_empty() { 0.0 } else { max },
+                    buckets,
+                    overflow,
+                },
+            );
+        }
+        out
+    }
+
+    #[test]
+    fn rates_and_deltas_over_the_window() {
+        let mut window = RollingWindow::new(10_000);
+        window.push(0, snap(&[("c", 10)], &[]));
+        assert!(window.view().is_none(), "one sample has no delta");
+        window.push(2_000, snap(&[("c", 30)], &[]));
+        let view = window.view().unwrap();
+        assert_eq!(view.counter_deltas["c"], 20);
+        assert_eq!(view.rates_per_s["c"], 10.0);
+        assert_eq!((view.from_ms, view.to_ms), (0, 2_000));
+    }
+
+    #[test]
+    fn old_samples_are_evicted_but_baseline_survives() {
+        let mut window = RollingWindow::new(1_000);
+        for i in 0..10u64 {
+            window.push(i * 500, snap(&[("c", i * 2)], &[]));
+        }
+        // Horizon is 1s = 2 intervals; the baseline sits at the window
+        // start, so the view spans ~the configured horizon.
+        let view = window.view().unwrap();
+        assert!(window.len() <= 4, "ring stays bounded, kept {}", window.len());
+        assert!(view.to_ms - view.from_ms >= 1_000);
+        assert_eq!(view.counter_deltas["c"], (view.to_ms - view.from_ms) / 250);
+        // Non-monotonic pushes are ignored.
+        window.push(100, snap(&[("c", 0)], &[]));
+        assert_eq!(window.view().unwrap().to_ms, 4_500);
+    }
+
+    #[test]
+    fn histogram_window_delta_quantiles() {
+        let mut window = RollingWindow::new(60_000);
+        window.push(0, snap(&[], &[("lat_ms", &[0.3, 0.3, 0.3])]));
+        window.push(
+            1_000,
+            snap(&[], &[("lat_ms", &[0.3, 0.3, 0.3, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0])]),
+        );
+        let view = window.view().unwrap();
+        let hist = &view.histograms["lat_ms"];
+        // Only the window's six 2.0ms observations remain.
+        assert_eq!(hist.count, 6);
+        assert_eq!(hist.min_ms, 1.0, "lower bound of the occupied bucket");
+        assert_eq!(hist.max_ms, 2.5);
+        let p50 = hist.quantile_ms(0.5).unwrap();
+        assert!(p50 > 1.0 && p50 <= 2.5, "window median in the (1.0, 2.5] bucket, got {p50}");
+    }
+
+    #[test]
+    fn disjoint_keys_fall_back_to_full_values() {
+        let mut window = RollingWindow::new(60_000);
+        window.push(0, MetricsSnapshot::default());
+        window.push(500, snap(&[("fresh", 7)], &[("h_ms", &[0.1])]));
+        let view = window.view().unwrap();
+        assert_eq!(view.counter_deltas["fresh"], 7);
+        assert_eq!(view.histograms["h_ms"].count, 1);
+    }
+}

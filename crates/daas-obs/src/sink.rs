@@ -64,9 +64,11 @@ pub fn summary_json(report: &ObsReport) -> String {
     out.push_str("{\n  \"version\": 1,\n");
     let _ = write!(
         out,
-        "  \"spans\": {{\"recorded\": {}, \"dropped\": {}}},\n",
+        "  \"spans\": {{\"recorded\": {}, \"dropped\": {}, \"evicted_total\": {}, \"thread_slots\": {}}},\n",
         report.spans.len(),
-        report.dropped_spans
+        report.dropped_spans,
+        report.evicted_total,
+        report.thread_slots
     );
 
     out.push_str("  \"counters\": {");
@@ -141,6 +143,61 @@ fn close_brace(first: bool) -> &'static str {
     }
 }
 
+/// Renders a live [`MetricsSnapshot`] as one compact JSON object —
+/// the body of the daemon's `obs` query. Unlike [`summary_json`] this
+/// is single-line (JSONL-embeddable) and omits per-bucket arrays:
+/// histograms carry count / sum / min / max, the p50/p95/p99 estimates
+/// and the overflow count (the full bucket layout is available from
+/// `GET /metrics`).
+pub fn metrics_json(metrics: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\"counters\":{");
+    let mut first = true;
+    for (key, value) in &metrics.counters {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        escape_into(&mut out, key);
+        let _ = write!(out, ":{value}");
+    }
+    out.push_str("},\"gauges\":{");
+    let mut first = true;
+    for (key, value) in &metrics.gauges {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        escape_into(&mut out, key);
+        out.push(':');
+        fmt_num(&mut out, *value);
+    }
+    out.push_str("},\"histograms\":{");
+    let mut first = true;
+    for (key, hist) in &metrics.histograms {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        escape_into(&mut out, key);
+        let _ = write!(out, ":{{\"count\":{},\"sum_ms\":", hist.count);
+        fmt_num(&mut out, hist.sum_ms);
+        out.push_str(",\"min_ms\":");
+        fmt_num(&mut out, hist.min_ms);
+        out.push_str(",\"max_ms\":");
+        fmt_num(&mut out, hist.max_ms);
+        out.push_str(",\"p50_ms\":");
+        fmt_num(&mut out, hist.quantile_ms(0.5).unwrap_or(0.0));
+        out.push_str(",\"p95_ms\":");
+        fmt_num(&mut out, hist.quantile_ms(0.95).unwrap_or(0.0));
+        out.push_str(",\"p99_ms\":");
+        fmt_num(&mut out, hist.quantile_ms(0.99).unwrap_or(0.0));
+        let _ = write!(out, ",\"overflow\":{}}}", hist.overflow);
+    }
+    out.push_str("}}");
+    out
+}
+
 /// Renders the metrics in the Prometheus text exposition format. Metric
 /// names are prefixed `daas_` with `.`/`-` mapped to `_`; the single
 /// `key=value` label becomes a Prometheus label. Histograms emit the
@@ -211,10 +268,17 @@ fn prom_name(key: &str) -> (String, String) {
         name.push(if c.is_ascii_alphanumeric() { c } else { '_' });
     }
     let label = match raw_label.split_once('=') {
-        Some((k, v)) => format!("{{{k}=\"{v}\"}}", k = k, v = v.replace('"', "\\\"")),
+        Some((k, v)) => format!("{{{k}=\"{v}\"}}", k = k, v = prom_label_value(v)),
         None => String::new(),
     };
     (name, label)
+}
+
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double quote and line feed — backslash first, or the
+/// other escapes' own backslashes would be doubled.
+fn prom_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
 }
 
 fn type_line(out: &mut String, last: &mut Option<String>, name: &str, kind: &str) {
@@ -334,6 +398,50 @@ mod tests {
         // overflowing 2000ms observation saturates p95 at max_ms.
         assert_eq!(hist["p50_ms"].as_num(), Some(1.0));
         assert_eq!(hist["p95_ms"].as_num(), Some(2000.0));
+    }
+
+    #[test]
+    fn summary_json_reports_slot_and_eviction_accounting() {
+        let mut report = sample_report();
+        report.evicted_total = 17;
+        report.thread_slots = 3;
+        let doc = parse(&summary_json(&report)).unwrap();
+        let spans = doc.as_obj().unwrap()["spans"].as_obj().unwrap();
+        assert_eq!(spans["recorded"].as_num(), Some(report.spans.len() as f64));
+        assert_eq!(spans["dropped"].as_num(), Some(0.0));
+        assert_eq!(spans["evicted_total"].as_num(), Some(17.0));
+        assert_eq!(spans["thread_slots"].as_num(), Some(3.0));
+    }
+
+    #[test]
+    fn metrics_json_is_single_line_and_parses(){
+        let report = sample_report();
+        let rendered = metrics_json(&report.metrics);
+        assert!(!rendered.contains('\n'), "JSONL-embeddable");
+        let doc = parse(&rendered).unwrap();
+        let obj = doc.as_obj().unwrap();
+        assert_eq!(obj["counters"].as_obj().unwrap()["sink.counter"].as_num(), Some(3.0));
+        assert_eq!(obj["gauges"].as_obj().unwrap()["sink.gauge"].as_num(), Some(1.5));
+        let hist =
+            obj["histograms"].as_obj().unwrap()["sink.lat_ms{report=victims}"].as_obj().unwrap();
+        assert_eq!(hist["count"].as_num(), Some(2.0));
+        assert_eq!(hist["overflow"].as_num(), Some(1.0));
+        assert!(hist["p99_ms"].as_num().is_some());
+        assert!(!hist.contains_key("buckets"), "compact: no bucket array");
+        let empty = parse(&metrics_json(&MetricsSnapshot::default())).unwrap();
+        assert_eq!(empty.as_obj().unwrap()["counters"], Value::Obj(Default::default()));
+    }
+
+    #[test]
+    fn prometheus_label_values_are_escaped() {
+        let mut metrics = MetricsSnapshot::default();
+        metrics.counters.insert("sink.weird{path=a\\b\"c\nd}".into(), 1);
+        let text = prometheus_text(&metrics);
+        assert!(
+            text.contains(r#"daas_sink_weird{path="a\\b\"c\nd"} 1"#),
+            "backslash, quote and newline escaped, got: {text}"
+        );
+        assert!(!text.contains('\n') || text.lines().count() == 2, "no raw newline in the value");
     }
 
     #[test]

@@ -1,0 +1,464 @@
+//! A small SLO evaluator: per-metric threshold rules applied to a
+//! [`MetricsSnapshot`], yielding ok / degraded / violated verdicts.
+//!
+//! A spec is a list of [`SloRule`]s. Each rule names a metric key
+//! (exactly as it appears in the snapshot, e.g.
+//! `serve.snapshot.age_ms`, or with a single-label wildcard
+//! `serve.query_ms{endpoint=*}` that expands to every matching key), a
+//! statistic to extract ([`SloStat`]) and two ascending thresholds:
+//! above `degraded` the verdict is [`SloVerdict::Degraded`], above
+//! `violated` it is [`SloVerdict::Violated`]. A metric absent from the
+//! snapshot is vacuously [`SloVerdict::Ok`] — a daemon that has served
+//! no queries yet has not missed any latency target.
+//!
+//! Specs load from JSON (`SloSpec::from_json`, parsed with the crate's
+//! own [`json`](crate::json) module — no serde):
+//!
+//! ```json
+//! {"version": 1, "rules": [
+//!   {"metric": "serve.query_ms{endpoint=*}", "stat": "p95",
+//!    "degraded": 5.0, "violated": 50.0}
+//! ]}
+//! ```
+//!
+//! Evaluation is pure arithmetic over an immutable snapshot: it never
+//! records anything, so wiring SLOs into a live scrape path cannot
+//! perturb drained artifacts.
+
+use std::fmt;
+
+use crate::json::{self, escape_into, fmt_num, Value};
+use crate::metrics::MetricsSnapshot;
+
+/// The statistic a rule extracts from its metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloStat {
+    /// Median estimate of a histogram (interpolated bucket quantile).
+    P50,
+    /// 95th-percentile estimate of a histogram.
+    P95,
+    /// 99th-percentile estimate of a histogram.
+    P99,
+    /// Maximum observed value of a histogram.
+    Max,
+    /// Mean (`sum / count`) of a histogram.
+    Mean,
+    /// Total observation count of a histogram.
+    Count,
+    /// The raw value of a counter or gauge.
+    Value,
+}
+
+impl SloStat {
+    fn parse(s: &str) -> Result<Self, String> {
+        Ok(match s {
+            "p50" => SloStat::P50,
+            "p95" => SloStat::P95,
+            "p99" => SloStat::P99,
+            "max" => SloStat::Max,
+            "mean" => SloStat::Mean,
+            "count" => SloStat::Count,
+            "value" => SloStat::Value,
+            other => return Err(format!("unknown stat \"{other}\"")),
+        })
+    }
+
+    /// The spec-file spelling of this statistic.
+    pub fn name(self) -> &'static str {
+        match self {
+            SloStat::P50 => "p50",
+            SloStat::P95 => "p95",
+            SloStat::P99 => "p99",
+            SloStat::Max => "max",
+            SloStat::Mean => "mean",
+            SloStat::Count => "count",
+            SloStat::Value => "value",
+        }
+    }
+}
+
+impl fmt::Display for SloStat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One threshold rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloRule {
+    /// Snapshot key, or a `name{key=*}` single-label wildcard.
+    pub metric: String,
+    /// Statistic to extract.
+    pub stat: SloStat,
+    /// Above this the verdict is `Degraded`.
+    pub degraded: f64,
+    /// Above this the verdict is `Violated` (must be ≥ `degraded`).
+    pub violated: f64,
+}
+
+/// Verdict severity, ordered `Ok < Degraded < Violated`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum SloVerdict {
+    /// Within the degraded threshold (or the metric is absent).
+    #[default]
+    Ok,
+    /// Above the degraded threshold but within the violated one.
+    Degraded,
+    /// Above the violated threshold.
+    Violated,
+}
+
+impl SloVerdict {
+    /// Lower-case label (`ok` / `degraded` / `violated`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SloVerdict::Ok => "ok",
+            SloVerdict::Degraded => "degraded",
+            SloVerdict::Violated => "violated",
+        }
+    }
+}
+
+impl fmt::Display for SloVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One evaluated (rule × metric) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloOutcome {
+    /// The concrete snapshot key (wildcards already expanded).
+    pub metric: String,
+    /// The statistic that was extracted.
+    pub stat: SloStat,
+    /// The extracted value; `None` when the metric was absent.
+    pub value: Option<f64>,
+    /// The degraded threshold the rule carried.
+    pub degraded: f64,
+    /// The violated threshold the rule carried.
+    pub violated: f64,
+    /// The verdict for this pair.
+    pub verdict: SloVerdict,
+}
+
+/// The result of evaluating a spec against one snapshot.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SloEvaluation {
+    /// One outcome per (rule × matched metric), spec order then key
+    /// order within a wildcard.
+    pub outcomes: Vec<SloOutcome>,
+}
+
+impl SloEvaluation {
+    /// The most severe verdict across all outcomes (`Ok` when empty).
+    pub fn worst(&self) -> SloVerdict {
+        self.outcomes.iter().map(|o| o.verdict).max().unwrap_or_default()
+    }
+
+    /// Renders the evaluation as a JSON array of outcome objects
+    /// (deterministic; used by the daemon's health endpoint).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.outcomes.len() * 96);
+        out.push('[');
+        for (i, outcome) in self.outcomes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"metric\":");
+            escape_into(&mut out, &outcome.metric);
+            out.push_str(",\"stat\":\"");
+            out.push_str(outcome.stat.name());
+            out.push_str("\",\"value\":");
+            match outcome.value {
+                Some(v) => fmt_num(&mut out, v),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"degraded\":");
+            fmt_num(&mut out, outcome.degraded);
+            out.push_str(",\"violated\":");
+            fmt_num(&mut out, outcome.violated);
+            out.push_str(",\"verdict\":\"");
+            out.push_str(outcome.verdict.name());
+            out.push_str("\"}");
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// A parsed SLO spec: an ordered list of rules.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SloSpec {
+    /// The rules, applied in order.
+    pub rules: Vec<SloRule>,
+}
+
+impl SloSpec {
+    /// Parses the JSON spec format shown in the module docs.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let doc = json::parse(text)?;
+        let obj = doc.as_obj().ok_or("spec root must be an object")?;
+        match obj.get("version").and_then(Value::as_num) {
+            Some(v) if v == 1.0 => {}
+            Some(v) => return Err(format!("unsupported spec version {v}")),
+            None => return Err("spec missing \"version\"".into()),
+        }
+        let rules_json = obj
+            .get("rules")
+            .and_then(Value::as_arr)
+            .ok_or("spec missing \"rules\" array")?;
+        let mut rules = Vec::with_capacity(rules_json.len());
+        for (i, rule) in rules_json.iter().enumerate() {
+            let rule = rule.as_obj().ok_or_else(|| format!("rules[{i}] is not an object"))?;
+            let metric = rule
+                .get("metric")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("rules[{i}] missing \"metric\""))?
+                .to_string();
+            let stat = SloStat::parse(
+                rule.get("stat")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("rules[{i}] missing \"stat\""))?,
+            )
+            .map_err(|e| format!("rules[{i}]: {e}"))?;
+            let degraded = rule
+                .get("degraded")
+                .and_then(Value::as_num)
+                .ok_or_else(|| format!("rules[{i}] missing \"degraded\""))?;
+            let violated = rule
+                .get("violated")
+                .and_then(Value::as_num)
+                .ok_or_else(|| format!("rules[{i}] missing \"violated\""))?;
+            if violated < degraded {
+                return Err(format!(
+                    "rules[{i}]: violated ({violated}) below degraded ({degraded})"
+                ));
+            }
+            rules.push(SloRule { metric, stat, degraded, violated });
+        }
+        Ok(SloSpec { rules })
+    }
+
+    /// The built-in defaults `daas-serve` uses when no `--slo` file is
+    /// given: snapshot staleness, ingest lag and per-endpoint query
+    /// latency (the three metrics the daemon is contracted to expose).
+    pub fn serve_defaults() -> Self {
+        SloSpec {
+            rules: vec![
+                SloRule {
+                    metric: "serve.snapshot.age_ms".into(),
+                    stat: SloStat::Value,
+                    degraded: 30_000.0,
+                    violated: 120_000.0,
+                },
+                SloRule {
+                    metric: "serve.ingest.lag_windows".into(),
+                    stat: SloStat::Value,
+                    degraded: 4.0,
+                    violated: 32.0,
+                },
+                SloRule {
+                    metric: "serve.query_ms{endpoint=*}".into(),
+                    stat: SloStat::P95,
+                    degraded: 25.0,
+                    violated: 250.0,
+                },
+            ],
+        }
+    }
+
+    /// Evaluates every rule against `metrics`. Wildcard rules expand to
+    /// one outcome per matching key; non-matching wildcards and absent
+    /// exact keys produce a single vacuous `Ok` outcome so the rule's
+    /// presence stays visible.
+    pub fn evaluate(&self, metrics: &MetricsSnapshot) -> SloEvaluation {
+        let mut outcomes = Vec::with_capacity(self.rules.len());
+        for rule in &self.rules {
+            let mut matched = false;
+            if let Some(prefix) = wildcard_prefix(&rule.metric) {
+                for key in metric_keys(metrics, rule.stat) {
+                    if key.starts_with(prefix) && key.ends_with('}') {
+                        outcomes.push(judge(rule, key.clone(), extract(metrics, key, rule.stat)));
+                        matched = true;
+                    }
+                }
+            } else if let Some(value) = extract(metrics, &rule.metric, rule.stat) {
+                outcomes.push(judge(rule, rule.metric.clone(), Some(value)));
+                matched = true;
+            }
+            if !matched {
+                outcomes.push(judge(rule, rule.metric.clone(), None));
+            }
+        }
+        SloEvaluation { outcomes }
+    }
+}
+
+/// `name{key=*}` → `name{key=`; anything else is an exact key.
+fn wildcard_prefix(metric: &str) -> Option<&str> {
+    metric.strip_suffix("*}").filter(|p| p.contains('{') && p.ends_with('='))
+}
+
+/// The snapshot key families a stat can apply to, in deterministic
+/// (sorted-map) order.
+fn metric_keys(metrics: &MetricsSnapshot, stat: SloStat) -> Box<dyn Iterator<Item = &String> + '_> {
+    match stat {
+        SloStat::Value => Box::new(metrics.counters.keys().chain(metrics.gauges.keys())),
+        _ => Box::new(metrics.histograms.keys()),
+    }
+}
+
+/// Extracts `stat` for `key`, if the metric exists in the right family.
+fn extract(metrics: &MetricsSnapshot, key: &str, stat: SloStat) -> Option<f64> {
+    match stat {
+        SloStat::Value => metrics
+            .counters
+            .get(key)
+            .map(|&v| v as f64)
+            .or_else(|| metrics.gauges.get(key).copied()),
+        _ => {
+            let hist = metrics.histograms.get(key)?;
+            match stat {
+                SloStat::P50 => hist.quantile_ms(0.5),
+                SloStat::P95 => hist.quantile_ms(0.95),
+                SloStat::P99 => hist.quantile_ms(0.99),
+                SloStat::Max => Some(hist.max_ms),
+                SloStat::Mean => {
+                    (hist.count > 0).then(|| hist.sum_ms / hist.count as f64)
+                }
+                SloStat::Count => Some(hist.count as f64),
+                SloStat::Value => unreachable!(),
+            }
+        }
+    }
+}
+
+fn judge(rule: &SloRule, metric: String, value: Option<f64>) -> SloOutcome {
+    let verdict = match value {
+        Some(v) if v > rule.violated => SloVerdict::Violated,
+        Some(v) if v > rule.degraded => SloVerdict::Degraded,
+        _ => SloVerdict::Ok,
+    };
+    SloOutcome {
+        metric,
+        stat: rule.stat,
+        value,
+        degraded: rule.degraded,
+        violated: rule.violated,
+        verdict,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{HistogramSnapshot, MS_BUCKETS};
+
+    fn snapshot() -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::default();
+        out.counters.insert("serve.queries".into(), 12);
+        out.gauges.insert("serve.snapshot.age_ms".into(), 45_000.0);
+        out.gauges.insert("serve.ingest.lag_windows".into(), 1.0);
+        for (endpoint, value_ms, n) in [("status", 0.4, 20u64), ("stats", 900.0, 20)] {
+            let mut buckets: Vec<(f64, u64)> = MS_BUCKETS.iter().map(|&b| (b, 0)).collect();
+            let idx = MS_BUCKETS.iter().position(|&b| value_ms <= b).unwrap();
+            buckets[idx].1 = n;
+            out.histograms.insert(
+                format!("serve.query_ms{{endpoint={endpoint}}}"),
+                HistogramSnapshot {
+                    count: n,
+                    sum_ms: value_ms * n as f64,
+                    min_ms: value_ms,
+                    max_ms: value_ms,
+                    buckets,
+                    overflow: 0,
+                },
+            );
+        }
+        out
+    }
+
+    #[test]
+    fn defaults_judge_the_serve_metrics() {
+        let eval = SloSpec::serve_defaults().evaluate(&snapshot());
+        // age 45s: between degraded (30s) and violated (120s).
+        let age = eval.outcomes.iter().find(|o| o.metric == "serve.snapshot.age_ms").unwrap();
+        assert_eq!(age.verdict, SloVerdict::Degraded);
+        assert_eq!(age.value, Some(45_000.0));
+        // lag 1 window: fine.
+        let lag = eval.outcomes.iter().find(|o| o.metric == "serve.ingest.lag_windows").unwrap();
+        assert_eq!(lag.verdict, SloVerdict::Ok);
+        // The wildcard expanded per endpoint; the slow one violates.
+        let status =
+            eval.outcomes.iter().find(|o| o.metric.contains("endpoint=status")).unwrap();
+        let stats = eval.outcomes.iter().find(|o| o.metric.contains("endpoint=stats")).unwrap();
+        assert_eq!(status.verdict, SloVerdict::Ok);
+        assert_eq!(stats.verdict, SloVerdict::Violated);
+        assert_eq!(eval.worst(), SloVerdict::Violated);
+    }
+
+    #[test]
+    fn absent_metrics_are_vacuously_ok() {
+        let eval = SloSpec::serve_defaults().evaluate(&MetricsSnapshot::default());
+        assert_eq!(eval.outcomes.len(), 3, "every rule stays visible");
+        assert!(eval.outcomes.iter().all(|o| o.value.is_none()));
+        assert_eq!(eval.worst(), SloVerdict::Ok);
+    }
+
+    #[test]
+    fn spec_round_trips_from_json() {
+        let spec = SloSpec::from_json(
+            r#"{"version": 1, "rules": [
+                {"metric": "serve.query_ms{endpoint=*}", "stat": "p95",
+                 "degraded": 5, "violated": 50},
+                {"metric": "ingest.blocks", "stat": "value",
+                 "degraded": 1e6, "violated": 2e6}
+            ]}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.rules.len(), 2);
+        assert_eq!(spec.rules[0].stat, SloStat::P95);
+        assert_eq!(spec.rules[1].stat, SloStat::Value);
+        assert_eq!(spec.rules[1].violated, 2e6);
+    }
+
+    #[test]
+    fn spec_rejects_malformed_input() {
+        assert!(SloSpec::from_json("[]").is_err(), "root must be an object");
+        assert!(SloSpec::from_json(r#"{"rules": []}"#).is_err(), "version required");
+        assert!(
+            SloSpec::from_json(r#"{"version": 2, "rules": []}"#).is_err(),
+            "unknown version"
+        );
+        assert!(
+            SloSpec::from_json(
+                r#"{"version": 1, "rules": [{"metric": "m", "stat": "p42",
+                    "degraded": 1, "violated": 2}]}"#
+            )
+            .is_err(),
+            "unknown stat"
+        );
+        assert!(
+            SloSpec::from_json(
+                r#"{"version": 1, "rules": [{"metric": "m", "stat": "p95",
+                    "degraded": 10, "violated": 2}]}"#
+            )
+            .is_err(),
+            "inverted thresholds"
+        );
+    }
+
+    #[test]
+    fn evaluation_renders_deterministic_json() {
+        let eval = SloSpec::serve_defaults().evaluate(&snapshot());
+        let rendered = eval.to_json();
+        let parsed = crate::json::parse(&rendered).unwrap();
+        let arr = parsed.as_arr().unwrap();
+        assert_eq!(arr.len(), eval.outcomes.len());
+        let first = arr[0].as_obj().unwrap();
+        assert_eq!(first["metric"].as_str(), Some("serve.snapshot.age_ms"));
+        assert_eq!(first["verdict"].as_str(), Some("degraded"));
+        assert_eq!(rendered, eval.to_json(), "stable across renders");
+    }
+}

@@ -56,6 +56,17 @@ static RINGS: [Mutex<Option<RingShard>>; RING_SHARDS] =
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
 
+/// Spans evicted over the whole process lifetime. Unlike the per-drain
+/// `dropped` count this is **never reset** — the run summary reports it
+/// so eviction pressure stays visible even across interval snapshots
+/// and multiple drains.
+static EVICTED_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative ring-buffer evictions since process start (never reset).
+pub fn evicted_total() -> u64 {
+    EVICTED_TOTAL.load(Ordering::Relaxed)
+}
+
 thread_local! {
     /// Dense per-thread id, assigned on first use.
     static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
@@ -139,6 +150,7 @@ impl Drop for SpanGuard {
         if ring.buf.len() >= RING_CAPACITY {
             ring.buf.pop_front();
             ring.dropped += 1;
+            EVICTED_TOTAL.fetch_add(1, Ordering::Relaxed);
         }
         ring.buf.push_back(record);
     }

@@ -21,6 +21,7 @@ use daas_chain::TxId;
 
 use crate::checkpoint::EngineCheckpoint;
 use crate::snapshot::{Snapshot, SnapshotCell};
+use crate::telemetry::Telemetry;
 
 /// Per-window progress of a streaming replay (one entry per
 /// [`Engine::ingest_window`] call that advanced the cursor).
@@ -74,6 +75,9 @@ pub struct Engine {
     operators: Arc<BTreeSet<eth_types::Address>>,
     affiliates: Arc<BTreeSet<eth_types::Address>>,
     cell: Arc<SnapshotCell>,
+    /// Live-telemetry hook, attached by the daemon (`None` for the CLI
+    /// and tests — publication then has no observer).
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Engine {
@@ -112,7 +116,15 @@ impl Engine {
             operators: Arc::new(BTreeSet::new()),
             affiliates: Arc::new(BTreeSet::new()),
             cell: Arc::new(SnapshotCell::new(Snapshot::empty(total_blocks))),
+            telemetry: None,
         })
+    }
+
+    /// Attaches the daemon's live telemetry: every subsequent
+    /// publication notifies it (readiness, snapshot age, the event
+    /// journal).
+    pub fn attach_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.telemetry = Some(telemetry);
     }
 
     /// Ingests the next window of up to `window_blocks` sealed blocks
@@ -250,6 +262,9 @@ impl Engine {
         ));
         if daas_obs::enabled() {
             daas_obs::gauge("serve.snapshot.epoch", self.epoch as f64);
+        }
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.on_publish(self.epoch);
         }
     }
 

@@ -15,7 +15,12 @@
 //! byte-identical to an uninterrupted run (DESIGN.md §13).
 //!
 //! The `daas-serve` binary wraps all of this in a JSONL protocol over
-//! stdin/stdout and an optional Unix socket ([`protocol`], [`serve`]).
+//! stdin/stdout and an optional Unix socket ([`protocol`], [`serve`]),
+//! plus a live telemetry layer (DESIGN.md §15): a Prometheus scrape
+//! listener with health/readiness endpoints ([`spawn_scrape`]), a
+//! bounded structured event journal and SLO evaluation ([`Telemetry`]),
+//! all built on `daas_obs`'s non-destructive interval snapshots so
+//! scraping can never perturb drained end-of-run artifacts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,12 +28,16 @@
 mod checkpoint;
 mod engine;
 pub mod protocol;
+mod scrape;
 mod server;
 mod snapshot;
+pub mod telemetry;
 
 pub use checkpoint::EngineCheckpoint;
 pub use engine::{Engine, LiveWindowStats};
-pub use server::{handle_control, restore_from, serve, ServeOptions};
+pub use scrape::spawn_scrape;
+pub use server::{answer_live, handle_control, restore_from, serve, ServeOptions};
 pub use snapshot::{
     AddressRisk, Snapshot, SnapshotCell, ROLE_AFFILIATE, ROLE_CONTRACT, ROLE_OPERATOR,
 };
+pub use telemetry::{Event, Telemetry, JOURNAL_CAPACITY};

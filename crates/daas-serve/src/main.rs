@@ -4,19 +4,28 @@
 //! daas-serve [--seed N] [--scale F] [--preset paper|small|tiny|micro]
 //!            [--threads N] [--shards N] [--window BLOCKS]
 //!            [--socket PATH] [--readers N]
-//!            [--restore CKPT.json] [--metrics-out PATH]
+//!            [--scrape-addr HOST:PORT] [--slo SPEC.json]
+//!            [--restore CKPT.json] [--metrics-out PATH] [--trace-out PATH]
 //! ```
 //!
 //! Speaks the JSONL protocol (see `protocol.rs`) on stdin/stdout and,
 //! when `--socket` is given, on a Unix socket served by a reader pool.
+//! `--scrape-addr` adds a std-only HTTP listener with `GET /metrics`
+//! (Prometheus text), `/healthz` (SLO verdicts + engine liveness) and
+//! `/readyz` (first-snapshot readiness); `--slo` replaces the built-in
+//! serve SLO thresholds with a spec file (see `daas_obs::SloSpec`).
 //! `--restore` resumes from an [`daas_serve::EngineCheckpoint`] instead
-//! of starting at transaction 0; diagnostics go to stderr so stdout
-//! stays a clean protocol channel.
+//! of starting at transaction 0. `--metrics-out` / `--trace-out` write
+//! the final drained metrics summary (plus a Prometheus exposition at
+//! `PATH.prom`) and the span trace at shutdown, matching daas-cli's
+//! flags. Diagnostics go to stderr so stdout stays a clean protocol
+//! channel.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use daas_detector::SnowballConfig;
+use daas_obs::SloSpec;
 use daas_serve::{serve, Engine, ServeOptions};
 use daas_world::WorldConfig;
 
@@ -31,6 +40,9 @@ fn main() -> ExitCode {
     let mut readers = 2usize;
     let mut restore: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut scrape_addr: Option<std::net::SocketAddr> = None;
+    let mut slo_path: Option<PathBuf> = None;
     let mut seed_set = false;
     let mut scale_set = false;
 
@@ -79,14 +91,36 @@ fn main() -> ExitCode {
             },
             "--restore" => restore = Some(PathBuf::from(operand!("--restore"))),
             "--metrics-out" => metrics_out = Some(PathBuf::from(operand!("--metrics-out"))),
+            "--trace-out" => trace_out = Some(PathBuf::from(operand!("--trace-out"))),
+            "--scrape-addr" => match operand!("--scrape-addr").parse() {
+                Ok(addr) => scrape_addr = Some(addr),
+                Err(_) => return usage("--scrape-addr needs HOST:PORT"),
+            },
+            "--slo" => slo_path = Some(PathBuf::from(operand!("--slo"))),
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown flag {other:?}")),
         }
     }
 
-    if metrics_out.is_some() {
+    // One switch turns the recorder on for the whole process. A scrape
+    // listener implies it so `serve.query_ms` / ingest histograms have
+    // data; enabling the recorder is artifact-neutral by the obs
+    // equivalence contract, and the scrape/telemetry read path itself
+    // never records.
+    if metrics_out.is_some() || trace_out.is_some() || scrape_addr.is_some() {
         daas_obs::set_enabled(true);
     }
+
+    let slo = match &slo_path {
+        Some(path) => match std::fs::read_to_string(path).map_err(|e| e.to_string()).and_then(|text| SloSpec::from_json(&text)) {
+            Ok(spec) => Some(spec),
+            Err(e) => {
+                eprintln!("daas-serve: bad SLO spec {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
 
     let engine = match &restore {
         Some(path) => daas_serve::restore_from(path),
@@ -135,14 +169,34 @@ fn main() -> ExitCode {
         socket,
         readers,
         window_blocks: window,
+        scrape_addr,
+        slo,
+        restored: restore.is_some(),
         ..ServeOptions::default()
     };
     let result = serve(engine, opts);
 
-    if let Some(path) = &metrics_out {
+    if metrics_out.is_some() || trace_out.is_some() {
         let report = daas_obs::drain();
-        if let Err(e) = std::fs::write(path, daas_obs::summary_json(&report)) {
-            eprintln!("daas-serve: metrics write failed: {e}");
+        if let Some(path) = &trace_out {
+            let trace = std::fs::File::create(path)
+                .map_err(|e| e.to_string())
+                .and_then(|file| {
+                    let mut out = std::io::BufWriter::new(file);
+                    daas_obs::write_trace_jsonl(&report, &mut out).map_err(|e| e.to_string())
+                });
+            if let Err(e) = trace {
+                eprintln!("daas-serve: trace write failed: {e}");
+            }
+        }
+        if let Some(path) = &metrics_out {
+            if let Err(e) = std::fs::write(path, daas_obs::summary_json(&report)) {
+                eprintln!("daas-serve: metrics write failed: {e}");
+            }
+            let prom_path = format!("{}.prom", path.display());
+            if let Err(e) = std::fs::write(&prom_path, daas_obs::prometheus_text(&report.metrics)) {
+                eprintln!("daas-serve: metrics write failed: {prom_path}: {e}");
+            }
         }
     }
     match result {
@@ -162,7 +216,8 @@ fn usage(error: &str) -> ExitCode {
         "usage: daas-serve [--seed N] [--scale F] [--preset paper|small|tiny|micro]\n\
          \x20                 [--threads N] [--shards N] [--window BLOCKS]\n\
          \x20                 [--socket PATH] [--readers N] [--restore CKPT.json]\n\
-         \x20                 [--metrics-out PATH]"
+         \x20                 [--scrape-addr HOST:PORT] [--slo SPEC.json]\n\
+         \x20                 [--metrics-out PATH] [--trace-out PATH]"
     );
     if error.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE }
 }

@@ -10,6 +10,8 @@
 //! {"cmd":"family","id":3}            // or {"cmd":"family","address":…}
 //! {"cmd":"victim","address":"0x…"}
 //! {"cmd":"stats"}
+//! {"cmd":"obs"}
+//! {"cmd":"events","since":0,"limit":100}
 //! {"cmd":"ingest","blocks":64}
 //! {"cmd":"run","window":64}
 //! {"cmd":"reports"}
@@ -23,7 +25,11 @@
 //! `family`, `victim`, `stats`) are answered by any reader thread from
 //! the published snapshot — [`answer_query`] — and never touch the
 //! engine; everything else is a control command the server forwards to
-//! the single engine thread.
+//! the single engine thread. The live-telemetry queries (`obs`,
+//! `events`) are answered by the server from the telemetry state and
+//! the non-destructive metrics snapshot — also without touching the
+//! engine, and without recording anything (DESIGN.md §15's drain-purity
+//! rule).
 
 use std::str::FromStr;
 use std::time::Instant;
@@ -53,6 +59,13 @@ pub struct Request {
     /// Filesystem path operand (`checkpoint`).
     #[serde(default)]
     pub path: Option<String>,
+    /// Journal sequence cursor (`events`): only events with a larger
+    /// `seq` are returned.
+    #[serde(default)]
+    pub since: Option<u64>,
+    /// Maximum events returned (`events`).
+    #[serde(default)]
+    pub limit: Option<usize>,
 }
 
 impl Request {

@@ -10,20 +10,32 @@
 //! single-writer by construction.
 
 use std::io::{BufRead, BufReader, Write};
+use std::net::SocketAddr;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
 use daas_measure::MeasureConfig;
+use daas_obs::SloSpec;
 
 use crate::checkpoint::EngineCheckpoint;
 use crate::engine::Engine;
 use crate::protocol::{answer_query, error_response, json_escape, Request};
+use crate::scrape::spawn_scrape;
 use crate::snapshot::SnapshotCell;
+use crate::telemetry::Telemetry;
+
+/// How often the sampler feeds the rolling window and re-evaluates
+/// SLOs, and the engine loop's heartbeat timeout.
+const SAMPLE_EVERY: Duration = Duration::from_millis(250);
+
+/// A non-done daemon that published nothing for this long gets one
+/// `stall` journal event per stale period.
+const STALL_AFTER_MS: u64 = 5_000;
 
 /// Daemon settings.
 pub struct ServeOptions {
@@ -36,6 +48,16 @@ pub struct ServeOptions {
     pub window_blocks: u64,
     /// Measurement settings for `reports` / `artifact`.
     pub measure: MeasureConfig,
+    /// TCP address for the Prometheus scrape listener (`None` = no
+    /// listener; port 0 picks a free port, discoverable via the `obs`
+    /// query).
+    pub scrape_addr: Option<SocketAddr>,
+    /// SLO spec for `/healthz` and the `obs` query
+    /// (`SloSpec::serve_defaults()` when `None`).
+    pub slo: Option<SloSpec>,
+    /// `true` when the engine was restored from a checkpoint (recorded
+    /// in the boot journal event).
+    pub restored: bool,
 }
 
 impl Default for ServeOptions {
@@ -45,6 +67,9 @@ impl Default for ServeOptions {
             readers: 2,
             window_blocks: 64,
             measure: MeasureConfig::sequential(),
+            scrape_addr: None,
+            slo: None,
+            restored: false,
         }
     }
 }
@@ -57,18 +82,72 @@ struct Control {
 /// Runs the daemon until a `shutdown` command arrives (from stdin or
 /// the socket) or stdin reaches EOF with no socket configured. Blocks
 /// the calling thread.
-pub fn serve(engine: Engine, opts: ServeOptions) -> Result<(), String> {
+pub fn serve(mut engine: Engine, opts: ServeOptions) -> Result<(), String> {
     let cell = engine.snapshot_cell();
     let (ctl_tx, ctl_rx) = channel::<Control>();
     let window_blocks = opts.window_blocks;
     let measure = opts.measure.clone();
     let stop = Arc::new(AtomicBool::new(false));
 
+    let telemetry = Arc::new(Telemetry::new(
+        opts.slo.clone().unwrap_or_else(SloSpec::serve_defaults),
+        window_blocks,
+    ));
+    engine.attach_telemetry(Arc::clone(&telemetry));
+    {
+        let boot = cell.load();
+        telemetry.record(
+            "start",
+            format!(
+                "{{\"restored\":{},\"epoch\":{},\"blocks_ingested\":{},\"total_blocks\":{}}}",
+                opts.restored, boot.epoch, boot.blocks_ingested, boot.total_blocks
+            ),
+        );
+        if opts.restored {
+            telemetry.record(
+                "restore",
+                format!("{{\"epoch\":{},\"watermark\":{}}}", boot.epoch, engine.watermark()),
+            );
+        }
+    }
+
     let engine_stop = Arc::clone(&stop);
+    let engine_telemetry = Arc::clone(&telemetry);
     let engine_thread = thread::Builder::new()
         .name("daas-serve-engine".into())
-        .spawn(move || engine_loop(engine, ctl_rx, window_blocks, &measure, &engine_stop))
+        .spawn(move || {
+            engine_loop(engine, ctl_rx, window_blocks, &measure, &engine_stop, &engine_telemetry)
+        })
         .map_err(|e| e.to_string())?;
+
+    if let Some(addr) = opts.scrape_addr {
+        let bound = spawn_scrape(
+            addr,
+            Arc::clone(&telemetry),
+            Arc::clone(&cell),
+            Arc::clone(&stop),
+        )?;
+        eprintln!("daas-serve: scrape listener on http://{bound}");
+    }
+
+    {
+        // The sampler: rolling-window feed, SLO re-evaluation (with
+        // transition events) and stall detection. Read-only against the
+        // metrics registry — it cannot perturb drained artifacts.
+        let telemetry = Arc::clone(&telemetry);
+        let cell = Arc::clone(&cell);
+        let stop = Arc::clone(&stop);
+        thread::Builder::new()
+            .name("daas-serve-sampler".into())
+            .spawn(move || {
+                let stall_flag = AtomicBool::new(false);
+                while !stop.load(Ordering::Relaxed) {
+                    telemetry.sample(&cell, STALL_AFTER_MS, &stall_flag);
+                    thread::sleep(SAMPLE_EVERY);
+                }
+            })
+            .map_err(|e| e.to_string())?;
+    }
 
     if let Some(path) = &opts.socket {
         let listener = bind_socket(path)?;
@@ -77,12 +156,15 @@ pub fn serve(engine: Engine, opts: ServeOptions) -> Result<(), String> {
             let cell = Arc::clone(&cell);
             let ctl_tx = ctl_tx.clone();
             let stop = Arc::clone(&stop);
+            let telemetry = Arc::clone(&telemetry);
             thread::Builder::new()
                 .name(format!("daas-serve-reader-{i}"))
                 .spawn(move || {
                     while !stop.load(Ordering::Relaxed) {
                         match listener.accept() {
-                            Ok((stream, _)) => handle_conn(stream, &cell, &ctl_tx, &stop),
+                            Ok((stream, _)) => {
+                                handle_conn(stream, &cell, &ctl_tx, &stop, &telemetry)
+                            }
                             Err(_) => break,
                         }
                     }
@@ -94,6 +176,7 @@ pub fn serve(engine: Engine, opts: ServeOptions) -> Result<(), String> {
     {
         let cell = Arc::clone(&cell);
         let ctl_tx = ctl_tx.clone();
+        let telemetry = Arc::clone(&telemetry);
         thread::Builder::new()
             .name("daas-serve-stdin".into())
             .spawn(move || {
@@ -103,7 +186,7 @@ pub fn serve(engine: Engine, opts: ServeOptions) -> Result<(), String> {
                     if line.trim().is_empty() {
                         continue;
                     }
-                    let reply = dispatch(&line, &cell, &ctl_tx);
+                    let reply = dispatch(&line, &cell, &ctl_tx, &telemetry);
                     let mut out = std::io::stdout().lock();
                     let _ = writeln!(out, "{reply}");
                     let _ = out.flush();
@@ -115,7 +198,13 @@ pub fn serve(engine: Engine, opts: ServeOptions) -> Result<(), String> {
     // EOF therefore shuts the engine loop down.
     drop(ctl_tx);
 
+    // Every listener is up and the boot snapshot is in the cell: the
+    // daemon is ready. The flip happens exactly once for the process
+    // lifetime (later engine publishes hit the already-set flag).
+    telemetry.on_publish(cell.load().epoch);
+
     engine_thread.join().map_err(|_| "engine thread panicked".to_string())?;
+    stop.store(true, Ordering::Relaxed);
     // Give reader threads a beat to flush the shutdown reply before the
     // process (and its blocked accept/stdin threads) goes away.
     thread::sleep(Duration::from_millis(100));
@@ -134,13 +223,22 @@ fn bind_socket(path: &Path) -> Result<Arc<UnixListener>, String> {
     Ok(Arc::new(listener))
 }
 
-/// Parses one line and answers it: queries from the snapshot cell,
-/// control commands via the engine channel.
-fn dispatch(line: &str, cell: &SnapshotCell, ctl_tx: &Sender<Control>) -> String {
+/// Parses one line and answers it: live-telemetry queries from the
+/// telemetry state, snapshot queries from the snapshot cell, control
+/// commands via the engine channel.
+fn dispatch(
+    line: &str,
+    cell: &SnapshotCell,
+    ctl_tx: &Sender<Control>,
+    telemetry: &Telemetry,
+) -> String {
     let req = match Request::parse(line) {
         Ok(req) => req,
         Err(e) => return error_response(&e),
     };
+    if let Some(reply) = answer_live(&req, cell, telemetry) {
+        return reply;
+    }
     if let Some(reply) = answer_query(&cell.load(), &req) {
         return reply;
     }
@@ -151,11 +249,66 @@ fn dispatch(line: &str, cell: &SnapshotCell, ctl_tx: &Sender<Control>) -> String
     reply_rx.recv().unwrap_or_else(|_| error_response("engine is shut down"))
 }
 
+/// Answers the `obs` and `events` live-telemetry queries; `None` for
+/// every other command. Deliberately records **nothing** into the
+/// metrics registry — end-of-run summaries must not observe that a
+/// telemetry query happened.
+pub fn answer_live(req: &Request, cell: &SnapshotCell, telemetry: &Telemetry) -> Option<String> {
+    match req.cmd.as_str() {
+        "obs" => {
+            let (worst, outcomes) = telemetry.evaluate_slo(cell);
+            let metrics = telemetry.augmented_snapshot(cell);
+            let scrape = match telemetry.scrape_addr() {
+                Some(addr) => format!("\"{addr}\""),
+                None => "null".into(),
+            };
+            Some(format!(
+                "{{\"ok\":true,\"ready\":{},\"engine_alive\":{},\"uptime_ms\":{},\
+                 \"epoch\":{},\"snapshot_age_ms\":{},\"ingest_lag_windows\":{},\
+                 \"heartbeat_age_ms\":{},\"scrape_addr\":{scrape},\
+                 \"slo\":{{\"worst\":\"{}\",\"outcomes\":{outcomes}}},\
+                 \"rates_per_s\":{},\"metrics\":{}}}",
+                telemetry.ready(),
+                telemetry.engine_alive(),
+                telemetry.elapsed_ms(),
+                telemetry.epoch(),
+                telemetry.snapshot_age_ms(),
+                telemetry.lag_windows(cell),
+                telemetry.heartbeat_age_ms(),
+                worst.name(),
+                telemetry.rolling_rates_json(),
+                daas_obs::metrics_json(&metrics),
+            ))
+        }
+        "events" => {
+            let since = req.since.unwrap_or(0);
+            let limit = req.limit.unwrap_or(256);
+            let (events, dropped) = telemetry.events_since(since, limit);
+            let mut body = String::with_capacity(64 + events.len() * 96);
+            body.push_str("{\"ok\":true,\"dropped\":");
+            body.push_str(&dropped.to_string());
+            body.push_str(",\"count\":");
+            body.push_str(&events.len().to_string());
+            body.push_str(",\"events\":[");
+            for (i, event) in events.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                body.push_str(&event.to_json());
+            }
+            body.push_str("]}");
+            Some(body)
+        }
+        _ => None,
+    }
+}
+
 fn handle_conn(
     stream: UnixStream,
     cell: &SnapshotCell,
     ctl_tx: &Sender<Control>,
     stop: &AtomicBool,
+    telemetry: &Telemetry,
 ) {
     let Ok(read_half) = stream.try_clone() else { return };
     let mut writer = stream;
@@ -165,7 +318,7 @@ fn handle_conn(
         if line.trim().is_empty() {
             continue;
         }
-        let reply = dispatch(&line, cell, ctl_tx);
+        let reply = dispatch(&line, cell, ctl_tx, telemetry);
         if writeln!(writer, "{reply}").and_then(|_| writer.flush()).is_err() {
             break;
         }
@@ -181,15 +334,50 @@ fn engine_loop(
     default_window: u64,
     measure: &MeasureConfig,
     stop: &AtomicBool,
+    telemetry: &Telemetry,
 ) {
-    while let Ok(Control { req, reply }) = ctl_rx.recv() {
-        let (line, shutdown) = handle_control(&mut engine, &req, default_window, measure);
-        if shutdown {
-            stop.store(true, Ordering::Relaxed);
+    // The liveness watchdog's ground truth: the guard flips
+    // `engine_alive` off when this frame unwinds — clean break *or*
+    // panic inside a control handler.
+    struct AliveGuard<'a>(&'a Telemetry);
+    impl Drop for AliveGuard<'_> {
+        fn drop(&mut self) {
+            self.0.engine_exited();
         }
-        let _ = reply.send(line);
-        if shutdown {
-            break;
+    }
+    let _alive = AliveGuard(telemetry);
+    loop {
+        match ctl_rx.recv_timeout(SAMPLE_EVERY) {
+            Ok(Control { req, reply }) => {
+                telemetry.touch();
+                let (line, shutdown) = handle_control(&mut engine, &req, default_window, measure);
+                if req.cmd == "checkpoint" {
+                    if let Some(path) = &req.path {
+                        telemetry.record(
+                            "checkpoint",
+                            format!(
+                                "{{\"path\":\"{}\",\"ok\":{},\"epoch\":{}}}",
+                                json_escape(path),
+                                line.starts_with("{\"ok\":true"),
+                                engine.epoch(),
+                            ),
+                        );
+                    }
+                }
+                telemetry.touch();
+                if shutdown {
+                    stop.store(true, Ordering::Relaxed);
+                }
+                let _ = reply.send(line);
+                if shutdown {
+                    break;
+                }
+            }
+            // Idle heartbeat: the watchdog can tell "engine busy in a
+            // long command" (stale heartbeat, alive) from "engine gone"
+            // (alive flag off).
+            Err(RecvTimeoutError::Timeout) => telemetry.touch(),
+            Err(RecvTimeoutError::Disconnected) => break,
         }
     }
 }

@@ -1,0 +1,228 @@
+//! Release gate: scraping is artifact-neutral at paper scale.
+//!
+//! Boots two daemons over the same world (seed 42, scale 0.05) driving
+//! the identical command sequence — one with `--scrape-addr` under
+//! continuous /metrics + /healthz polling, one with no scrape listener
+//! at all — and asserts the equivalence contract from DESIGN.md §15:
+//! the batch-comparable artifact is byte-identical and the drained
+//! metrics summaries agree (the scrape/telemetry read path records
+//! nothing). Run with `cargo test --release -p daas-serve -- --ignored`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use daas_obs::json::{parse, validate_schema, Value};
+
+const SEED: &str = "42";
+const SCALE: &str = "0.05";
+const WINDOW: &str = "720";
+
+struct Conn {
+    reader: BufReader<std::os::unix::net::UnixStream>,
+    writer: std::os::unix::net::UnixStream,
+}
+
+impl Conn {
+    fn open(socket: &Path) -> Conn {
+        let deadline = Instant::now() + Duration::from_secs(600);
+        loop {
+            if let Ok(stream) = std::os::unix::net::UnixStream::connect(socket) {
+                let reader = BufReader::new(stream.try_clone().expect("clone"));
+                return Conn { reader, writer: stream };
+            }
+            assert!(Instant::now() < deadline, "daemon did not come up on {socket:?}");
+            thread::sleep(Duration::from_millis(100));
+        }
+    }
+
+    fn send(&mut self, request: &str) -> String {
+        writeln!(self.writer, "{request}").expect("send");
+        self.writer.flush().expect("flush");
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("recv");
+        assert!(n > 0, "daemon closed the connection after {request:?}");
+        assert!(line.contains("\"ok\":true"), "request {request:?} failed: {line}");
+        line
+    }
+}
+
+fn http_get(addr: &str, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect scrape");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: daas\r\n\r\n").expect("request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response");
+    let (head, body) = response.split_once("\r\n\r\n").expect("header/body split");
+    (head.lines().next().unwrap_or("").to_string(), body.to_string())
+}
+
+struct RunOutput {
+    artifact: String,
+    summary: Value,
+}
+
+/// Drives one daemon through the gate's fixed command sequence:
+/// full ingest (`run`), one status and one stats query, artifact,
+/// shutdown. When `scraped`, a poller hammers the HTTP listener for the
+/// whole run and the contract metrics are asserted on the final scrape.
+fn drive_run(dir: &Path, tag: &str, scraped: bool) -> RunOutput {
+    let sock = dir.join(format!("{tag}.sock"));
+    let metrics = dir.join(format!("{tag}.metrics.json"));
+    let mut args: Vec<String> = [
+        "--seed", SEED, "--scale", SCALE, "--window", WINDOW,
+        "--socket", sock.to_str().unwrap(),
+        "--metrics-out", metrics.to_str().unwrap(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    if scraped {
+        args.push("--scrape-addr".into());
+        args.push("127.0.0.1:0".into());
+    }
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_daas-serve"))
+        .args(&args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn daas-serve");
+    let mut ctl = Conn::open(&sock);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let scrapes = Arc::new(AtomicUsize::new(0));
+    let mut poller = None;
+    let mut scrape_addr = String::new();
+    if scraped {
+        // Port discovery for --scrape-addr :0 goes through the obs
+        // query, which must match the checked-in schema.
+        let schema_path =
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../schemas/obs_snapshot.schema.json");
+        let schema =
+            parse(&std::fs::read_to_string(schema_path).expect("schema file")).expect("schema");
+        let obs = ctl.send("{\"cmd\":\"obs\"}");
+        let doc = parse(obs.trim()).expect("obs JSON");
+        let errors = validate_schema(&schema, &doc);
+        assert!(errors.is_empty(), "obs response violates schema: {errors:?}\n{obs}");
+        scrape_addr = doc.as_obj().unwrap()["scrape_addr"].as_str().unwrap().to_string();
+
+        let stop = Arc::clone(&stop);
+        let scrapes = Arc::clone(&scrapes);
+        let addr = scrape_addr.clone();
+        poller = Some(thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let (status, body) = http_get(&addr, "/metrics");
+                assert!(status.contains("200"), "{status}");
+                assert!(body.contains("daas_serve_snapshot_age_ms"), "missing age gauge");
+                let (_, health) = http_get(&addr, "/healthz");
+                assert!(health.contains("\"engine_alive\":true"), "{health}");
+                scrapes.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+
+    // Full ingest in one command; the poller scrapes mid-ingest the
+    // whole time. Then the two recorded queries shared by both runs.
+    ctl.send("{\"cmd\":\"run\"}");
+    ctl.send("{\"cmd\":\"status\"}");
+    ctl.send("{\"cmd\":\"stats\"}");
+
+    if scraped {
+        let (_, body) = http_get(&scrape_addr, "/metrics");
+        for metric in
+            ["daas_serve_snapshot_age_ms", "daas_serve_ingest_lag_windows", "daas_serve_query_ms"]
+        {
+            assert!(body.contains(metric), "contract metric {metric} missing:\n{body}");
+        }
+        let (status, health) = http_get(&scrape_addr, "/healthz");
+        assert!(status.contains("200"), "healthz after idle ingest-complete: {status}\n{health}");
+    }
+
+    let artifact = ctl.send("{\"cmd\":\"artifact\"}");
+
+    // Quiesce the poller before shutdown — the listener dies with the
+    // daemon and a scrape in flight would see a reset connection.
+    if let Some(poller) = poller {
+        stop.store(true, Ordering::Relaxed);
+        poller.join().expect("poller");
+        assert!(scrapes.load(Ordering::Relaxed) >= 3, "poller barely ran during the drive");
+    }
+    ctl.send("{\"cmd\":\"shutdown\"}");
+    assert!(daemon.wait().expect("wait").success());
+
+    let summary = parse(&std::fs::read_to_string(&metrics).expect("summary file"))
+        .expect("summary JSON");
+    RunOutput { artifact, summary }
+}
+
+fn section<'a>(summary: &'a Value, key: &str) -> &'a std::collections::BTreeMap<String, Value> {
+    summary.as_obj().unwrap()[key].as_obj().unwrap()
+}
+
+#[test]
+#[ignore = "release gate: boots two 0.05-scale daemons; run with --release -- --ignored"]
+fn scraped_and_unscraped_runs_are_byte_identical() {
+    let dir = std::env::temp_dir().join(format!("daas_scrape_gate_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+
+    let scraped = drive_run(&dir, "scraped", true);
+    let bare = drive_run(&dir, "bare", false);
+
+    // The hard contract: the batch-comparable artifact must not care
+    // whether anyone was scraping.
+    assert_eq!(
+        scraped.artifact, bare.artifact,
+        "artifact differs between scraped and unscraped runs"
+    );
+
+    // The drained summaries agree wherever the work is deterministic.
+    // Key sets must match exactly in all three sections — a scrape-path
+    // recording would mint a new key or bump a count.
+    for part in ["counters", "gauges", "histograms"] {
+        let (a, b) = (section(&scraped.summary, part), section(&bare.summary, part));
+        let keys_a: Vec<&String> = a.keys().collect();
+        let keys_b: Vec<&String> = b.keys().collect();
+        assert_eq!(keys_a, keys_b, "{part} key sets differ");
+    }
+
+    // Counters are exact except the shared-memo hit/miss split, which
+    // legitimately varies with thread interleaving.
+    let (a, b) = (section(&scraped.summary, "counters"), section(&bare.summary, "counters"));
+    for (key, value) in a {
+        if key.starts_with("cache.") {
+            continue;
+        }
+        assert_eq!(Some(value), b.get(key), "counter {key} differs");
+    }
+
+    // Histogram observation counts are per-unit-of-work and must agree
+    // exactly; latency values are wall clock and are not compared.
+    let (a, b) = (section(&scraped.summary, "histograms"), section(&bare.summary, "histograms"));
+    for (key, hist) in a {
+        let ha = hist.as_obj().unwrap();
+        let hb = b[key].as_obj().unwrap();
+        for stat in ["count", "overflow"] {
+            assert_eq!(ha[stat], hb[stat], "histogram {key} {stat} differs");
+        }
+    }
+
+    // Drain purity: the computed scrape-only gauges never reach the
+    // registry, so neither summary may contain them.
+    for summary in [&scraped.summary, &bare.summary] {
+        let gauges = section(summary, "gauges");
+        for computed in
+            ["serve.snapshot.age_ms", "serve.ingest.lag_windows", "serve.engine.alive", "serve.uptime_ms"]
+        {
+            assert!(!gauges.contains_key(computed), "computed gauge {computed} leaked into drain");
+        }
+    }
+    let (a, b) = (section(&scraped.summary, "gauges"), section(&bare.summary, "gauges"));
+    assert_eq!(a["serve.snapshot.epoch"], b["serve.snapshot.epoch"], "final epoch differs");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
